@@ -1,0 +1,115 @@
+//! Criterion micro-benchmarks of the toolchain itself, plus the
+//! size-ablation benches DESIGN.md calls out (switch lowering strategy,
+//! per-pattern compile cost).
+//!
+//! Run with `cargo bench -p bench`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cgen::Pattern;
+use mbo::Optimizer;
+use occ::OptLevel;
+use umlsm::samples;
+
+fn bench_model_optimizer(c: &mut Criterion) {
+    let machines = [
+        ("flat", samples::flat_unreachable()),
+        ("hierarchical", samples::hierarchical_never_active()),
+        ("scaling12", samples::flat_with_unreachable(12)),
+    ];
+    let mut group = c.benchmark_group("model_optimize");
+    group.sample_size(20);
+    for (name, m) in &machines {
+        group.bench_with_input(BenchmarkId::from_parameter(name), m, |b, m| {
+            b.iter(|| {
+                Optimizer::with_all()
+                    .optimize(std::hint::black_box(m))
+                    .expect("optimizes")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_codegen_patterns(c: &mut Criterion) {
+    let m = samples::hierarchical_never_active();
+    let mut group = c.benchmark_group("codegen");
+    group.sample_size(20);
+    for p in Pattern::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(p.label()), &p, |b, p| {
+            b.iter(|| cgen::generate(std::hint::black_box(&m), *p).expect("generates"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_compiler_levels(c: &mut Criterion) {
+    let m = samples::hierarchical_never_active();
+    let generated = cgen::generate(&m, Pattern::NestedSwitch).expect("generates");
+    let mut group = c.benchmark_group("compile");
+    group.sample_size(15);
+    for level in OptLevel::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(level.flag()),
+            &level,
+            |b, level| {
+                b.iter(|| {
+                    occ::compile(std::hint::black_box(&generated.module), *level)
+                        .expect("compiles")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Ablation: switch lowering (branch chain at -O1 vs jump table at -Os).
+/// Criterion measures compile time; the report prints the resulting sizes
+/// once, so the size delta is visible in the bench output.
+fn bench_switch_lowering(c: &mut Criterion) {
+    let m = samples::flat_with_unreachable(10);
+    let generated = cgen::generate(&m, Pattern::NestedSwitch).expect("generates");
+    let chain = occ::compile(&generated.module, OptLevel::O1).expect("compiles");
+    let table = occ::compile(&generated.module, OptLevel::Os).expect("compiles");
+    println!(
+        "switch lowering ablation: -O1 (chains) {} bytes vs -Os (tables where smaller) {} bytes",
+        chain.sizes().total(),
+        table.sizes().total()
+    );
+    let mut group = c.benchmark_group("switch_lowering");
+    group.sample_size(15);
+    group.bench_function("O1_chain", |b| {
+        b.iter(|| occ::compile(std::hint::black_box(&generated.module), OptLevel::O1))
+    });
+    group.bench_function("Os_table", |b| {
+        b.iter(|| occ::compile(std::hint::black_box(&generated.module), OptLevel::Os))
+    });
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let m = samples::hierarchical_never_active();
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.bench_function("two_step_nested_switch", |b| {
+        b.iter(|| {
+            let opt = Optimizer::with_all()
+                .optimize(std::hint::black_box(&m))
+                .expect("optimizes");
+            let generated =
+                cgen::generate(&opt.machine, Pattern::NestedSwitch).expect("generates");
+            occ::compile(&generated.module, OptLevel::Os).expect("compiles")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_model_optimizer,
+    bench_codegen_patterns,
+    bench_compiler_levels,
+    bench_switch_lowering,
+    bench_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,172 @@
+//! Experiment harness: shared plumbing for regenerating every table and
+//! figure of the paper.
+//!
+//! Each binary under `src/bin/` regenerates one artifact:
+//!
+//! | binary     | paper artifact                                    |
+//! |------------|---------------------------------------------------|
+//! | `figure1`  | Fig. 1 (both rows: flat + hierarchical machines)  |
+//! | `table1`   | Table I (three implementation patterns)           |
+//! | `table2`   | Table II (placement alternatives classification)  |
+//! | `scaling`  | §III.C claim: gain ∝ removed states/transitions   |
+//! | `deadcode` | §III.C: compiler DCE keeps the unreachable state  |
+//! | `twostep`  | §VI: two-step (model + compiler) optimization     |
+//!
+//! Absolute byte counts differ from the paper's (GCC/x86 vs our EM32
+//! backend); the *shape* — who wins, by roughly what factor, where the
+//! crossovers are — is what the harness checks and prints.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cgen::Pattern;
+use mbo::Optimizer;
+use occ::{OptLevel, SizeReport};
+use umlsm::StateMachine;
+
+/// Generates code for `machine` with `pattern`, compiles it at `level`,
+/// and returns the size report.
+///
+/// # Panics
+///
+/// Panics if generation or compilation fails — experiment inputs are the
+/// validated sample machines, so a failure is a toolchain bug.
+pub fn assembly_size(machine: &StateMachine, pattern: Pattern, level: OptLevel) -> SizeReport {
+    let generated = cgen::generate(machine, pattern)
+        .unwrap_or_else(|e| panic!("codegen failed for {}: {e}", machine.name()));
+    let artifact = occ::compile(&generated.module, level)
+        .unwrap_or_else(|e| panic!("compile failed for {}: {e}", machine.name()));
+    artifact.sizes()
+}
+
+/// Runs the full model-level optimizer (the paper tool's automatic mode).
+///
+/// # Panics
+///
+/// Panics if optimization fails on a validated sample machine.
+pub fn optimize_model(machine: &StateMachine) -> StateMachine {
+    Optimizer::with_all()
+        .optimize(machine)
+        .unwrap_or_else(|e| panic!("model optimization failed for {}: {e}", machine.name()))
+        .machine
+}
+
+/// Percentage gain from `before` to `after` bytes (positive = smaller).
+pub fn pct_gain(before: usize, after: usize) -> f64 {
+    if before == 0 {
+        return 0.0;
+    }
+    100.0 * (before as f64 - after as f64) / before as f64
+}
+
+/// One before/after measurement row.
+#[derive(Debug, Clone, Copy)]
+pub struct GainRow {
+    /// Bytes before model optimization.
+    pub before: usize,
+    /// Bytes after model optimization.
+    pub after: usize,
+}
+
+impl GainRow {
+    /// Measures one machine/pattern at `-Os`, before and after model
+    /// optimization.
+    pub fn measure(machine: &StateMachine, pattern: Pattern) -> GainRow {
+        let optimized = optimize_model(machine);
+        GainRow {
+            before: assembly_size(machine, pattern, OptLevel::Os).total(),
+            after: assembly_size(&optimized, pattern, OptLevel::Os).total(),
+        }
+    }
+
+    /// The optimization rate in percent.
+    pub fn gain(&self) -> f64 {
+        pct_gain(self.before, self.after)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umlsm::samples;
+
+    #[test]
+    fn pct_gain_basics() {
+        assert_eq!(pct_gain(100, 90), 10.0);
+        assert_eq!(pct_gain(0, 0), 0.0);
+    }
+
+    #[test]
+    fn flat_machine_gains_modestly() {
+        // Paper: 10.07% with GCC. Our STT row lands almost exactly there;
+        // the inline-style patterns gain more because dead fire sites carry
+        // copies of their targets' entry code.
+        let m = samples::flat_unreachable();
+        let stt = GainRow::measure(&m, Pattern::StateTable);
+        assert!(
+            stt.gain() > 3.0 && stt.gain() < 25.0,
+            "flat STT gain should be modest (paper: ~10%), got {:.1}%",
+            stt.gain()
+        );
+        let ns = GainRow::measure(&m, Pattern::NestedSwitch);
+        assert!(
+            ns.gain() > stt.gain() && ns.gain() < 60.0,
+            "flat NestedSwitch gain out of band: {:.1}%",
+            ns.gain()
+        );
+    }
+
+    #[test]
+    fn hierarchical_machine_gains_heavily() {
+        let m = samples::hierarchical_never_active();
+        let row = GainRow::measure(&m, Pattern::NestedSwitch);
+        assert!(
+            row.gain() > 30.0,
+            "hierarchical gain should be large (paper: >45%), got {:.1}%",
+            row.gain()
+        );
+    }
+
+    #[test]
+    fn all_patterns_gain_on_hierarchical_machine() {
+        let m = samples::hierarchical_never_active();
+        for p in Pattern::all() {
+            let row = GainRow::measure(&m, p);
+            assert!(
+                row.gain() > 10.0,
+                "{p}: expected a significant gain, got {:.1}%",
+                row.gain()
+            );
+        }
+    }
+
+    #[test]
+    fn pattern_size_shape() {
+        // Table I shape: the State Pattern is the largest implementation;
+        // the STT is the most compact on the flat machine. (On the
+        // hierarchical machine our STT pays a per-region engine copy that
+        // the paper's single C++ engine did not, putting it between the
+        // other two — recorded as a deviation in EXPERIMENTS.md.)
+        let flat = samples::flat_unreachable();
+        let stt = assembly_size(&flat, Pattern::StateTable, OptLevel::Os).total();
+        let ns = assembly_size(&flat, Pattern::NestedSwitch, OptLevel::Os).total();
+        let sp = assembly_size(&flat, Pattern::StatePattern, OptLevel::Os).total();
+        assert!(stt < ns, "STT ({stt}) should be smaller than NestedSwitch ({ns})");
+        assert!(stt < sp, "STT ({stt}) should be smaller than StatePattern ({sp})");
+        let hier = samples::hierarchical_never_active();
+        let ns_h = assembly_size(&hier, Pattern::NestedSwitch, OptLevel::Os).total();
+        let sp_h = assembly_size(&hier, Pattern::StatePattern, OptLevel::Os).total();
+        assert!(sp_h > ns_h, "State Pattern must be the largest (paper Table I)");
+    }
+
+    #[test]
+    fn gain_order_matches_table1() {
+        // Paper Table I rates: State Pattern 52.54% > Nested Switch 45.90%
+        // > STT 30.81%.
+        let m = samples::hierarchical_never_active();
+        let stt = GainRow::measure(&m, Pattern::StateTable).gain();
+        let ns = GainRow::measure(&m, Pattern::NestedSwitch).gain();
+        let sp = GainRow::measure(&m, Pattern::StatePattern).gain();
+        assert!(sp > ns && ns > stt, "gain order SP({sp:.1}) > NS({ns:.1}) > STT({stt:.1})");
+    }
+}

@@ -1,0 +1,162 @@
+//! Lowering of the model's action language to target-language statements.
+//!
+//! Model context variables become fields of the generated `Ctx` struct
+//! (prefixed `v_`), emissions become `env_emit(signal_code, arg)` extern
+//! calls, and guards become boolean expressions over the context fields.
+
+use tlang::{Expr as TExpr, Place, Stmt};
+use umlsm::{Action, BinOp as MBinOp, Expr as MExpr, UnOp as MUnOp};
+
+use crate::codes::CodeMap;
+use crate::CodegenError;
+
+/// Name of the generated context global.
+pub(crate) const CTX: &str = "ctx";
+
+/// The context field holding a model variable.
+pub(crate) fn var_field(name: &str) -> String {
+    format!("v_{}", sanitize(name))
+}
+
+/// Makes a model name usable as a target identifier.
+pub(crate) fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Lowers a model expression to a target expression reading `ctx` fields.
+pub(crate) fn lower_expr(expr: &MExpr) -> Result<TExpr, CodegenError> {
+    Ok(match expr {
+        MExpr::Int(v) => {
+            if i32::try_from(*v).is_err() {
+                return Err(CodegenError::ConstantOutOfRange(*v));
+            }
+            TExpr::Int(*v)
+        }
+        MExpr::Bool(b) => TExpr::Bool(*b),
+        MExpr::Var(name) => TExpr::Place(Place::var(CTX).field(var_field(name))),
+        MExpr::Unary(op, inner) => {
+            let inner = lower_expr(inner)?;
+            let op = match op {
+                MUnOp::Neg => tlang::UnOp::Neg,
+                MUnOp::Not => tlang::UnOp::Not,
+            };
+            TExpr::Unary(op, Box::new(inner))
+        }
+        MExpr::Binary(op, lhs, rhs) => {
+            let l = lower_expr(lhs)?;
+            let r = lower_expr(rhs)?;
+            TExpr::Binary(lower_binop(*op), Box::new(l), Box::new(r))
+        }
+    })
+}
+
+fn lower_binop(op: MBinOp) -> tlang::BinOp {
+    match op {
+        MBinOp::Add => tlang::BinOp::Add,
+        MBinOp::Sub => tlang::BinOp::Sub,
+        MBinOp::Mul => tlang::BinOp::Mul,
+        MBinOp::Div => tlang::BinOp::Div,
+        MBinOp::Rem => tlang::BinOp::Rem,
+        MBinOp::Eq => tlang::BinOp::Eq,
+        MBinOp::Ne => tlang::BinOp::Ne,
+        MBinOp::Lt => tlang::BinOp::Lt,
+        MBinOp::Le => tlang::BinOp::Le,
+        MBinOp::Gt => tlang::BinOp::Gt,
+        MBinOp::Ge => tlang::BinOp::Ge,
+        MBinOp::And => tlang::BinOp::And,
+        MBinOp::Or => tlang::BinOp::Or,
+    }
+}
+
+/// Lowers a sequence of model actions to target statements.
+pub(crate) fn lower_actions(
+    actions: &[Action],
+    codes: &CodeMap,
+) -> Result<Vec<Stmt>, CodegenError> {
+    let mut out = Vec::new();
+    for a in actions {
+        lower_action(a, codes, &mut out)?;
+    }
+    Ok(out)
+}
+
+fn lower_action(
+    action: &Action,
+    codes: &CodeMap,
+    out: &mut Vec<Stmt>,
+) -> Result<(), CodegenError> {
+    match action {
+        Action::Assign { var, value } => {
+            out.push(Stmt::Assign {
+                place: Place::var(CTX).field(var_field(var)),
+                value: lower_expr(value)?,
+            });
+        }
+        Action::Emit { signal, arg } => {
+            let code = codes
+                .signal_code(signal)
+                .expect("signal collected from the same machine");
+            let arg = match arg {
+                Some(a) => lower_expr(a)?,
+                None => TExpr::Int(0),
+            };
+            out.push(Stmt::Expr(TExpr::Call(
+                "env_emit".into(),
+                vec![TExpr::Int(code), arg],
+            )));
+        }
+        Action::If {
+            cond,
+            then_actions,
+            else_actions,
+        } => {
+            out.push(Stmt::If {
+                cond: lower_expr(cond)?,
+                then_body: lower_actions(then_actions, codes)?,
+                else_body: lower_actions(else_actions, codes)?,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umlsm::Expr as MExpr;
+
+    #[test]
+    fn sanitize_replaces_punctuation() {
+        assert_eq!(sanitize("S3 Work-item"), "S3_Work_item");
+        assert_eq!(var_field("speed"), "v_speed");
+    }
+
+    #[test]
+    fn lower_expr_maps_vars_to_ctx_fields() {
+        let e = MExpr::var("speed").ge(MExpr::int(30));
+        let t = lower_expr(&e).expect("lowers");
+        let src = format!("{t:?}");
+        assert!(src.contains("v_speed"), "{src}");
+    }
+
+    #[test]
+    fn out_of_range_constant_rejected() {
+        let e = MExpr::int(i64::from(i32::MAX) + 1);
+        assert!(matches!(
+            lower_expr(&e),
+            Err(CodegenError::ConstantOutOfRange(_))
+        ));
+    }
+
+    #[test]
+    fn emit_lowered_to_env_call() {
+        let m = umlsm::samples::flat_unreachable();
+        let codes = CodeMap::build(&m);
+        let stmts = lower_actions(&[Action::emit("s1_left")], &codes).expect("lowers");
+        assert_eq!(stmts.len(), 1);
+        let text = format!("{stmts:?}");
+        assert!(text.contains("env_emit"), "{text}");
+    }
+}

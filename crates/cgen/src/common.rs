@@ -1,0 +1,523 @@
+//! Shared generation machinery used by all three patterns.
+//!
+//! All patterns share the same *runtime structure* (context struct, per-state
+//! enter/exit functions with eagerly chained completion transitions, region
+//! state fields) and differ only in their dispatch mechanism — exactly the
+//! degrees of freedom §III.B of the paper describes. Keeping the shared part
+//! common also guarantees the three patterns implement the *same fixed
+//! semantics*, which Table I's comparison presumes.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use tlang::{Expr, ExternDecl, Function, GlobalDef, Init, Place, Stmt, StructDef, Type};
+use umlsm::{RegionId, StateId, StateKind, StateMachine, Transition, TransitionId, Trigger};
+
+use crate::actions::{lower_actions, lower_expr, sanitize, var_field, CTX};
+use crate::codes::CodeMap;
+use crate::CodegenError;
+
+/// How a pattern references another state's enter/exit behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CallStyle {
+    /// Through shared `enter_*`/`exit_*` functions (factored; STT).
+    Call,
+    /// Spliced in place at every site (verbose; NestedSwitch and the
+    /// per-class methods of the State Pattern).
+    Inline,
+}
+
+/// Precomputed generation context shared by the pattern emitters.
+pub(crate) struct Gen<'m> {
+    pub m: &'m StateMachine,
+    pub codes: CodeMap,
+    region_fields: BTreeMap<RegionId, String>,
+}
+
+impl<'m> Gen<'m> {
+    pub fn new(m: &'m StateMachine) -> Result<Gen<'m>, CodegenError> {
+        let codes = CodeMap::build(m);
+        let mut region_fields = BTreeMap::new();
+        let mut used = BTreeSet::new();
+        for (rid, region) in m.regions() {
+            let field = match region.owner {
+                None => "state".to_string(),
+                Some(owner) => {
+                    let base = format!("{}_state", sanitize(&m.state(owner).name).to_lowercase());
+                    if used.contains(&base) {
+                        format!("{base}_{}", rid.index())
+                    } else {
+                        base
+                    }
+                }
+            };
+            used.insert(field.clone());
+            region_fields.insert(rid, field);
+        }
+        let gen = Gen {
+            m,
+            codes,
+            region_fields,
+        };
+        gen.check_completion_acyclic()?;
+        Ok(gen)
+    }
+
+    /// Consumes the context, returning the code map.
+    pub fn into_codes(self) -> CodeMap {
+        self.codes
+    }
+
+    // --------------------------------------------------------------
+    // Naming
+    // --------------------------------------------------------------
+
+    pub fn enter_name(&self, s: StateId) -> String {
+        format!("enter_{}", sanitize(&self.m.state(s).name))
+    }
+
+    pub fn exit_name(&self, s: StateId) -> String {
+        format!("exit_{}", sanitize(&self.m.state(s).name))
+    }
+
+    /// The `ctx` field that stores the active state code of a region.
+    pub fn region_field(&self, r: RegionId) -> &str {
+        &self.region_fields[&r]
+    }
+
+    pub fn state_code(&self, s: StateId) -> i64 {
+        self.codes.state_code(s).expect("state numbered at build")
+    }
+
+    /// Event-triggered transitions leaving `s`, in document (id) order.
+    pub fn event_transitions(&self, s: StateId) -> Vec<(TransitionId, &Transition)> {
+        self.m
+            .transitions_from(s)
+            .into_iter()
+            .map(|tid| (tid, self.m.transition(tid)))
+            .filter(|(_, t)| !t.is_completion())
+            .collect()
+    }
+
+    /// Completion transitions leaving `s`, in document (id) order.
+    pub fn completion_transitions(&self, s: StateId) -> Vec<(TransitionId, &Transition)> {
+        self.m
+            .transitions_from(s)
+            .into_iter()
+            .map(|tid| (tid, self.m.transition(tid)))
+            .filter(|(_, t)| t.is_completion())
+            .collect()
+    }
+
+    // --------------------------------------------------------------
+    // Safety: generated completion chains must terminate
+    // --------------------------------------------------------------
+
+    /// Rejects models where chained completion transitions may cycle: the
+    /// generated code chains them by direct calls, so a cycle would recurse
+    /// forever. (The model interpreter bounds the chain dynamically; code
+    /// generation must prove it statically.)
+    fn check_completion_acyclic(&self) -> Result<(), CodegenError> {
+        // may-chain edges from each state.
+        let mut edges: BTreeMap<StateId, Vec<StateId>> = BTreeMap::new();
+        for (sid, state) in self.m.states() {
+            let mut out = Vec::new();
+            match state.kind {
+                StateKind::Composite(region) => {
+                    if let Some(init) = self.m.region(region).initial {
+                        out.push(init);
+                    }
+                }
+                StateKind::Simple => {
+                    for (_, t) in self.completion_transitions(sid) {
+                        out.push(t.target);
+                        if t.guard_is_trivially_true() {
+                            break; // later completion transitions can never fire
+                        }
+                    }
+                }
+                StateKind::Final => {
+                    // A final state completes its owner.
+                    if let Some(owner) = self.m.region(state.parent).owner {
+                        for (_, t) in self.completion_transitions(owner) {
+                            out.push(t.target);
+                            if t.guard_is_trivially_true() {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            edges.insert(sid, out);
+        }
+        // DFS cycle detection.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            White,
+            Grey,
+            Black,
+        }
+        let mut marks: BTreeMap<StateId, Mark> =
+            edges.keys().map(|s| (*s, Mark::White)).collect();
+        fn dfs(
+            node: StateId,
+            edges: &BTreeMap<StateId, Vec<StateId>>,
+            marks: &mut BTreeMap<StateId, Mark>,
+            machine: &StateMachine,
+        ) -> Result<(), CodegenError> {
+            marks.insert(node, Mark::Grey);
+            for &next in &edges[&node] {
+                match marks[&next] {
+                    Mark::Grey => {
+                        return Err(CodegenError::CompletionCycle(
+                            machine.state(next).name.clone(),
+                        ))
+                    }
+                    Mark::White => dfs(next, edges, marks, machine)?,
+                    Mark::Black => {}
+                }
+            }
+            marks.insert(node, Mark::Black);
+            Ok(())
+        }
+        let nodes: Vec<StateId> = edges.keys().copied().collect();
+        for s in nodes {
+            if marks[&s] == Mark::White {
+                dfs(s, &edges, &mut marks, self.m)?;
+            }
+        }
+        Ok(())
+    }
+
+    // --------------------------------------------------------------
+    // Shared emission
+    // --------------------------------------------------------------
+
+    /// The `Ctx` struct (state fields + model variables) and its global.
+    pub fn ctx_items(&self) -> (StructDef, GlobalDef) {
+        let mut fields = Vec::new();
+        for (rid, _) in self.m.regions() {
+            fields.push((self.region_field(rid).to_string(), Type::I32));
+        }
+        for name in self.m.variables().keys() {
+            fields.push((var_field(name), Type::I32));
+        }
+        let def = StructDef {
+            name: "Ctx".into(),
+            fields,
+        };
+        let global = GlobalDef {
+            name: CTX.into(),
+            ty: Type::Struct("Ctx".into()),
+            init: Init::Zero,
+            mutable: true,
+        };
+        (def, global)
+    }
+
+    /// The `env_emit` extern declaration.
+    pub fn externs(&self) -> Vec<ExternDecl> {
+        vec![ExternDecl {
+            name: "env_emit".into(),
+            params: vec![Type::I32, Type::I32],
+            ret: Type::Void,
+        }]
+    }
+
+    /// `sm_init`: reset variables and state fields, run the root initial
+    /// effect, enter the initial state (through the enter functions).
+    pub fn sm_init(&self) -> Result<Function, CodegenError> {
+        self.sm_init_with(CallStyle::Call)
+    }
+
+    /// `sm_init` with an explicit call style for the initial entry.
+    pub fn sm_init_with(&self, style: CallStyle) -> Result<Function, CodegenError> {
+        let mut body = Vec::new();
+        for (name, value) in self.m.variables() {
+            if i32::try_from(*value).is_err() {
+                return Err(CodegenError::ConstantOutOfRange(*value));
+            }
+            body.push(Stmt::Assign {
+                place: Place::var(CTX).field(var_field(name)),
+                value: Expr::Int(*value),
+            });
+        }
+        for (rid, _) in self.m.regions() {
+            body.push(Stmt::Assign {
+                place: Place::var(CTX).field(self.region_field(rid).to_string()),
+                value: Expr::Int(-1),
+            });
+        }
+        let root = self.m.region(self.m.root());
+        body.extend(lower_actions(&root.initial_effect, &self.codes)?);
+        let initial = root.initial.expect("validated machine has root initial");
+        body.extend(self.enter_ref(initial, style)?);
+        Ok(Function {
+            name: "sm_init".into(),
+            params: vec![],
+            ret: Type::Void,
+            body,
+            exported: true,
+        })
+    }
+
+    /// `sm_state`: returns the root region's active state code.
+    pub fn sm_state(&self) -> Function {
+        Function {
+            name: "sm_state".into(),
+            params: vec![],
+            ret: Type::I32,
+            body: vec![Stmt::Return(Some(Expr::Place(
+                Place::var(CTX).field("state"),
+            )))],
+            exported: true,
+        }
+    }
+
+    /// Enter sequence for a state: entry actions, state-field update,
+    /// composite descent, and the eager completion chain.
+    ///
+    /// With [`CallStyle::Call`] references to other states go through their
+    /// `enter_*`/`exit_*` functions (the factored style the STT pattern
+    /// uses); with [`CallStyle::Inline`] the sequences are spliced in place
+    /// — the verbose style nested-switch generators actually emit, which is
+    /// why that pattern is so much larger in the paper's Table I.
+    pub fn enter_seq(&self, s: StateId, style: CallStyle) -> Result<Vec<Stmt>, CodegenError> {
+        let state = self.m.state(s);
+        let mut body = lower_actions(&state.entry, &self.codes)?;
+        body.push(Stmt::Assign {
+            place: Place::var(CTX).field(self.region_field(state.parent).to_string()),
+            value: Expr::Int(self.state_code(s)),
+        });
+        match state.kind {
+            StateKind::Composite(region) => {
+                let r = self.m.region(region);
+                body.extend(lower_actions(&r.initial_effect, &self.codes)?);
+                if let Some(init) = r.initial {
+                    body.extend(self.enter_ref(init, style)?);
+                }
+                // The composite's own completion fires from the enter
+                // sequence of its region's final state(s).
+            }
+            StateKind::Simple => {
+                let chain = self.completion_transitions(s);
+                body.extend(self.completion_chain(s, &chain, style)?);
+            }
+            StateKind::Final => {
+                if let Some(owner) = self.m.region(state.parent).owner {
+                    let chain = self.completion_transitions(owner);
+                    body.extend(self.completion_chain(owner, &chain, style)?);
+                }
+            }
+        }
+        Ok(body)
+    }
+
+    /// Exit sequence for a state: composite substate exit (innermost
+    /// first), then own exit actions.
+    pub fn exit_seq(&self, s: StateId, style: CallStyle) -> Result<Vec<Stmt>, CodegenError> {
+        let state = self.m.state(s);
+        let mut body = Vec::new();
+        if let StateKind::Composite(region) = state.kind {
+            let mut cases: Vec<(i64, Vec<Stmt>)> = Vec::new();
+            for sub in self.m.states_in(region) {
+                cases.push((self.state_code(sub), self.exit_ref(sub, style)?));
+            }
+            body.push(Stmt::Switch {
+                scrutinee: Expr::Place(
+                    Place::var(CTX).field(self.region_field(region).to_string()),
+                ),
+                cases,
+                default: vec![],
+            });
+        }
+        body.extend(lower_actions(&state.exit, &self.codes)?);
+        Ok(body)
+    }
+
+    fn enter_ref(&self, s: StateId, style: CallStyle) -> Result<Vec<Stmt>, CodegenError> {
+        match style {
+            CallStyle::Call => Ok(vec![Stmt::Expr(Expr::Call(self.enter_name(s), vec![]))]),
+            CallStyle::Inline => self.enter_seq(s, style),
+        }
+    }
+
+    fn exit_ref(&self, s: StateId, style: CallStyle) -> Result<Vec<Stmt>, CodegenError> {
+        match style {
+            CallStyle::Call => Ok(vec![Stmt::Expr(Expr::Call(self.exit_name(s), vec![]))]),
+            CallStyle::Inline => self.exit_seq(s, style),
+        }
+    }
+
+    /// Enter function for every state (used by table-driven patterns).
+    pub fn enter_function(&self, s: StateId) -> Result<Function, CodegenError> {
+        Ok(Function {
+            name: self.enter_name(s),
+            params: vec![],
+            ret: Type::Void,
+            body: self.enter_seq(s, CallStyle::Call)?,
+            exported: false,
+        })
+    }
+
+    /// Exit function for every state (used by table-driven patterns).
+    pub fn exit_function(&self, s: StateId) -> Result<Function, CodegenError> {
+        Ok(Function {
+            name: self.exit_name(s),
+            params: vec![],
+            ret: Type::Void,
+            body: self.exit_seq(s, CallStyle::Call)?,
+            exported: false,
+        })
+    }
+
+    /// All enter+exit functions, every region, in deterministic order.
+    pub fn state_functions(&self) -> Result<Vec<Function>, CodegenError> {
+        let mut out = Vec::new();
+        for (sid, _) in self.m.states() {
+            out.push(self.enter_function(sid)?);
+            out.push(self.exit_function(sid)?);
+        }
+        Ok(out)
+    }
+
+    /// The eager completion chain of `owner` as a guard-nested if/else
+    /// tree: in document order, the first transition whose guard holds
+    /// fires (exit, effect, enter target); an unguarded transition ends the
+    /// chain unconditionally.
+    fn completion_chain(
+        &self,
+        owner: StateId,
+        chain: &[(TransitionId, &Transition)],
+        style: CallStyle,
+    ) -> Result<Vec<Stmt>, CodegenError> {
+        let Some(((_, t), rest)) = chain.split_first() else {
+            return Ok(Vec::new());
+        };
+        let mut fire = self.exit_ref(owner, style)?;
+        fire.extend(lower_actions(&t.effect, &self.codes)?);
+        fire.extend(self.enter_ref(t.target, style)?);
+        match &t.guard {
+            None => Ok(fire),
+            Some(g) if g.is_const_true() => Ok(fire),
+            Some(g) if g.is_const_false() => self.completion_chain(owner, rest, style),
+            Some(g) => Ok(vec![Stmt::If {
+                cond: lower_expr(g)?,
+                then_body: fire,
+                else_body: self.completion_chain(owner, rest, style)?,
+            }]),
+        }
+    }
+
+    /// The statements that fire an *event-triggered* transition: exit the
+    /// source (and everything nested in it), run the effect, enter the
+    /// target.
+    pub fn fire_stmts(
+        &self,
+        src: StateId,
+        t: &Transition,
+        style: CallStyle,
+    ) -> Result<Vec<Stmt>, CodegenError> {
+        debug_assert!(!t.is_completion());
+        let mut out = self.exit_ref(src, style)?;
+        out.extend(lower_actions(&t.effect, &self.codes)?);
+        out.extend(self.enter_ref(t.target, style)?);
+        Ok(out)
+    }
+
+    /// Groups a state's event transitions by event code, preserving
+    /// document order within each group.
+    pub fn transitions_by_event(
+        &self,
+        s: StateId,
+    ) -> BTreeMap<i64, Vec<(TransitionId, &Transition)>> {
+        let mut groups: BTreeMap<i64, Vec<(TransitionId, &Transition)>> = BTreeMap::new();
+        for (tid, t) in self.event_transitions(s) {
+            let Trigger::Event(eid) = t.trigger else {
+                continue;
+            };
+            let code = self
+                .codes
+                .event_code(&self.m.event(eid).name)
+                .expect("event numbered at build");
+            groups.entry(code).or_default().push((tid, t));
+        }
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umlsm::{samples, MachineBuilder};
+
+    #[test]
+    fn region_fields_are_unique_and_named() {
+        let m = samples::hierarchical_never_active();
+        let g = Gen::new(&m).expect("gen");
+        assert_eq!(g.region_field(m.root()), "state");
+        let s3 = m.state_by_name("S3").expect("S3");
+        let region = m.state(s3).region().expect("composite");
+        assert_eq!(g.region_field(region), "s3_state");
+    }
+
+    #[test]
+    fn completion_cycle_rejected() {
+        let mut b = MachineBuilder::new("m");
+        let a = b.state("A");
+        let c = b.state("B");
+        b.initial(a);
+        b.transition(a, c).on_completion().build();
+        b.transition(c, a).on_completion().build();
+        let m = b.finish().expect("valid model (interp bounds it)");
+        assert!(matches!(
+            Gen::new(&m),
+            Err(CodegenError::CompletionCycle(_))
+        ));
+    }
+
+    #[test]
+    fn guarded_completion_cycle_also_rejected_conservatively() {
+        let mut b = MachineBuilder::new("m");
+        b.variable("x", 0);
+        let a = b.state("A");
+        let c = b.state("B");
+        b.initial(a);
+        b.transition(a, c)
+            .on_completion()
+            .when(umlsm::Expr::var("x").gt(umlsm::Expr::int(0)))
+            .build();
+        b.transition(c, a).on_completion().build();
+        let m = b.finish().expect("valid");
+        assert!(matches!(
+            Gen::new(&m),
+            Err(CodegenError::CompletionCycle(_))
+        ));
+    }
+
+    #[test]
+    fn acyclic_completion_accepted() {
+        let m = samples::hierarchical_never_active();
+        assert!(Gen::new(&m).is_ok());
+    }
+
+    #[test]
+    fn ctx_struct_has_region_and_var_fields() {
+        let m = samples::hierarchical_never_active();
+        let g = Gen::new(&m).expect("gen");
+        let (def, global) = g.ctx_items();
+        let names: Vec<&str> = def.fields.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"state"));
+        assert!(names.contains(&"s3_state"));
+        assert!(names.contains(&"v_counter"));
+        assert!(global.mutable);
+    }
+
+    #[test]
+    fn state_functions_cover_all_states() {
+        let m = samples::flat_unreachable();
+        let g = Gen::new(&m).expect("gen");
+        let fns = g.state_functions().expect("emit");
+        assert_eq!(fns.len(), 2 * m.metrics().states);
+    }
+}

@@ -1,0 +1,198 @@
+//! The Nested Switch Case pattern (§III.B): "an outer case statement that
+//! selects the current state and an inner case statement that selects the
+//! appropriate behavior given the type of the received event".
+//!
+//! Composite states get their own dispatch function over their region's
+//! state field — the implementation unit that disappears entirely when the
+//! model optimizer removes the composite.
+
+use tlang::{Expr, Function, Module, Place, Stmt, Type};
+use umlsm::{StateId, StateKind};
+
+use crate::actions::CTX;
+use crate::common::{CallStyle, Gen};
+use crate::CodegenError;
+
+/// Nested-switch generators inline entry/exit/effect behaviour at every
+/// fire site — the verbose style that makes this pattern large in Table I.
+const STYLE: CallStyle = CallStyle::Inline;
+
+pub(crate) fn emit(gen: &Gen) -> Result<Module, CodegenError> {
+    let mut module = Module::new(format!("{}_nested_switch", gen.m.name()));
+    let (ctx_def, ctx_global) = gen.ctx_items();
+    module.push_struct(ctx_def);
+    for e in gen.externs() {
+        module.push_extern(e);
+    }
+    module.push_global(ctx_global);
+    for (rid, region) in gen.m.regions() {
+        if region.owner.is_some() {
+            module.push_function(region_dispatch(gen, rid)?);
+        }
+    }
+    module.push_function(sm_step(gen)?);
+    module.push_function(gen.sm_init_with(STYLE)?);
+    module.push_function(gen.sm_state());
+    Ok(module)
+}
+
+fn dispatch_name(gen: &Gen, rid: umlsm::RegionId) -> String {
+    format!("dispatch_{}", gen.region_field(rid))
+}
+
+/// The inner `switch (ev)` for one state: guarded fire sequences in
+/// document order; `handled` is the value returned once a transition fires.
+fn event_switch(gen: &Gen, s: StateId, handled: Stmt) -> Result<Option<Stmt>, CodegenError> {
+    let groups = gen.transitions_by_event(s);
+    if groups.is_empty() {
+        return Ok(None);
+    }
+    let mut cases = Vec::new();
+    for (code, transitions) in groups {
+        let mut body = Vec::new();
+        for (_, t) in transitions {
+            let mut fire = gen.fire_stmts(s, t, STYLE)?;
+            fire.push(handled.clone());
+            match &t.guard {
+                None => {
+                    body.extend(fire);
+                    break; // unconditional: later alternatives unreachable
+                }
+                Some(g) if g.is_const_true() => {
+                    body.extend(fire);
+                    break;
+                }
+                Some(g) if g.is_const_false() => {}
+                Some(g) => body.push(Stmt::If {
+                    cond: crate::actions::lower_expr(g)?,
+                    then_body: fire,
+                    else_body: vec![],
+                }),
+            }
+        }
+        cases.push((code, body));
+    }
+    Ok(Some(Stmt::Switch {
+        scrutinee: Expr::var("ev"),
+        cases,
+        default: vec![],
+    }))
+}
+
+/// Case body for one state of a region: innermost-first composite
+/// dispatch, then the state's own event switch.
+fn state_case(gen: &Gen, s: StateId, handled: Stmt) -> Result<Vec<Stmt>, CodegenError> {
+    let mut body = Vec::new();
+    if let StateKind::Composite(sub) = gen.m.state(s).kind {
+        body.push(Stmt::If {
+            cond: Expr::Call(dispatch_name(gen, sub), vec![Expr::var("ev")]),
+            then_body: vec![handled.clone()],
+            else_body: vec![],
+        });
+    }
+    if let Some(sw) = event_switch(gen, s, handled)? {
+        body.push(sw);
+    }
+    Ok(body)
+}
+
+/// Dispatch function of a nested region: `fn dispatch_<field>(ev) -> bool`.
+fn region_dispatch(gen: &Gen, rid: umlsm::RegionId) -> Result<Function, CodegenError> {
+    let field = gen.region_field(rid).to_string();
+    let mut cases = Vec::new();
+    for s in gen.m.states_in(rid) {
+        let body = state_case(gen, s, Stmt::Return(Some(Expr::Bool(true))))?;
+        cases.push((gen.state_code(s), body));
+    }
+    let body = vec![
+        Stmt::Switch {
+            scrutinee: Expr::Place(Place::var(CTX).field(field.clone())),
+            cases,
+            default: vec![],
+        },
+        Stmt::Return(Some(Expr::Bool(false))),
+    ];
+    Ok(Function {
+        name: format!("dispatch_{field}"),
+        params: vec![("ev".into(), Type::I32)],
+        ret: Type::Bool,
+        body,
+        exported: false,
+    })
+}
+
+/// The exported root dispatcher: `fn sm_step(ev) -> void`.
+fn sm_step(gen: &Gen) -> Result<Function, CodegenError> {
+    let mut cases = Vec::new();
+    for s in gen.m.states_in(gen.m.root()) {
+        let body = state_case(gen, s, Stmt::Return(None))?;
+        cases.push((gen.state_code(s), body));
+    }
+    let body = vec![Stmt::Switch {
+        scrutinee: Expr::Place(Place::var(CTX).field("state")),
+        cases,
+        default: vec![],
+    }];
+    Ok(Function {
+        name: "sm_step".into(),
+        params: vec![("ev".into(), Type::I32)],
+        ret: Type::Void,
+        body,
+        exported: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{generate, Pattern};
+    use umlsm::samples;
+
+    #[test]
+    fn generates_outer_and_inner_switches() {
+        let m = samples::flat_unreachable();
+        let g = generate(&m, Pattern::NestedSwitch).expect("generates");
+        let src = g.module.to_source();
+        assert!(src.contains("switch ctx.state"));
+        assert!(src.contains("switch ev"));
+    }
+
+    #[test]
+    fn composite_gets_own_dispatch_unit() {
+        let m = samples::hierarchical_never_active();
+        let g = generate(&m, Pattern::NestedSwitch).expect("generates");
+        let src = g.module.to_source();
+        assert!(src.contains("fn dispatch_s3_state"), "{src}");
+    }
+
+    #[test]
+    fn unreachable_state_code_is_still_generated() {
+        // The paper's point: the generator is faithful; dead model parts
+        // become dead code only the *model* optimizer can remove. S2's
+        // case arm (with its exit behaviour and outgoing fires) is emitted
+        // even though nothing can ever set ctx.state to S2's code.
+        let m = samples::flat_unreachable();
+        let g = generate(&m, Pattern::NestedSwitch).expect("generates");
+        let src = g.module.to_source();
+        let s2 = m.state_by_name("S2").expect("S2");
+        let s2_code = g.codes.state_code(s2).expect("code");
+        assert!(src.contains(&format!("case {s2_code}:")), "{src}");
+        // And removing S2 at the model level shrinks the source.
+        let mut opt = m.clone();
+        opt.remove_state(s2);
+        let g_opt = generate(&opt, Pattern::NestedSwitch).expect("generates");
+        assert!(g_opt.module.to_source().len() < src.len());
+    }
+
+    #[test]
+    fn inline_style_duplicates_entry_actions_per_fire_site() {
+        // Two transitions target S3, so S3's entry emission appears (at
+        // least) twice in the generated source — the verbosity that makes
+        // nested-switch code large in Table I.
+        let m = samples::flat_unreachable();
+        let g = generate(&m, Pattern::NestedSwitch).expect("generates");
+        let src = g.module.to_source();
+        let sig = g.codes.signal_code("s3_active").expect("signal");
+        let needle = format!("env_emit({sig}, ");
+        assert!(src.matches(&needle).count() >= 2, "{src}");
+    }
+}

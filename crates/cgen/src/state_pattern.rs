@@ -1,0 +1,224 @@
+//! The State Pattern (§III.B): "each state is implemented as a whole
+//! class".
+//!
+//! Reproduced structurally for a C-like target: every state gets a handler
+//! function (its "class body") and a const `VTable` record of function
+//! pointers (enter / exit / handle — the virtual interface). Regions carry
+//! an array of vtables indexed by the state code, and dispatch is an
+//! indirect call through the active state's vtable, exactly the dynamic
+//! dispatch the C++ State Pattern pays for — which is why this pattern has
+//! the largest code size in Table I.
+
+use tlang::{Expr, Function, GlobalDef, Init, Module, Place, Stmt, StructDef, Type};
+use umlsm::{RegionId, StateId, StateKind};
+
+use crate::actions::{lower_expr, CTX};
+use crate::common::{CallStyle, Gen};
+use crate::CodegenError;
+
+/// Each state is "a whole class": transition sequences are monomorphized
+/// into the class's handler (inline), while the full virtual interface
+/// (enter/exit/handle function-pointer records) is kept per state — the
+/// per-class overhead that makes this the largest pattern in Table I.
+const STYLE: CallStyle = CallStyle::Inline;
+
+fn vtable_type() -> Type {
+    Type::Struct("VTable".into())
+}
+
+fn vtables_name(gen: &Gen, rid: RegionId) -> String {
+    format!("vt_{}", gen.region_field(rid))
+}
+
+fn handle_name(gen: &Gen, s: StateId) -> String {
+    format!("handle_{}", crate::actions::sanitize(&gen.m.state(s).name))
+}
+
+pub(crate) fn emit(gen: &Gen) -> Result<Module, CodegenError> {
+    let mut module = Module::new(format!("{}_state_pattern", gen.m.name()));
+    let (ctx_def, ctx_global) = gen.ctx_items();
+    module.push_struct(ctx_def);
+    module.push_struct(StructDef {
+        name: "VTable".into(),
+        fields: vec![
+            ("enter".into(), Type::fn_ptr(vec![], Type::Void)),
+            ("exit".into(), Type::fn_ptr(vec![], Type::Void)),
+            ("handle".into(), Type::fn_ptr(vec![Type::I32], Type::Bool)),
+        ],
+    });
+    for e in gen.externs() {
+        module.push_extern(e);
+    }
+    module.push_global(ctx_global);
+    for f in gen.state_functions()? {
+        module.push_function(f);
+    }
+    for (sid, _) in gen.m.states() {
+        module.push_function(handler(gen, sid)?);
+    }
+    for (rid, _) in gen.m.regions() {
+        let states = gen.m.states_in(rid);
+        module.push_global(GlobalDef {
+            name: vtables_name(gen, rid),
+            ty: Type::Array(Box::new(vtable_type()), states.len()),
+            init: Init::Array(
+                states
+                    .iter()
+                    .map(|s| {
+                        Init::Struct(vec![
+                            Init::FnAddr(gen.enter_name(*s)),
+                            Init::FnAddr(gen.exit_name(*s)),
+                            Init::FnAddr(handle_name(gen, *s)),
+                        ])
+                    })
+                    .collect(),
+            ),
+            mutable: false,
+        });
+    }
+    for (rid, _) in gen.m.regions() {
+        module.push_function(region_dispatch(gen, rid));
+    }
+
+    module.push_function(Function {
+        name: "sm_step".into(),
+        params: vec![("ev".into(), Type::I32)],
+        ret: Type::Void,
+        body: vec![Stmt::Expr(Expr::Call(
+            format!("dispatch_{}", gen.region_field(gen.m.root())),
+            vec![Expr::var("ev")],
+        ))],
+        exported: true,
+    });
+    module.push_function(gen.sm_init()?);
+    module.push_function(gen.sm_state());
+    Ok(module)
+}
+
+/// The virtual dispatcher of one region: an indirect call through the
+/// active state's vtable.
+fn region_dispatch(gen: &Gen, rid: RegionId) -> Function {
+    let field = gen.region_field(rid).to_string();
+    Function {
+        name: format!("dispatch_{field}"),
+        params: vec![("ev".into(), Type::I32)],
+        ret: Type::Bool,
+        body: vec![
+            Stmt::Let {
+                name: "s".into(),
+                ty: Type::I32,
+                init: Some(Expr::Place(Place::var(CTX).field(field))),
+            },
+            Stmt::If {
+                cond: Expr::var("s").bin(tlang::BinOp::Lt, Expr::Int(0)),
+                then_body: vec![Stmt::Return(Some(Expr::Bool(false)))],
+                else_body: vec![],
+            },
+            Stmt::Return(Some(Expr::CallPtr(
+                Box::new(Expr::Place(
+                    Place::var(vtables_name(gen, rid))
+                        .index(Expr::var("s"))
+                        .field("handle"),
+                )),
+                vec![Expr::var("ev")],
+            ))),
+        ],
+        exported: false,
+    }
+}
+
+/// The per-state handler: the body of the state's "class". Composite
+/// states first delegate to their nested region's dispatcher (innermost
+/// first), then handle their own events. Transitions fire through the
+/// vtables (indirect enter/exit), mirroring virtual calls.
+fn handler(gen: &Gen, s: StateId) -> Result<Function, CodegenError> {
+    let state = gen.m.state(s);
+    let mut body = Vec::new();
+    if let StateKind::Composite(sub) = state.kind {
+        body.push(Stmt::If {
+            cond: Expr::Call(
+                format!("dispatch_{}", gen.region_field(sub)),
+                vec![Expr::var("ev")],
+            ),
+            then_body: vec![Stmt::Return(Some(Expr::Bool(true)))],
+            else_body: vec![],
+        });
+    }
+    let groups = gen.transitions_by_event(s);
+    if !groups.is_empty() {
+        let mut cases = Vec::new();
+        for (code, transitions) in groups {
+            let mut case_body = Vec::new();
+            for (_, t) in transitions {
+                let mut fire = gen.fire_stmts(s, t, STYLE)?;
+                fire.push(Stmt::Return(Some(Expr::Bool(true))));
+                match &t.guard {
+                    None => {
+                        case_body.extend(fire);
+                        break;
+                    }
+                    Some(g) if g.is_const_true() => {
+                        case_body.extend(fire);
+                        break;
+                    }
+                    Some(g) if g.is_const_false() => {}
+                    Some(g) => case_body.push(Stmt::If {
+                        cond: lower_expr(g)?,
+                        then_body: fire,
+                        else_body: vec![],
+                    }),
+                }
+            }
+            cases.push((code, case_body));
+        }
+        body.push(Stmt::Switch {
+            scrutinee: Expr::var("ev"),
+            cases,
+            default: vec![],
+        });
+    }
+    body.push(Stmt::Return(Some(Expr::Bool(false))));
+    Ok(Function {
+        name: handle_name(gen, s),
+        params: vec![("ev".into(), Type::I32)],
+        ret: Type::Bool,
+        body,
+        exported: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{generate, Pattern};
+    use umlsm::samples;
+
+    #[test]
+    fn emits_vtables_and_handlers() {
+        let m = samples::flat_unreachable();
+        let g = generate(&m, Pattern::StatePattern).expect("generates");
+        let src = g.module.to_source();
+        assert!(src.contains("struct VTable"));
+        assert!(src.contains("const vt_state"));
+        assert!(src.contains("fn handle_S1"));
+        assert!(src.contains(".handle)"));
+    }
+
+    #[test]
+    fn composite_handler_delegates_innermost_first() {
+        let m = samples::hierarchical_never_active();
+        let g = generate(&m, Pattern::StatePattern).expect("generates");
+        let src = g.module.to_source();
+        assert!(src.contains("fn handle_S3"));
+        assert!(src.contains("dispatch_s3_state"));
+        assert!(src.contains("vt_s3_state"));
+    }
+
+    #[test]
+    fn every_state_has_a_vtable_entry() {
+        let m = samples::flat_unreachable();
+        let g = generate(&m, Pattern::StatePattern).expect("generates");
+        let src = g.module.to_source();
+        // Even the unreachable S2: address-taken, so the compiler keeps it.
+        assert!(src.contains("&handle_S2"));
+    }
+}

@@ -1,0 +1,495 @@
+//! Model analyses: the semantic facts that exist at the model level and are
+//! lost by code generation.
+//!
+//! Everything here is *conservative*: an analysis only reports a fact
+//! (dead, shadowed, unreachable) when it holds under the machine's declared
+//! [`Semantics`](umlsm::Semantics) for every environment. The rewriting
+//! passes in [`crate::passes`] rely on these guarantees for behaviour
+//! preservation.
+
+use std::collections::BTreeSet;
+use std::collections::VecDeque;
+
+use umlsm::{StateId, StateKind, StateMachine, TransitionId, Trigger};
+
+/// Result of [`reachable_states`]: which states can ever become active.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reachability {
+    /// States that may become active in some environment.
+    pub reachable: BTreeSet<StateId>,
+    /// Live states in traversal (BFS) order — useful for deterministic
+    /// reports.
+    pub order: Vec<StateId>,
+}
+
+impl Reachability {
+    /// `true` if the state may ever become active.
+    pub fn is_reachable(&self, state: StateId) -> bool {
+        self.reachable.contains(&state)
+    }
+
+    /// States of the machine that can never become active, in id order.
+    pub fn unreachable_states(&self, machine: &StateMachine) -> Vec<StateId> {
+        machine
+            .states()
+            .map(|(id, _)| id)
+            .filter(|id| !self.reachable.contains(id))
+            .collect()
+    }
+}
+
+/// Transitions that can never fire, and why.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadTransitionReason {
+    /// The guard constant-folds to `false`.
+    GuardConstFalse,
+    /// The transition is event-triggered but its source (a simple state)
+    /// also has an unguarded completion transition, which under
+    /// completion-priority semantics always fires first — "the completion
+    /// transition is first fired whatever the received event is".
+    ShadowedByCompletion,
+    /// The source state can never become active.
+    SourceUnreachable,
+}
+
+/// Returns the event-triggered transitions shadowed by an unguarded
+/// completion transition, under completion-priority semantics.
+///
+/// Only *simple* source states shadow: a composite state is not complete on
+/// entry, so its event-triggered transitions may still fire while the nested
+/// region runs. With completion-priority disabled this returns nothing —
+/// the optimization is semantics-dependent (Table II, last column).
+pub fn completion_shadowed_transitions(machine: &StateMachine) -> Vec<TransitionId> {
+    if !machine.semantics().completion_priority {
+        return Vec::new();
+    }
+    let mut shadowed = Vec::new();
+    for (sid, state) in machine.states() {
+        if state.kind != StateKind::Simple {
+            continue;
+        }
+        let outgoing = machine.transitions_from(sid);
+        let has_always_completion = outgoing.iter().any(|t| {
+            let t = machine.transition(*t);
+            t.is_completion() && t.guard_is_trivially_true()
+        });
+        if !has_always_completion {
+            continue;
+        }
+        for tid in outgoing {
+            if !machine.transition(tid).is_completion() {
+                shadowed.push(tid);
+            }
+        }
+    }
+    shadowed
+}
+
+/// Returns every transition that can never fire, with the reason.
+///
+/// Reasons are reported with this priority: constant-false guard, then
+/// completion shadowing, then unreachable source.
+pub fn dead_transitions(machine: &StateMachine) -> Vec<(TransitionId, DeadTransitionReason)> {
+    let shadowed: BTreeSet<TransitionId> =
+        completion_shadowed_transitions(machine).into_iter().collect();
+    let reach = reachable_states(machine);
+    let mut out = Vec::new();
+    for (tid, t) in machine.transitions() {
+        if t.guard.as_ref().is_some_and(|g| g.is_const_false()) {
+            out.push((tid, DeadTransitionReason::GuardConstFalse));
+        } else if shadowed.contains(&tid) {
+            out.push((tid, DeadTransitionReason::ShadowedByCompletion));
+        } else if !reach.is_reachable(t.source) {
+            out.push((tid, DeadTransitionReason::SourceUnreachable));
+        }
+    }
+    out
+}
+
+/// Computes the set of states that may ever become active, under the
+/// machine's semantics.
+///
+/// The traversal starts at the root region's initial state and follows:
+///
+/// * entry into a composite state, which activates its region's initial
+///   state (with the region's initial effect);
+/// * outgoing transitions whose guard is not constant-false, **except**
+///   event-triggered transitions shadowed by an unguarded completion
+///   transition (see [`completion_shadowed_transitions`]).
+///
+/// Guards that depend on variables are conservatively assumed satisfiable.
+pub fn reachable_states(machine: &StateMachine) -> Reachability {
+    let shadowed: BTreeSet<TransitionId> =
+        completion_shadowed_transitions(machine).into_iter().collect();
+    let mut reachable = BTreeSet::new();
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+
+    if let Some(init) = machine.region(machine.root()).initial {
+        queue.push_back(init);
+    }
+    while let Some(sid) = queue.pop_front() {
+        if !reachable.insert(sid) {
+            continue;
+        }
+        order.push(sid);
+        let state = machine.state(sid);
+        // Entering a composite activates its region's initial state.
+        if let StateKind::Composite(region) = state.kind {
+            if let Some(init) = machine.region(region).initial {
+                queue.push_back(init);
+            }
+        }
+        for tid in machine.transitions_from(sid) {
+            if shadowed.contains(&tid) {
+                continue;
+            }
+            let t = machine.transition(tid);
+            if t.guard.as_ref().is_some_and(|g| g.is_const_false()) {
+                continue;
+            }
+            queue.push_back(t.target);
+        }
+    }
+    Reachability { reachable, order }
+}
+
+/// Partition of the machine's *simple* states into behavioural equivalence
+/// classes, computed by partition refinement (a bisimulation restricted to
+/// structurally identical behaviours).
+///
+/// Two states land in the same class only if they
+///
+/// * live in the same region, with identical entry and exit behaviour, and
+/// * have outgoing transition lists that match pairwise in document order:
+///   same trigger, same guard, same effect, and targets in the same class.
+///
+/// The restriction to structural equality of actions/guards keeps the
+/// analysis conservative: classes are sound witnesses for the
+/// state-merging pass under any environment.
+pub fn equivalence_classes(machine: &StateMachine) -> Vec<Vec<StateId>> {
+    // Initial partition: key on (region, kind==Simple, entry, exit).
+    let simple: Vec<StateId> = machine
+        .states()
+        .filter(|(_, s)| s.kind == StateKind::Simple)
+        .map(|(id, _)| id)
+        .collect();
+
+    let mut class_of: std::collections::BTreeMap<StateId, usize> = std::collections::BTreeMap::new();
+    {
+        let mut key_to_class: std::collections::BTreeMap<String, usize> =
+            std::collections::BTreeMap::new();
+        for &sid in &simple {
+            let s = machine.state(sid);
+            let key = format!("{:?}|{:?}|{:?}", s.parent, s.entry, s.exit);
+            let next = key_to_class.len();
+            let class = *key_to_class.entry(key).or_insert(next);
+            class_of.insert(sid, class);
+        }
+    }
+    // Non-simple states each get a singleton class id (negative space:
+    // offset beyond simple classes) so targets compare by identity.
+    let mut extra = class_of.values().copied().max().map_or(0, |m| m + 1);
+    for (sid, s) in machine.states() {
+        if s.kind != StateKind::Simple {
+            class_of.insert(sid, extra);
+            extra += 1;
+        }
+    }
+
+    // Refine until stable.
+    loop {
+        let mut changed = false;
+        let mut signature_to_class: std::collections::BTreeMap<String, usize> =
+            std::collections::BTreeMap::new();
+        let mut new_class_of = class_of.clone();
+        for &sid in &simple {
+            let mut sig = format!("c{}", class_of[&sid]);
+            for tid in machine.transitions_from(sid) {
+                let t = machine.transition(tid);
+                let trig = match t.trigger {
+                    Trigger::Event(e) => format!("ev{}", machine.event(e).name),
+                    Trigger::Completion => "done".to_string(),
+                };
+                sig.push_str(&format!(
+                    ";{trig}|{:?}|{:?}|->{}",
+                    t.guard,
+                    t.effect,
+                    class_of[&t.target]
+                ));
+            }
+            let next = signature_to_class.len();
+            let class = *signature_to_class.entry(sig).or_insert(next);
+            if new_class_of[&sid] != class {
+                new_class_of.insert(sid, class);
+            }
+        }
+        // Detect change as a partition difference (class ids are arbitrary).
+        let old_groups = group_by_class(&simple, &class_of);
+        let new_groups = group_by_class(&simple, &new_class_of);
+        if old_groups != new_groups {
+            changed = true;
+        }
+        class_of = new_class_of;
+        if !changed {
+            return group_by_class(&simple, &class_of);
+        }
+    }
+}
+
+fn group_by_class(
+    states: &[StateId],
+    class_of: &std::collections::BTreeMap<StateId, usize>,
+) -> Vec<Vec<StateId>> {
+    let mut groups: std::collections::BTreeMap<usize, Vec<StateId>> =
+        std::collections::BTreeMap::new();
+    for &sid in states {
+        groups.entry(class_of[&sid]).or_default().push(sid);
+    }
+    let mut out: Vec<Vec<StateId>> = groups.into_values().collect();
+    // Canonical order: by smallest member.
+    out.sort_by_key(|g| g.first().copied());
+    out
+}
+
+/// Variables never read by any guard or action. Assignments to them are
+/// unobservable (right-hand sides of the action language are side-effect
+/// free), so both the variable and its assignments can be removed.
+pub fn unread_variables(machine: &StateMachine) -> Vec<String> {
+    let mut read = BTreeSet::new();
+    for (_, s) in machine.states() {
+        for a in s.entry.iter().chain(&s.exit) {
+            a.read_vars(&mut read);
+        }
+    }
+    for (_, t) in machine.transitions() {
+        if let Some(g) = &t.guard {
+            read.extend(g.free_vars());
+        }
+        for a in &t.effect {
+            a.read_vars(&mut read);
+        }
+    }
+    for (_, r) in machine.regions() {
+        for a in &r.initial_effect {
+            a.read_vars(&mut read);
+        }
+    }
+    machine
+        .variables()
+        .keys()
+        .filter(|v| !read.contains(*v))
+        .cloned()
+        .collect()
+}
+
+/// Events that trigger no live transition.
+pub fn unused_events(machine: &StateMachine) -> Vec<umlsm::EventId> {
+    let mut used = BTreeSet::new();
+    for (_, t) in machine.transitions() {
+        if let Trigger::Event(e) = t.trigger {
+            used.insert(e);
+        }
+    }
+    machine
+        .events()
+        .map(|(id, _)| id)
+        .filter(|id| !used.contains(id))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umlsm::samples;
+    use umlsm::{Action, Expr, MachineBuilder, Semantics};
+
+    #[test]
+    fn flat_sample_s2_unreachable() {
+        let m = samples::flat_unreachable();
+        let r = reachable_states(&m);
+        let s2 = m.state_by_name("S2").expect("S2");
+        assert!(!r.is_reachable(s2));
+        assert_eq!(r.unreachable_states(&m), vec![s2]);
+    }
+
+    #[test]
+    fn hierarchical_sample_s3_and_submachine_unreachable() {
+        let m = samples::hierarchical_never_active();
+        let r = reachable_states(&m);
+        for name in ["S3", "S3_Init", "S3_Work", "S3_Check", "S3_Retry", "S3_Done"] {
+            let sid = m.state_by_name(name).expect(name);
+            assert!(!r.is_reachable(sid), "{name} must be unreachable");
+        }
+        for name in ["S1", "S2", "Final"] {
+            let sid = m.state_by_name(name).expect(name);
+            assert!(r.is_reachable(sid), "{name} must be reachable");
+        }
+    }
+
+    #[test]
+    fn shadowing_requires_completion_priority() {
+        let mut m = samples::hierarchical_never_active();
+        assert!(!completion_shadowed_transitions(&m).is_empty());
+        m.set_semantics(Semantics::completion_as_fallback());
+        assert!(completion_shadowed_transitions(&m).is_empty());
+        // Under fallback semantics S3 becomes reachable.
+        let r = reachable_states(&m);
+        let s3 = m.state_by_name("S3").expect("S3");
+        assert!(r.is_reachable(s3));
+    }
+
+    #[test]
+    fn guarded_completion_does_not_shadow() {
+        let mut b = MachineBuilder::new("m");
+        b.variable("x", 0);
+        let a = b.state("A");
+        let c = b.state("B");
+        let d = b.state("C");
+        let e = b.event("go");
+        b.initial(a);
+        b.transition(a, c)
+            .on_completion()
+            .when(Expr::var("x").gt(Expr::int(0)))
+            .build();
+        b.transition(a, d).on(e).build();
+        let m = b.finish().expect("valid");
+        assert!(completion_shadowed_transitions(&m).is_empty());
+        let r = reachable_states(&m);
+        assert!(r.is_reachable(d));
+    }
+
+    #[test]
+    fn composite_source_does_not_shadow() {
+        // An unguarded completion transition out of a *composite* does not
+        // shadow its event transitions: the region may still be running.
+        let mut b = MachineBuilder::new("m");
+        let (c, inner) = b.composite("C");
+        let i = b.state_in(inner, "I");
+        let ifin = b.final_state_in(inner, "IF");
+        let out = b.state("Out");
+        let esc = b.state("Esc");
+        let e = b.event("go");
+        b.initial(c);
+        b.initial_in(inner, i);
+        b.transition(i, ifin).on(e).build();
+        b.transition(c, out).on_completion().build();
+        b.transition(c, esc).on(e).build();
+        let m = b.finish().expect("valid");
+        assert!(completion_shadowed_transitions(&m).is_empty());
+    }
+
+    #[test]
+    fn const_false_guard_is_dead() {
+        let mut b = MachineBuilder::new("m");
+        let a = b.state("A");
+        let c = b.state("B");
+        let e = b.event("go");
+        b.initial(a);
+        let tid = b
+            .transition(a, c)
+            .on(e)
+            .when(Expr::int(1).eq(Expr::int(2)))
+            .build();
+        let m = b.finish().expect("valid");
+        let dead = dead_transitions(&m);
+        assert!(dead
+            .iter()
+            .any(|(t, r)| *t == tid && *r == DeadTransitionReason::GuardConstFalse));
+        // B is unreachable because its only incoming arc is dead.
+        let r = reachable_states(&m);
+        assert!(!r.is_reachable(c));
+    }
+
+    #[test]
+    fn dead_transition_reasons_cover_unreachable_sources() {
+        let m = samples::flat_unreachable();
+        let dead = dead_transitions(&m);
+        let s2 = m.state_by_name("S2").expect("S2");
+        let from_s2: Vec<_> = dead
+            .iter()
+            .filter(|(t, _)| m.transition(*t).source == s2)
+            .collect();
+        assert_eq!(from_s2.len(), 2);
+        assert!(from_s2
+            .iter()
+            .all(|(_, r)| *r == DeadTransitionReason::SourceUnreachable));
+    }
+
+    #[test]
+    fn equivalence_classes_merge_identical_states() {
+        let mut b = MachineBuilder::new("m");
+        let a = b.state("A");
+        let x = b.state("X");
+        let y = b.state("Y");
+        let f = b.state("Tail");
+        let e1 = b.event("e1");
+        let e2 = b.event("e2");
+        b.initial(a);
+        // X and Y behave identically: same entry, same outgoing.
+        b.on_entry(x, vec![Action::emit("mid")]);
+        b.on_entry(y, vec![Action::emit("mid")]);
+        b.transition(a, x).on(e1).build();
+        b.transition(a, y).on(e2).build();
+        b.transition(x, f).on(e1).build();
+        b.transition(y, f).on(e1).build();
+        let m = b.finish().expect("valid");
+        let classes = equivalence_classes(&m);
+        let xy = classes
+            .iter()
+            .find(|c| c.contains(&x))
+            .expect("class of X");
+        assert!(xy.contains(&y), "X and Y must share a class");
+    }
+
+    #[test]
+    fn equivalence_distinguishes_different_targets() {
+        let mut b = MachineBuilder::new("m");
+        let a = b.state("A");
+        let x = b.state("X");
+        let y = b.state("Y");
+        let p = b.state("P");
+        let q = b.state("Q");
+        let e1 = b.event("e1");
+        b.initial(a);
+        b.on_entry(p, vec![Action::emit("p")]);
+        b.on_entry(q, vec![Action::emit("q")]);
+        b.transition(a, x).on(e1).build();
+        b.transition(x, p).on(e1).build();
+        b.transition(y, q).on(e1).build();
+        let m = b.finish().expect("valid");
+        let classes = equivalence_classes(&m);
+        let cx = classes.iter().find(|c| c.contains(&x)).expect("x class");
+        assert!(!cx.contains(&y), "X and Y go to distinguishable targets");
+    }
+
+    #[test]
+    fn unread_variables_found() {
+        let mut b = MachineBuilder::new("m");
+        b.variable("used", 0);
+        b.variable("ghostly", 0);
+        let a = b.state("A");
+        b.initial(a);
+        b.on_entry(
+            a,
+            vec![
+                Action::assign("ghostly", Expr::int(5)),
+                Action::emit_arg("sig", Expr::var("used")),
+            ],
+        );
+        let m = b.finish().expect("valid");
+        assert_eq!(unread_variables(&m), vec!["ghostly".to_string()]);
+    }
+
+    #[test]
+    fn unused_events_found() {
+        let mut b = MachineBuilder::new("m");
+        let a = b.state("A");
+        let used = b.event("used");
+        let unused = b.event("unused");
+        b.initial(a);
+        b.transition(a, a).on(used).build();
+        let m = b.finish().expect("valid");
+        assert_eq!(unused_events(&m), vec![unused]);
+    }
+}

@@ -1,0 +1,260 @@
+//! Behaviour-preservation checking.
+//!
+//! Model optimization "keeps unchanged [the model's] behavior" (§V). This
+//! module checks that dynamically: two machines are compared by the
+//! observable traces (signal emissions) they produce on the same event
+//! sequences, using bounded-exhaustive enumeration for short sequences plus
+//! seeded random sequences for depth. Because the action language has no
+//! loops and run-to-completion chains are bounded, every run terminates,
+//! making the check effective.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use umlsm::{Interp, InterpError, StateMachine};
+
+/// Configuration of the equivalence check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EquivConfig {
+    /// Exhaustively test all event sequences up to this length (capped by
+    /// [`max_exhaustive_sequences`](Self::max_exhaustive_sequences)).
+    pub exhaustive_depth: usize,
+    /// Upper bound on the number of exhaustively enumerated sequences.
+    pub max_exhaustive_sequences: usize,
+    /// Number of random sequences to test on top.
+    pub random_sequences: usize,
+    /// Length of each random sequence.
+    pub random_length: usize,
+    /// RNG seed (fixed for reproducibility).
+    pub seed: u64,
+}
+
+impl Default for EquivConfig {
+    fn default() -> Self {
+        EquivConfig {
+            exhaustive_depth: 4,
+            max_exhaustive_sequences: 20_000,
+            random_sequences: 200,
+            random_length: 24,
+            seed: 0xDA7E_2010,
+        }
+    }
+}
+
+/// Outcome of an equivalence check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EquivReport {
+    /// `true` if no distinguishing sequence was found.
+    pub equivalent: bool,
+    /// A distinguishing event-name sequence, if one was found.
+    pub counterexample: Option<Vec<String>>,
+    /// Number of sequences executed on both machines.
+    pub sequences_checked: usize,
+}
+
+impl fmt::Display for EquivReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.equivalent {
+            write!(
+                f,
+                "trace-equivalent over {} sequences",
+                self.sequences_checked
+            )
+        } else {
+            write!(
+                f,
+                "NOT equivalent; counterexample: [{}]",
+                self.counterexample
+                    .as_deref()
+                    .unwrap_or_default()
+                    .join(", ")
+            )
+        }
+    }
+}
+
+/// Checks observable-trace equivalence of two machines.
+///
+/// The event alphabet is the *union* of both machines' event names, so
+/// events removed by optimization are still exercised (they must be
+/// discarded identically).
+///
+/// # Errors
+///
+/// Propagates interpreter failures (evaluation errors, completion loops) —
+/// these indicate a malformed model, not an inequivalence.
+pub fn check_trace_equivalence(
+    original: &StateMachine,
+    optimized: &StateMachine,
+    config: &EquivConfig,
+) -> Result<EquivReport, InterpError> {
+    let mut alphabet: Vec<String> = original
+        .events()
+        .map(|(_, e)| e.name.clone())
+        .chain(optimized.events().map(|(_, e)| e.name.clone()))
+        .collect();
+    alphabet.sort();
+    alphabet.dedup();
+
+    let mut checked = 0usize;
+
+    // Empty sequence: initial run-to-completion must already agree.
+    if let Some(report) = try_sequence(original, optimized, &[], &mut checked)? {
+        return Ok(report);
+    }
+
+    // Bounded-exhaustive enumeration.
+    if !alphabet.is_empty() {
+        let mut budget = config.max_exhaustive_sequences;
+        for depth in 1..=config.exhaustive_depth {
+            let count = alphabet.len().saturating_pow(depth as u32);
+            if count > budget {
+                break;
+            }
+            budget -= count;
+            let mut indices = vec![0usize; depth];
+            loop {
+                let seq: Vec<String> =
+                    indices.iter().map(|i| alphabet[*i].clone()).collect();
+                if let Some(report) = try_sequence(original, optimized, &seq, &mut checked)? {
+                    return Ok(report);
+                }
+                if !next_odometer(&mut indices, alphabet.len()) {
+                    break;
+                }
+            }
+        }
+
+        // Random deep sequences.
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        for _ in 0..config.random_sequences {
+            let seq: Vec<String> = (0..config.random_length)
+                .map(|_| alphabet[rng.gen_range(0..alphabet.len())].clone())
+                .collect();
+            if let Some(report) = try_sequence(original, optimized, &seq, &mut checked)? {
+                return Ok(report);
+            }
+        }
+    }
+
+    Ok(EquivReport {
+        equivalent: true,
+        counterexample: None,
+        sequences_checked: checked,
+    })
+}
+
+/// Advances a base-`base` odometer; returns `false` once it wraps around.
+fn next_odometer(indices: &mut [usize], base: usize) -> bool {
+    for slot in indices.iter_mut().rev() {
+        *slot += 1;
+        if *slot < base {
+            return true;
+        }
+        *slot = 0;
+    }
+    false
+}
+
+fn try_sequence(
+    original: &StateMachine,
+    optimized: &StateMachine,
+    seq: &[String],
+    checked: &mut usize,
+) -> Result<Option<EquivReport>, InterpError> {
+    *checked += 1;
+    let mut a = Interp::new(original)?;
+    let mut b = Interp::new(optimized)?;
+    for name in seq {
+        a.step_by_name(name)?;
+        b.step_by_name(name)?;
+    }
+    if a.trace().observable() != b.trace().observable() {
+        return Ok(Some(EquivReport {
+            equivalent: false,
+            counterexample: Some(seq.to_vec()),
+            sequences_checked: *checked,
+        }));
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::{ModelPass, RemoveUnreachableStates};
+    use umlsm::samples;
+    use umlsm::{Action, MachineBuilder};
+
+    #[test]
+    fn machine_is_equivalent_to_itself() {
+        let m = samples::flat_unreachable();
+        let r = check_trace_equivalence(&m, &m, &EquivConfig::default()).expect("check");
+        assert!(r.equivalent);
+        assert!(r.sequences_checked > 100);
+    }
+
+    #[test]
+    fn optimized_flat_machine_is_equivalent() {
+        let m = samples::flat_unreachable();
+        let mut opt = m.clone();
+        RemoveUnreachableStates.run(&mut opt);
+        let r = check_trace_equivalence(&m, &opt, &EquivConfig::default()).expect("check");
+        assert!(r.equivalent, "{r}");
+    }
+
+    #[test]
+    fn optimized_hierarchical_machine_is_equivalent() {
+        let m = samples::hierarchical_never_active();
+        let mut opt = m.clone();
+        RemoveUnreachableStates.run(&mut opt);
+        let r = check_trace_equivalence(&m, &opt, &EquivConfig::default()).expect("check");
+        assert!(r.equivalent, "{r}");
+    }
+
+    #[test]
+    fn detects_behaviour_difference() {
+        let build = |signal: &str| {
+            let mut b = MachineBuilder::new("m");
+            let a = b.state("A");
+            let c = b.state("B");
+            let e = b.event("go");
+            b.initial(a);
+            b.on_entry(c, vec![Action::emit(signal)]);
+            b.transition(a, c).on(e).build();
+            b.finish().expect("valid")
+        };
+        let m1 = build("x");
+        let m2 = build("y");
+        let r = check_trace_equivalence(&m1, &m2, &EquivConfig::default()).expect("check");
+        assert!(!r.equivalent);
+        assert_eq!(r.counterexample, Some(vec!["go".to_string()]));
+    }
+
+    #[test]
+    fn detects_unsound_removal_under_fallback_semantics() {
+        // Removing the "never active" composite is NOT sound when the
+        // machine uses fallback completion semantics; the checker must
+        // catch it.
+        let mut m = samples::hierarchical_never_active();
+        m.set_semantics(umlsm::Semantics::completion_as_fallback());
+        let mut broken = m.clone();
+        let s3 = broken.state_by_name("S3").expect("S3");
+        broken.remove_state(s3);
+        let r = check_trace_equivalence(&m, &broken, &EquivConfig::default()).expect("check");
+        assert!(!r.equivalent, "checker must flag the unsound removal");
+    }
+
+    #[test]
+    fn alphabet_union_exercises_removed_events() {
+        // Optimized machine lost an event; sequences containing it must
+        // still be compared (and discarded identically).
+        let m = samples::flat_unreachable();
+        let mut opt = m.clone();
+        RemoveUnreachableStates.run(&mut opt);
+        crate::passes::RemoveUnusedEvents.run(&mut opt);
+        let r = check_trace_equivalence(&m, &opt, &EquivConfig::default()).expect("check");
+        assert!(r.equivalent, "{r}");
+    }
+}

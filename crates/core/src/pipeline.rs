@@ -1,0 +1,207 @@
+//! The two-step optimization approach (paper §VI).
+//!
+//! "We proposed then, a two step optimization approach where optimizations
+//! are performed both in the model and compiler levels." This module is the
+//! orchestration scaffold: it is generic over the code generator and the
+//! compiler (both live in downstream crates — `cgen` and `occ` — which
+//! depend on this one), so the concrete pipeline is assembled by the caller
+//! while reuse of "existing compiler optimizations as they are" is kept
+//! visible in the types.
+
+use umlsm::StateMachine;
+
+use crate::optimizer::{OptimizeError, Optimizer};
+use crate::report::OptimizationReport;
+
+/// Which optimization steps a pipeline run applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PipelineMode {
+    /// No optimization at all (baseline).
+    None,
+    /// Compiler optimizations only — what plain MBD flows rely on.
+    CompilerOnly,
+    /// Model-level optimization only.
+    ModelOnly,
+    /// The paper's proposal: model-level, then compiler-level, reusing the
+    /// compiler's optimizations unchanged.
+    TwoStep,
+}
+
+impl PipelineMode {
+    /// All modes in increasing order of applied optimization.
+    pub fn all() -> [PipelineMode; 4] {
+        [
+            PipelineMode::None,
+            PipelineMode::CompilerOnly,
+            PipelineMode::ModelOnly,
+            PipelineMode::TwoStep,
+        ]
+    }
+
+    /// `true` if the mode includes the model-level step.
+    pub fn optimizes_model(self) -> bool {
+        matches!(self, PipelineMode::ModelOnly | PipelineMode::TwoStep)
+    }
+
+    /// `true` if the mode includes the compiler-level step.
+    pub fn optimizes_code(self) -> bool {
+        matches!(self, PipelineMode::CompilerOnly | PipelineMode::TwoStep)
+    }
+
+    /// Human-readable label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            PipelineMode::None => "baseline (no optimization)",
+            PipelineMode::CompilerOnly => "compiler -Os only",
+            PipelineMode::ModelOnly => "model optimization only",
+            PipelineMode::TwoStep => "two-step (model + compiler -Os)",
+        }
+    }
+}
+
+/// Result of running a pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelineRun<A> {
+    /// The mode that was executed.
+    pub mode: PipelineMode,
+    /// The (possibly optimized) model that was handed to the generator.
+    pub model: StateMachine,
+    /// Model-level report (empty when the mode skips the model step).
+    pub model_report: OptimizationReport,
+    /// The compiled artifact produced by the caller's generator+compiler.
+    pub artifact: A,
+}
+
+/// Runs the two-step pipeline: optional model optimization, then the
+/// caller-supplied `generate_and_compile` closure (code generation plus the
+/// compiler whose optimizations the paper reuses "as they are").
+///
+/// The closure receives the model to generate from and whether compiler
+/// optimization should be enabled, and returns the compiled artifact —
+/// typically an assembly listing with size accounting.
+///
+/// # Errors
+///
+/// Propagates model-optimization failures; the closure's failures are the
+/// caller's own error type `E`.
+pub fn run_pipeline<A, E, F>(
+    machine: &StateMachine,
+    mode: PipelineMode,
+    optimizer: &Optimizer,
+    mut generate_and_compile: F,
+) -> Result<PipelineRun<A>, PipelineError<E>>
+where
+    F: FnMut(&StateMachine, bool) -> Result<A, E>,
+{
+    let (model, model_report) = if mode.optimizes_model() {
+        let outcome = optimizer.optimize(machine).map_err(PipelineError::Model)?;
+        (outcome.machine, outcome.report)
+    } else {
+        (machine.clone(), OptimizationReport::default())
+    };
+    let artifact = generate_and_compile(&model, mode.optimizes_code())
+        .map_err(PipelineError::Backend)?;
+    Ok(PipelineRun {
+        mode,
+        model,
+        model_report,
+        artifact,
+    })
+}
+
+/// Pipeline failure: either the model step or the caller's backend step.
+#[derive(Debug)]
+pub enum PipelineError<E> {
+    /// The model-level optimizer failed.
+    Model(OptimizeError),
+    /// Code generation or compilation failed.
+    Backend(E),
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for PipelineError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Model(e) => write!(f, "model optimization failed: {e}"),
+            PipelineError::Backend(e) => write!(f, "backend failed: {e}"),
+        }
+    }
+}
+
+impl<E: std::error::Error + 'static> std::error::Error for PipelineError<E> {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Model(e) => Some(e),
+            PipelineError::Backend(e) => Some(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umlsm::samples;
+
+    #[test]
+    fn two_step_optimizes_model_before_backend() {
+        let m = samples::flat_unreachable();
+        let run = run_pipeline(
+            &m,
+            PipelineMode::TwoStep,
+            &Optimizer::with_all(),
+            |model, compile_opt| -> Result<(usize, bool), std::convert::Infallible> {
+                Ok((model.metrics().states, compile_opt))
+            },
+        )
+        .expect("pipeline runs");
+        let (states_seen, compiled_opt) = run.artifact;
+        assert!(states_seen < m.metrics().states);
+        assert!(compiled_opt);
+        assert!(run.model_report.changed());
+    }
+
+    #[test]
+    fn compiler_only_leaves_model_alone() {
+        let m = samples::flat_unreachable();
+        let run = run_pipeline(
+            &m,
+            PipelineMode::CompilerOnly,
+            &Optimizer::with_all(),
+            |model, compile_opt| -> Result<(usize, bool), std::convert::Infallible> {
+                Ok((model.metrics().states, compile_opt))
+            },
+        )
+        .expect("pipeline runs");
+        assert_eq!(run.artifact.0, m.metrics().states);
+        assert!(run.artifact.1);
+        assert!(!run.model_report.changed());
+    }
+
+    #[test]
+    fn modes_report_their_steps() {
+        assert!(!PipelineMode::None.optimizes_model());
+        assert!(!PipelineMode::None.optimizes_code());
+        assert!(PipelineMode::TwoStep.optimizes_model());
+        assert!(PipelineMode::TwoStep.optimizes_code());
+        assert_eq!(PipelineMode::all().len(), 4);
+    }
+
+    #[test]
+    fn backend_errors_propagate() {
+        let m = samples::flat_unreachable();
+        #[derive(Debug)]
+        struct Boom;
+        impl std::fmt::Display for Boom {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "boom")
+            }
+        }
+        let err = run_pipeline(
+            &m,
+            PipelineMode::None,
+            &Optimizer::new(),
+            |_, _| -> Result<(), Boom> { Err(Boom) },
+        )
+        .expect_err("must fail");
+        assert!(matches!(err, PipelineError::Backend(_)));
+    }
+}

@@ -1,0 +1,152 @@
+//! Optimization reports: what each pass removed or rewrote.
+//!
+//! The paper's tool reports the performed optimizations to the user (who
+//! selected them manually); these types are that report, plus the model
+//! metrics deltas the experiments aggregate.
+
+use std::fmt;
+
+use umlsm::ModelMetrics;
+
+/// Result of one pass application.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PassReport {
+    /// Pass name.
+    pub pass: String,
+    /// Names of removed states (nested states included).
+    pub removed_states: Vec<String>,
+    /// Number of removed transitions.
+    pub removed_transitions: usize,
+    /// Number of removed events.
+    pub removed_events: usize,
+    /// Number of removed variables.
+    pub removed_variables: usize,
+    /// Number of rewritten elements (simplified guards, merged states…).
+    pub rewritten: usize,
+    /// Free-form notes (e.g. "merged Y into X").
+    pub notes: Vec<String>,
+}
+
+impl PassReport {
+    /// Creates an empty report for a pass.
+    pub fn new(pass: impl Into<String>) -> PassReport {
+        PassReport {
+            pass: pass.into(),
+            ..PassReport::default()
+        }
+    }
+
+    /// `true` if the pass changed the model at all.
+    pub fn changed(&self) -> bool {
+        !self.removed_states.is_empty()
+            || self.removed_transitions > 0
+            || self.removed_events > 0
+            || self.removed_variables > 0
+            || self.rewritten > 0
+    }
+}
+
+impl fmt::Display for PassReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: -{} states, -{} transitions, -{} events, -{} vars, {} rewritten",
+            self.pass,
+            self.removed_states.len(),
+            self.removed_transitions,
+            self.removed_events,
+            self.removed_variables,
+            self.rewritten
+        )?;
+        if !self.removed_states.is_empty() {
+            write!(f, " (removed: {})", self.removed_states.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Aggregate report over a whole optimization run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OptimizationReport {
+    /// Per-pass reports in application order (passes may appear several
+    /// times across fixpoint iterations).
+    pub passes: Vec<PassReport>,
+    /// Number of fixpoint iterations executed.
+    pub iterations: usize,
+    /// Model metrics before optimization.
+    pub before: ModelMetrics,
+    /// Model metrics after optimization.
+    pub after: ModelMetrics,
+}
+
+impl OptimizationReport {
+    /// Total number of states removed across all passes.
+    pub fn total_removed_states(&self) -> usize {
+        self.passes.iter().map(|p| p.removed_states.len()).sum()
+    }
+
+    /// Total number of transitions removed across all passes.
+    pub fn total_removed_transitions(&self) -> usize {
+        self.passes.iter().map(|p| p.removed_transitions).sum()
+    }
+
+    /// `true` if any pass changed the model.
+    pub fn changed(&self) -> bool {
+        self.passes.iter().any(PassReport::changed)
+    }
+}
+
+impl fmt::Display for OptimizationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "optimization report ({} iterations): {} -> {}",
+            self.iterations, self.before, self.after
+        )?;
+        for p in &self.passes {
+            if p.changed() {
+                writeln!(f, "  {p}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn changed_detects_any_effect() {
+        let mut r = PassReport::new("p");
+        assert!(!r.changed());
+        r.rewritten = 1;
+        assert!(r.changed());
+    }
+
+    #[test]
+    fn totals_aggregate_over_passes() {
+        let mut a = PassReport::new("a");
+        a.removed_states = vec!["X".into(), "Y".into()];
+        a.removed_transitions = 3;
+        let mut b = PassReport::new("b");
+        b.removed_states = vec!["Z".into()];
+        let report = OptimizationReport {
+            passes: vec![a, b],
+            iterations: 2,
+            ..OptimizationReport::default()
+        };
+        assert_eq!(report.total_removed_states(), 3);
+        assert_eq!(report.total_removed_transitions(), 3);
+        assert!(report.changed());
+    }
+
+    #[test]
+    fn display_mentions_pass_names() {
+        let mut p = PassReport::new("remove-unreachable-states");
+        p.removed_states = vec!["S2".into()];
+        let text = p.to_string();
+        assert!(text.contains("remove-unreachable-states"));
+        assert!(text.contains("S2"));
+    }
+}

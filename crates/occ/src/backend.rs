@@ -1,0 +1,1032 @@
+//! EM32 backend: instruction selection, linear-scan register allocation,
+//! peephole cleanup, switch lowering and byte-accurate encoding.
+//!
+//! EM32 is a synthetic 32-bit RISC with a compressed-instruction subset
+//! (2-byte `mv`/`ret`), 4-byte ALU/branch/memory forms and 8-byte address
+//! formation, so `-Os` decisions have real bytes to win. Registers:
+//!
+//! | regs      | role                                   |
+//! |-----------|----------------------------------------|
+//! | `r0`      | hardwired zero                         |
+//! | `r1..r4`  | arguments / return value (caller-saved)|
+//! | `r5..r11` | allocatable (callee-saved)             |
+//! | `r12,r13` | spill scratch                          |
+//! | `r14`     | stack pointer                          |
+//! | `r15`     | link register (managed by the VM)      |
+//!
+//! The size report ([`SizeReport`]) mirrors the paper's metric: text bytes
+//! plus rodata (const tables, jump tables) plus data.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::cfg;
+use crate::mir::{BinOp, BlockId, Inst, MirFunction, Program, Term, VReg, Word};
+use crate::{CompileError, OptLevel};
+
+/// Base address of the data image in VM memory.
+pub const DATA_BASE: u32 = 0x1_0000;
+/// Base address of the text segment (function entry addresses).
+pub const TEXT_BASE: u32 = 0x100_0000;
+
+const ZERO: u8 = 0;
+const RET_REG: u8 = 1;
+const ARG_REGS: [u8; 4] = [1, 2, 3, 4];
+const ALLOC_REGS: [u8; 7] = [5, 6, 7, 8, 9, 10, 11];
+const SCRATCH0: u8 = 12;
+const SCRATCH1: u8 = 13;
+const SP: u8 = 14;
+
+/// One EM32 instruction (labels are zero-size markers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmInst {
+    /// Branch target marker.
+    Label(usize),
+    /// Load immediate.
+    Li {
+        /// Destination register.
+        rd: u8,
+        /// Immediate value.
+        imm: i32,
+    },
+    /// Register move (compressed).
+    Mv {
+        /// Destination.
+        rd: u8,
+        /// Source.
+        rs: u8,
+    },
+    /// Three-register ALU operation.
+    Alu {
+        /// Operation.
+        op: BinOp,
+        /// Destination.
+        rd: u8,
+        /// Left operand.
+        rs1: u8,
+        /// Right operand.
+        rs2: u8,
+    },
+    /// Word load `rd = mem[base + off]`.
+    Lw {
+        /// Destination.
+        rd: u8,
+        /// Base register.
+        base: u8,
+        /// Byte offset.
+        off: i32,
+    },
+    /// Word store `mem[base + off] = src`.
+    Sw {
+        /// Source register.
+        src: u8,
+        /// Base register.
+        base: u8,
+        /// Byte offset.
+        off: i32,
+    },
+    /// Branch if equal.
+    Beq {
+        /// Left comparand.
+        rs1: u8,
+        /// Right comparand.
+        rs2: u8,
+        /// Target label.
+        label: usize,
+    },
+    /// Branch if not equal.
+    Bne {
+        /// Left comparand.
+        rs1: u8,
+        /// Right comparand.
+        rs2: u8,
+        /// Target label.
+        label: usize,
+    },
+    /// Unconditional jump to a label.
+    J {
+        /// Target label.
+        label: usize,
+    },
+    /// Direct call.
+    Jal {
+        /// Callee function index.
+        func: usize,
+    },
+    /// Indirect call through a register holding a code address.
+    Jalr {
+        /// Register with the target address.
+        rs: u8,
+    },
+    /// Host-environment call.
+    Ecall {
+        /// Extern index.
+        ext: usize,
+        /// Number of register arguments.
+        nargs: usize,
+        /// Whether a result is produced in `r1`.
+        returns: bool,
+    },
+    /// Function return (compressed).
+    Ret,
+    /// Address formation: `rd = DATA_BASE + global_offset + off`.
+    La {
+        /// Destination.
+        rd: u8,
+        /// Global index.
+        global: usize,
+        /// Extra byte offset.
+        off: i32,
+    },
+    /// Code-address formation: `rd = &function`.
+    LaFn {
+        /// Destination.
+        rd: u8,
+        /// Function index.
+        func: usize,
+    },
+    /// Bounds-checked jump table: `if rs in [lo, lo+n) goto labels[rs-lo]
+    /// else default`. Costs 16 text bytes plus 4 rodata bytes per entry.
+    JumpTable {
+        /// Scrutinee register.
+        rs: u8,
+        /// Lowest covered value.
+        lo: i32,
+        /// Targets for `lo..lo+n`.
+        labels: Vec<usize>,
+        /// Out-of-range target.
+        default: usize,
+    },
+}
+
+impl AsmInst {
+    /// Encoded size in text bytes.
+    pub fn size(&self) -> usize {
+        match self {
+            AsmInst::Label(_) => 0,
+            AsmInst::Mv { .. } | AsmInst::Ret => 2,
+            AsmInst::Li { imm, .. } => {
+                if i16::try_from(*imm).is_ok() {
+                    4
+                } else {
+                    8
+                }
+            }
+            AsmInst::La { .. } | AsmInst::LaFn { .. } => 8,
+            AsmInst::JumpTable { .. } => 16,
+            _ => 4,
+        }
+    }
+
+    /// Additional rodata bytes (jump tables).
+    pub fn rodata(&self) -> usize {
+        match self {
+            AsmInst::JumpTable { labels, .. } => labels.len() * 4,
+            _ => 0,
+        }
+    }
+}
+
+/// One assembled function.
+#[derive(Debug, Clone)]
+pub struct AsmFunction {
+    /// Symbol name.
+    pub name: String,
+    /// Callable from the host.
+    pub exported: bool,
+    /// Instruction stream.
+    pub insts: Vec<AsmInst>,
+}
+
+impl AsmFunction {
+    /// Text bytes of this function.
+    pub fn text_size(&self) -> usize {
+        self.insts.iter().map(AsmInst::size).sum()
+    }
+
+    /// Rodata bytes contributed by this function's jump tables.
+    pub fn rodata_size(&self) -> usize {
+        self.insts.iter().map(AsmInst::rodata).sum()
+    }
+}
+
+/// An assembled global datum (function addresses resolved).
+#[derive(Debug, Clone)]
+pub struct AsmGlobal {
+    /// Symbol name.
+    pub name: String,
+    /// Initialized words.
+    pub words: Vec<i32>,
+    /// `false` for rodata.
+    pub mutable: bool,
+    /// Byte offset within the data image.
+    pub offset: u32,
+}
+
+/// A fully assembled program.
+#[derive(Debug, Clone)]
+pub struct Assembly {
+    /// Functions in layout order.
+    pub functions: Vec<AsmFunction>,
+    /// Data image.
+    pub globals: Vec<AsmGlobal>,
+    /// Extern names (`ecall` targets).
+    pub externs: Vec<String>,
+    /// Entry address of each function (`TEXT_BASE`-relative layout).
+    pub fn_addrs: Vec<u32>,
+}
+
+/// Size accounting — the paper's "assembly code size (bytes)".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SizeReport {
+    /// Machine-code bytes.
+    pub text: usize,
+    /// Read-only data (const tables, jump tables).
+    pub rodata: usize,
+    /// Mutable data.
+    pub data: usize,
+}
+
+impl SizeReport {
+    /// Total image size.
+    pub fn total(&self) -> usize {
+        self.text + self.rodata + self.data
+    }
+}
+
+impl fmt::Display for SizeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "text {} + rodata {} + data {} = {} bytes",
+            self.text,
+            self.rodata,
+            self.data,
+            self.total()
+        )
+    }
+}
+
+impl Assembly {
+    /// Computes the size report.
+    pub fn sizes(&self) -> SizeReport {
+        let mut r = SizeReport::default();
+        for f in &self.functions {
+            r.text += f.text_size();
+            r.rodata += f.rodata_size();
+        }
+        for g in &self.globals {
+            if g.mutable {
+                r.data += g.words.len() * 4;
+            } else {
+                r.rodata += g.words.len() * 4;
+            }
+        }
+        r
+    }
+
+    /// Per-function text sizes, for the dead-code report.
+    pub fn function_sizes(&self) -> Vec<(String, usize)> {
+        self.functions
+            .iter()
+            .map(|f| (f.name.clone(), f.text_size()))
+            .collect()
+    }
+
+    /// Finds a function index by name.
+    pub fn function_index(&self, name: &str) -> Option<usize> {
+        self.functions.iter().position(|f| f.name == name)
+    }
+
+    /// Renders a human-readable listing.
+    pub fn listing(&self) -> String {
+        let mut out = String::new();
+        for (i, f) in self.functions.iter().enumerate() {
+            out.push_str(&format!(
+                "{}: # {} bytes @0x{:x}\n",
+                f.name,
+                f.text_size(),
+                self.fn_addrs[i]
+            ));
+            for inst in &f.insts {
+                match inst {
+                    AsmInst::Label(l) => out.push_str(&format!(".L{l}:\n")),
+                    other => out.push_str(&format!("    {other:?}\n")),
+                }
+            }
+        }
+        for g in &self.globals {
+            let kind = if g.mutable { ".data" } else { ".rodata" };
+            out.push_str(&format!(
+                "{kind} {}: {} bytes @0x{:x}\n",
+                g.name,
+                g.words.len() * 4,
+                DATA_BASE + g.offset
+            ));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Register allocation (linear scan)
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Loc {
+    Reg(u8),
+    Slot(usize),
+}
+
+struct Alloc {
+    loc: BTreeMap<VReg, Loc>,
+    slots: usize,
+    used_callee_saved: Vec<u8>,
+}
+
+fn linear_scan(f: &MirFunction) -> Alloc {
+    // Linear positions over blocks in layout order.
+    let live = cfg::liveness(f);
+    let mut pos = 0usize;
+    let mut start: BTreeMap<VReg, usize> = BTreeMap::new();
+    let mut end: BTreeMap<VReg, usize> = BTreeMap::new();
+    let touch = |v: VReg, p: usize, start: &mut BTreeMap<VReg, usize>, end: &mut BTreeMap<VReg, usize>| {
+        start.entry(v).or_insert(p);
+        let e = end.entry(v).or_insert(p);
+        if *e < p {
+            *e = p;
+        }
+    };
+    for p in 0..f.params {
+        touch(VReg(p as u32), 0, &mut start, &mut end);
+    }
+    for b in f.block_ids() {
+        let bi = b.0 as usize;
+        let block_start = pos;
+        for v in &live.live_in[bi] {
+            touch(*v, block_start, &mut start, &mut end);
+        }
+        for inst in &f.block(b).insts {
+            pos += 1;
+            for u in inst.uses() {
+                touch(u, pos, &mut start, &mut end);
+            }
+            if let Some(d) = inst.def() {
+                touch(d, pos, &mut start, &mut end);
+            }
+        }
+        pos += 1; // terminator
+        for u in f.block(b).term.uses() {
+            touch(u, pos, &mut start, &mut end);
+        }
+        for v in &live.live_out[bi] {
+            touch(*v, pos, &mut start, &mut end);
+        }
+    }
+
+    let mut intervals: Vec<(VReg, usize, usize)> = start
+        .iter()
+        .map(|(v, s)| (*v, *s, end[v]))
+        .collect();
+    intervals.sort_by_key(|(v, s, _)| (*s, v.0));
+
+    let mut free: Vec<u8> = ALLOC_REGS.to_vec();
+    let mut active: Vec<(usize, VReg, u8)> = Vec::new(); // (end, vreg, reg)
+    let mut loc: BTreeMap<VReg, Loc> = BTreeMap::new();
+    let mut slots = 0usize;
+    let mut used: Vec<u8> = Vec::new();
+
+    for (v, s, e) in intervals {
+        active.retain(|(ae, _, r)| {
+            if *ae < s {
+                free.push(*r);
+                false
+            } else {
+                true
+            }
+        });
+        if let Some(r) = free.pop() {
+            loc.insert(v, Loc::Reg(r));
+            if !used.contains(&r) {
+                used.push(r);
+            }
+            active.push((e, v, r));
+            active.sort_by_key(|(ae, _, _)| *ae);
+        } else {
+            // Spill the interval that ends last.
+            let (last_end, last_v, last_r) = *active.last().expect("active non-empty");
+            if last_end > e {
+                loc.insert(last_v, Loc::Slot(slots));
+                loc.insert(v, Loc::Reg(last_r));
+                active.pop();
+                active.push((e, v, last_r));
+                active.sort_by_key(|(ae, _, _)| *ae);
+            } else {
+                loc.insert(v, Loc::Slot(slots));
+            }
+            slots += 1;
+        }
+    }
+    used.sort_unstable();
+    Alloc {
+        loc,
+        slots,
+        used_callee_saved: used,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Instruction selection / emission
+// ---------------------------------------------------------------------
+
+struct Emitter<'a> {
+    alloc: &'a Alloc,
+    insts: Vec<AsmInst>,
+    frame: i32,
+    saved: Vec<u8>,
+    level: OptLevel,
+}
+
+impl Emitter<'_> {
+    fn slot_off(&self, slot: usize) -> i32 {
+        (self.saved.len() as i32 + slot as i32) * 4
+    }
+
+    /// Materializes a vreg into a physical register, preferring `scratch`
+    /// for spilled values.
+    fn read(&mut self, v: VReg, scratch: u8) -> u8 {
+        match self.alloc.loc.get(&v) {
+            Some(Loc::Reg(r)) => *r,
+            Some(Loc::Slot(s)) => {
+                let off = self.slot_off(*s);
+                self.insts.push(AsmInst::Lw {
+                    rd: scratch,
+                    base: SP,
+                    off,
+                });
+                scratch
+            }
+            None => ZERO, // value never materialized (dead)
+        }
+    }
+
+    /// Destination register to compute into; spilled destinations use the
+    /// scratch register and [`flush`](Self::flush) stores them.
+    fn write_reg(&mut self, v: VReg) -> u8 {
+        match self.alloc.loc.get(&v) {
+            Some(Loc::Reg(r)) => *r,
+            Some(Loc::Slot(_)) => SCRATCH0,
+            None => SCRATCH0,
+        }
+    }
+
+    fn flush(&mut self, v: VReg, computed_in: u8) {
+        if let Some(Loc::Slot(s)) = self.alloc.loc.get(&v) {
+            let off = self.slot_off(*s);
+            self.insts.push(AsmInst::Sw {
+                src: computed_in,
+                base: SP,
+                off,
+            });
+        }
+    }
+
+    fn move_args(&mut self, args: &[VReg]) {
+        for (i, a) in args.iter().enumerate() {
+            let dst = ARG_REGS[i];
+            match self.alloc.loc.get(a) {
+                Some(Loc::Reg(r)) => self.insts.push(AsmInst::Mv { rd: dst, rs: *r }),
+                Some(Loc::Slot(s)) => {
+                    let off = self.slot_off(*s);
+                    self.insts.push(AsmInst::Lw {
+                        rd: dst,
+                        base: SP,
+                        off,
+                    });
+                }
+                None => self.insts.push(AsmInst::Mv { rd: dst, rs: ZERO }),
+            }
+        }
+    }
+
+    fn emit_inst(&mut self, inst: &Inst) -> Result<(), CompileError> {
+        match inst {
+            Inst::Const { dst, value } => {
+                let rd = self.write_reg(*dst);
+                self.insts.push(AsmInst::Li { rd, imm: *value });
+                self.flush(*dst, rd);
+            }
+            Inst::Copy { dst, src } => {
+                let rs = self.read(*src, SCRATCH0);
+                let rd = self.write_reg(*dst);
+                self.insts.push(AsmInst::Mv { rd, rs });
+                self.flush(*dst, rd);
+            }
+            Inst::Un { op, dst, src } => {
+                let rs = self.read(*src, SCRATCH0);
+                let rd = self.write_reg(*dst);
+                match op {
+                    crate::mir::UnOp::Neg => self.insts.push(AsmInst::Alu {
+                        op: BinOp::Sub,
+                        rd,
+                        rs1: ZERO,
+                        rs2: rs,
+                    }),
+                    crate::mir::UnOp::Not => self.insts.push(AsmInst::Alu {
+                        op: BinOp::Eq,
+                        rd,
+                        rs1: rs,
+                        rs2: ZERO,
+                    }),
+                }
+                self.flush(*dst, rd);
+            }
+            Inst::Bin { op, dst, lhs, rhs } => {
+                let r1 = self.read(*lhs, SCRATCH0);
+                let r2 = self.read(*rhs, SCRATCH1);
+                let rd = self.write_reg(*dst);
+                self.insts.push(AsmInst::Alu {
+                    op: *op,
+                    rd,
+                    rs1: r1,
+                    rs2: r2,
+                });
+                self.flush(*dst, rd);
+            }
+            Inst::Load { dst, addr } => {
+                let base = self.read(*addr, SCRATCH0);
+                let rd = self.write_reg(*dst);
+                self.insts.push(AsmInst::Lw { rd, base, off: 0 });
+                self.flush(*dst, rd);
+            }
+            Inst::Store { addr, src } => {
+                let base = self.read(*addr, SCRATCH0);
+                let s = self.read(*src, SCRATCH1);
+                self.insts.push(AsmInst::Sw {
+                    src: s,
+                    base,
+                    off: 0,
+                });
+            }
+            Inst::Addr {
+                dst,
+                global,
+                offset,
+            } => {
+                let rd = self.write_reg(*dst);
+                self.insts.push(AsmInst::La {
+                    rd,
+                    global: *global,
+                    off: *offset,
+                });
+                self.flush(*dst, rd);
+            }
+            Inst::FnAddr { dst, func } => {
+                let rd = self.write_reg(*dst);
+                self.insts.push(AsmInst::LaFn { rd, func: *func });
+                self.flush(*dst, rd);
+            }
+            Inst::Call { dst, func, args } => {
+                self.move_args(args);
+                self.insts.push(AsmInst::Jal { func: *func });
+                if let Some(d) = dst {
+                    let rd = self.write_reg(*d);
+                    self.insts.push(AsmInst::Mv { rd, rs: RET_REG });
+                    self.flush(*d, rd);
+                }
+            }
+            Inst::CallExtern { dst, ext, args } => {
+                self.move_args(args);
+                self.insts.push(AsmInst::Ecall {
+                    ext: *ext,
+                    nargs: args.len(),
+                    returns: dst.is_some(),
+                });
+                if let Some(d) = dst {
+                    let rd = self.write_reg(*d);
+                    self.insts.push(AsmInst::Mv { rd, rs: RET_REG });
+                    self.flush(*d, rd);
+                }
+            }
+            Inst::CallInd { dst, ptr, args } => {
+                // Read the pointer before clobbering argument registers.
+                let pr = self.read(*ptr, SCRATCH0);
+                self.move_args(args);
+                self.insts.push(AsmInst::Jalr { rs: pr });
+                if let Some(d) = dst {
+                    let rd = self.write_reg(*d);
+                    self.insts.push(AsmInst::Mv { rd, rs: RET_REG });
+                    self.flush(*d, rd);
+                }
+            }
+            Inst::Phi { .. } => {
+                return Err(CompileError::Internal(
+                    "phi reached the backend (SSA not destructed)".into(),
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    fn emit_epilogue(&mut self) {
+        if self.frame != 0 {
+            for (i, r) in self.saved.clone().iter().enumerate() {
+                self.insts.push(AsmInst::Lw {
+                    rd: *r,
+                    base: SP,
+                    off: (i as i32) * 4,
+                });
+            }
+            self.insts.push(AsmInst::Alu {
+                op: BinOp::Add,
+                rd: SP,
+                rs1: SP,
+                rs2: SCRATCH1,
+            });
+        }
+        self.insts.push(AsmInst::Ret);
+    }
+
+    fn emit_term(&mut self, term: &Term) -> Result<(), CompileError> {
+        match term {
+            Term::Goto(b) => self.insts.push(AsmInst::J {
+                label: b.0 as usize,
+            }),
+            Term::Br {
+                cond,
+                then_block,
+                else_block,
+            } => {
+                let c = self.read(*cond, SCRATCH0);
+                self.insts.push(AsmInst::Bne {
+                    rs1: c,
+                    rs2: ZERO,
+                    label: then_block.0 as usize,
+                });
+                self.insts.push(AsmInst::J {
+                    label: else_block.0 as usize,
+                });
+            }
+            Term::Switch {
+                val,
+                cases,
+                default,
+            } => {
+                let v = self.read(*val, SCRATCH0);
+                self.emit_switch(v, cases, *default);
+            }
+            Term::Ret(value) => {
+                if let Some(v) = value {
+                    let r = self.read(*v, SCRATCH0);
+                    if r != RET_REG {
+                        self.insts.push(AsmInst::Mv {
+                            rd: RET_REG,
+                            rs: r,
+                        });
+                    }
+                }
+                // Restore frame. SCRATCH1 holds the frame size constant.
+                if self.frame != 0 {
+                    self.insts.push(AsmInst::Li {
+                        rd: SCRATCH1,
+                        imm: self.frame,
+                    });
+                }
+                self.emit_epilogue();
+            }
+        }
+        Ok(())
+    }
+
+    fn emit_switch(&mut self, v: u8, cases: &[(i32, BlockId)], default: BlockId) {
+        if cases.is_empty() {
+            self.insts.push(AsmInst::J {
+                label: default.0 as usize,
+            });
+            return;
+        }
+        let lo = cases.iter().map(|(c, _)| *c).min().expect("non-empty");
+        let hi = cases.iter().map(|(c, _)| *c).max().expect("non-empty");
+        let range = (i64::from(hi) - i64::from(lo) + 1) as usize;
+        let chain_cost = cases.len() * 8 + 4;
+        let table_cost = 16 + range * 4;
+        let use_table = match self.level {
+            OptLevel::O0 | OptLevel::O1 => false,
+            OptLevel::O2 => cases.len() >= 4 && range <= cases.len() * 3,
+            OptLevel::Os => range <= 1024 && table_cost < chain_cost,
+        };
+        if use_table {
+            let mut labels = vec![default.0 as usize; range];
+            for (c, b) in cases {
+                labels[(c - lo) as usize] = b.0 as usize;
+            }
+            self.insts.push(AsmInst::JumpTable {
+                rs: v,
+                lo,
+                labels,
+                default: default.0 as usize,
+            });
+        } else {
+            for (c, b) in cases {
+                self.insts.push(AsmInst::Li {
+                    rd: SCRATCH1,
+                    imm: *c,
+                });
+                self.insts.push(AsmInst::Beq {
+                    rs1: v,
+                    rs2: SCRATCH1,
+                    label: b.0 as usize,
+                });
+            }
+            self.insts.push(AsmInst::J {
+                label: default.0 as usize,
+            });
+        }
+    }
+}
+
+/// Compiles one MIR function to EM32.
+fn compile_function(f: &MirFunction, level: OptLevel) -> Result<AsmFunction, CompileError> {
+    let alloc = linear_scan(f);
+    let saved = alloc.used_callee_saved.clone();
+    let frame = ((saved.len() + alloc.slots) * 4) as i32;
+    let mut e = Emitter {
+        alloc: &alloc,
+        insts: Vec::new(),
+        frame,
+        saved,
+        level,
+    };
+    // Prologue: allocate the frame, save callee-saved registers.
+    if frame != 0 {
+        e.insts.push(AsmInst::Li {
+            rd: SCRATCH1,
+            imm: frame,
+        });
+        e.insts.push(AsmInst::Alu {
+            op: BinOp::Sub,
+            rd: SP,
+            rs1: SP,
+            rs2: SCRATCH1,
+        });
+        for (i, r) in e.saved.clone().iter().enumerate() {
+            e.insts.push(AsmInst::Sw {
+                src: *r,
+                base: SP,
+                off: (i as i32) * 4,
+            });
+        }
+    }
+    // Move incoming arguments to their allocated homes.
+    for p in 0..f.params {
+        let v = VReg(p as u32);
+        match alloc.loc.get(&v) {
+            Some(Loc::Reg(r)) => e.insts.push(AsmInst::Mv {
+                rd: *r,
+                rs: ARG_REGS[p],
+            }),
+            Some(Loc::Slot(s)) => {
+                let off = e.slot_off(*s);
+                e.insts.push(AsmInst::Sw {
+                    src: ARG_REGS[p],
+                    base: SP,
+                    off,
+                });
+            }
+            None => {}
+        }
+    }
+    for b in f.block_ids() {
+        e.insts.push(AsmInst::Label(b.0 as usize));
+        for inst in &f.block(b).insts {
+            e.emit_inst(inst)?;
+        }
+        let term = f.block(b).term.clone();
+        e.emit_term(&term)?;
+    }
+    let mut insts = e.insts;
+    peephole(&mut insts);
+    Ok(AsmFunction {
+        name: f.name.clone(),
+        exported: f.exported,
+        insts,
+    })
+}
+
+/// Local cleanups: drop no-op moves and jumps to the immediately following
+/// label.
+fn peephole(insts: &mut Vec<AsmInst>) {
+    loop {
+        let mut changed = false;
+        let mut out: Vec<AsmInst> = Vec::with_capacity(insts.len());
+        let mut i = 0;
+        while i < insts.len() {
+            match &insts[i] {
+                AsmInst::Mv { rd, rs } if rd == rs => {
+                    changed = true;
+                }
+                AsmInst::J { label } => {
+                    // Find the next non-label instruction; if our target
+                    // label occurs before it, the jump is a fallthrough.
+                    let mut j = i + 1;
+                    let mut falls_through = false;
+                    while j < insts.len() {
+                        match &insts[j] {
+                            AsmInst::Label(l) => {
+                                if l == label {
+                                    falls_through = true;
+                                    break;
+                                }
+                                j += 1;
+                            }
+                            _ => break,
+                        }
+                    }
+                    if falls_through {
+                        changed = true;
+                    } else {
+                        out.push(insts[i].clone());
+                    }
+                }
+                other => out.push(other.clone()),
+            }
+            i += 1;
+        }
+        *insts = out;
+        if !changed {
+            return;
+        }
+    }
+}
+
+/// Assembles a whole program: per-function compilation, layout, data-image
+/// relocation.
+pub fn compile_program(program: &Program, level: OptLevel) -> Result<Assembly, CompileError> {
+    let mut functions = Vec::new();
+    for f in &program.functions {
+        functions.push(compile_function(f, level)?);
+    }
+    // Text layout.
+    let mut fn_addrs = Vec::with_capacity(functions.len());
+    let mut cursor = TEXT_BASE;
+    for f in &functions {
+        fn_addrs.push(cursor);
+        cursor += f.text_size() as u32;
+    }
+    // Data layout + relocation of function addresses.
+    let mut globals = Vec::new();
+    let mut offset = 0u32;
+    for g in &program.globals {
+        let words: Vec<i32> = g
+            .words
+            .iter()
+            .map(|w| match w {
+                Word::Int(v) => *v,
+                Word::FnAddr(i) => fn_addrs[*i] as i32,
+            })
+            .collect();
+        globals.push(AsmGlobal {
+            name: g.name.clone(),
+            words,
+            mutable: g.mutable,
+            offset,
+        });
+        offset += g.size as u32;
+    }
+    Ok(Assembly {
+        functions,
+        globals,
+        externs: program.externs.clone(),
+        fn_addrs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mir::Block;
+
+    fn tiny_fn(name: &str, value: i32) -> MirFunction {
+        MirFunction {
+            name: name.into(),
+            params: 0,
+            returns_value: true,
+            exported: true,
+            blocks: vec![Block {
+                insts: vec![Inst::Const {
+                    dst: VReg(0),
+                    value,
+                }],
+                term: Term::Ret(Some(VReg(0))),
+            }],
+            next_vreg: 1,
+        }
+    }
+
+    #[test]
+    fn compiles_tiny_function() {
+        let f = tiny_fn("t", 7);
+        let asm = compile_function(&f, OptLevel::O1).expect("compiles");
+        assert!(asm.text_size() > 0);
+        assert!(asm.insts.iter().any(|i| matches!(i, AsmInst::Ret)));
+    }
+
+    #[test]
+    fn large_immediates_cost_more() {
+        let small = compile_function(&tiny_fn("s", 7), OptLevel::O1).expect("ok");
+        let large = compile_function(&tiny_fn("l", 1_000_000), OptLevel::O1).expect("ok");
+        assert!(large.text_size() > small.text_size());
+    }
+
+    #[test]
+    fn peephole_removes_fallthrough_jumps() {
+        let mut insts = vec![
+            AsmInst::J { label: 1 },
+            AsmInst::Label(1),
+            AsmInst::Ret,
+        ];
+        peephole(&mut insts);
+        assert_eq!(insts.len(), 2);
+    }
+
+    #[test]
+    fn peephole_keeps_real_jumps() {
+        let mut insts = vec![
+            AsmInst::J { label: 2 },
+            AsmInst::Label(1),
+            AsmInst::Ret,
+            AsmInst::Label(2),
+            AsmInst::Ret,
+        ];
+        peephole(&mut insts);
+        assert!(insts.iter().any(|i| matches!(i, AsmInst::J { .. })));
+    }
+
+    #[test]
+    fn switch_lowering_strategy_depends_on_level() {
+        let cases: Vec<(i32, BlockId)> = (0..8).map(|i| (i, BlockId(1))).collect();
+        for (level, expect_table) in [(OptLevel::O1, false), (OptLevel::Os, true)] {
+            let f = MirFunction {
+                name: "sw".into(),
+                params: 1,
+                returns_value: false,
+                exported: true,
+                blocks: vec![
+                    Block {
+                        insts: vec![],
+                        term: Term::Switch {
+                            val: VReg(0),
+                            cases: cases.clone(),
+                            default: BlockId(1),
+                        },
+                    },
+                    Block {
+                        insts: vec![],
+                        term: Term::Ret(None),
+                    },
+                ],
+                next_vreg: 1,
+            };
+            let asm = compile_function(&f, level).expect("compiles");
+            let has_table = asm
+                .insts
+                .iter()
+                .any(|i| matches!(i, AsmInst::JumpTable { .. }));
+            assert_eq!(has_table, expect_table, "{level}");
+        }
+    }
+
+    #[test]
+    fn program_layout_assigns_addresses_and_relocates() {
+        let p = Program {
+            functions: vec![tiny_fn("a", 1), tiny_fn("b", 2)],
+            globals: vec![crate::mir::GlobalData {
+                name: "tbl".into(),
+                size: 8,
+                words: vec![Word::FnAddr(1), Word::Int(5)],
+                mutable: false,
+            }],
+            externs: vec![],
+        };
+        let asm = compile_program(&p, OptLevel::O1).expect("assembles");
+        assert_eq!(asm.fn_addrs.len(), 2);
+        assert!(asm.fn_addrs[1] > asm.fn_addrs[0]);
+        assert_eq!(asm.globals[0].words[0], asm.fn_addrs[1] as i32);
+        let sizes = asm.sizes();
+        assert_eq!(sizes.rodata, 8);
+        assert!(sizes.total() > 8);
+    }
+
+    #[test]
+    fn listing_is_readable() {
+        let p = Program {
+            functions: vec![tiny_fn("main", 3)],
+            globals: vec![],
+            externs: vec![],
+        };
+        let asm = compile_program(&p, OptLevel::O1).expect("assembles");
+        let text = asm.listing();
+        assert!(text.contains("main:"));
+        assert!(text.contains("Ret"));
+    }
+}

@@ -1,0 +1,295 @@
+//! Control-flow-graph analyses: predecessors, reverse postorder,
+//! dominators, dominance frontiers, liveness.
+//!
+//! Dominators use the iterative algorithm of Cooper, Harvey & Kennedy;
+//! frontiers follow Cytron et al., feeding φ-placement in [`crate::ssa`].
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use crate::mir::{BlockId, MirFunction, VReg};
+
+/// Predecessor lists for every block.
+pub fn predecessors(f: &MirFunction) -> Vec<Vec<BlockId>> {
+    let mut preds = vec![Vec::new(); f.blocks.len()];
+    for b in f.block_ids() {
+        for s in f.block(b).term.succs() {
+            preds[s.0 as usize].push(b);
+        }
+    }
+    preds
+}
+
+/// Blocks reachable from the entry.
+pub fn reachable(f: &MirFunction) -> BTreeSet<BlockId> {
+    let mut seen = BTreeSet::new();
+    let mut stack = vec![BlockId(0)];
+    while let Some(b) = stack.pop() {
+        if !seen.insert(b) {
+            continue;
+        }
+        for s in f.block(b).term.succs() {
+            stack.push(s);
+        }
+    }
+    seen
+}
+
+/// Reverse postorder over reachable blocks (entry first).
+pub fn reverse_postorder(f: &MirFunction) -> Vec<BlockId> {
+    let mut visited = BTreeSet::new();
+    let mut post = Vec::new();
+    // Iterative DFS with an explicit stack of (block, next-successor).
+    let mut stack: Vec<(BlockId, usize)> = vec![(BlockId(0), 0)];
+    visited.insert(BlockId(0));
+    while let Some((b, i)) = stack.pop() {
+        let succs = f.block(b).term.succs();
+        if i < succs.len() {
+            stack.push((b, i + 1));
+            let s = succs[i];
+            if visited.insert(s) {
+                stack.push((s, 0));
+            }
+        } else {
+            post.push(b);
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Immediate dominators (entry maps to itself).
+pub fn dominators(f: &MirFunction) -> BTreeMap<BlockId, BlockId> {
+    let rpo = reverse_postorder(f);
+    let order: BTreeMap<BlockId, usize> =
+        rpo.iter().enumerate().map(|(i, b)| (*b, i)).collect();
+    let preds = predecessors(f);
+    let mut idom: BTreeMap<BlockId, BlockId> = BTreeMap::new();
+    idom.insert(BlockId(0), BlockId(0));
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            let mut new_idom: Option<BlockId> = None;
+            for &p in &preds[b.0 as usize] {
+                if !order.contains_key(&p) || !idom.contains_key(&p) {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(p, cur, &idom, &order),
+                });
+            }
+            if let Some(ni) = new_idom {
+                if idom.get(&b) != Some(&ni) {
+                    idom.insert(b, ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+    idom
+}
+
+fn intersect(
+    mut a: BlockId,
+    mut b: BlockId,
+    idom: &BTreeMap<BlockId, BlockId>,
+    order: &BTreeMap<BlockId, usize>,
+) -> BlockId {
+    while a != b {
+        while order[&a] > order[&b] {
+            a = idom[&a];
+        }
+        while order[&b] > order[&a] {
+            b = idom[&b];
+        }
+    }
+    a
+}
+
+/// Dominance frontiers (Cytron et al.).
+pub fn dominance_frontiers(f: &MirFunction) -> BTreeMap<BlockId, BTreeSet<BlockId>> {
+    let idom = dominators(f);
+    let preds = predecessors(f);
+    let mut df: BTreeMap<BlockId, BTreeSet<BlockId>> = BTreeMap::new();
+    for b in f.block_ids() {
+        if !idom.contains_key(&b) {
+            continue; // unreachable
+        }
+        let bp: Vec<BlockId> = preds[b.0 as usize]
+            .iter()
+            .copied()
+            .filter(|p| idom.contains_key(p))
+            .collect();
+        if bp.len() < 2 {
+            continue;
+        }
+        for p in bp {
+            let mut runner = p;
+            while runner != idom[&b] {
+                df.entry(runner).or_default().insert(b);
+                runner = idom[&runner];
+            }
+        }
+    }
+    df
+}
+
+/// Per-block live-in/live-out sets of virtual registers.
+#[derive(Debug, Clone, Default)]
+pub struct Liveness {
+    /// Registers live on entry of each block.
+    pub live_in: Vec<BTreeSet<VReg>>,
+    /// Registers live on exit of each block.
+    pub live_out: Vec<BTreeSet<VReg>>,
+}
+
+/// Classic backward dataflow liveness.
+pub fn liveness(f: &MirFunction) -> Liveness {
+    let n = f.blocks.len();
+    let mut use_set = vec![BTreeSet::new(); n];
+    let mut def_set = vec![BTreeSet::new(); n];
+    for b in f.block_ids() {
+        let i = b.0 as usize;
+        for inst in &f.block(b).insts {
+            for u in inst.uses() {
+                if !def_set[i].contains(&u) {
+                    use_set[i].insert(u);
+                }
+            }
+            if let Some(d) = inst.def() {
+                def_set[i].insert(d);
+            }
+        }
+        for u in f.block(b).term.uses() {
+            if !def_set[i].contains(&u) {
+                use_set[i].insert(u);
+            }
+        }
+    }
+    let mut live_in = vec![BTreeSet::new(); n];
+    let mut live_out = vec![BTreeSet::new(); n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in f.block_ids().collect::<Vec<_>>().into_iter().rev() {
+            let i = b.0 as usize;
+            let mut out = BTreeSet::new();
+            for s in f.block(b).term.succs() {
+                out.extend(live_in[s.0 as usize].iter().copied());
+            }
+            let mut inn: BTreeSet<VReg> = use_set[i].clone();
+            for v in &out {
+                if !def_set[i].contains(v) {
+                    inn.insert(*v);
+                }
+            }
+            if inn != live_in[i] || out != live_out[i] {
+                live_in[i] = inn;
+                live_out[i] = out;
+                changed = true;
+            }
+        }
+    }
+    Liveness { live_in, live_out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mir::{BinOp, Block, Inst, MirFunction, Term};
+
+    /// Diamond: bb0 -> bb1 | bb2 -> bb3.
+    fn diamond() -> MirFunction {
+        MirFunction {
+            name: "d".into(),
+            params: 1,
+            returns_value: true,
+            exported: true,
+            blocks: vec![
+                Block {
+                    insts: vec![],
+                    term: Term::Br {
+                        cond: VReg(0),
+                        then_block: BlockId(1),
+                        else_block: BlockId(2),
+                    },
+                },
+                Block {
+                    insts: vec![Inst::Const {
+                        dst: VReg(1),
+                        value: 1,
+                    }],
+                    term: Term::Goto(BlockId(3)),
+                },
+                Block {
+                    insts: vec![Inst::Const {
+                        dst: VReg(2),
+                        value: 2,
+                    }],
+                    term: Term::Goto(BlockId(3)),
+                },
+                Block {
+                    insts: vec![Inst::Bin {
+                        op: BinOp::Add,
+                        dst: VReg(3),
+                        lhs: VReg(0),
+                        rhs: VReg(0),
+                    }],
+                    term: Term::Ret(Some(VReg(3))),
+                },
+            ],
+            next_vreg: 4,
+        }
+    }
+
+    #[test]
+    fn preds_and_rpo() {
+        let f = diamond();
+        let preds = predecessors(&f);
+        assert_eq!(preds[3], vec![BlockId(1), BlockId(2)]);
+        let rpo = reverse_postorder(&f);
+        assert_eq!(rpo[0], BlockId(0));
+        assert_eq!(*rpo.last().expect("nonempty"), BlockId(3));
+    }
+
+    #[test]
+    fn dominator_tree_of_diamond() {
+        let f = diamond();
+        let idom = dominators(&f);
+        assert_eq!(idom[&BlockId(1)], BlockId(0));
+        assert_eq!(idom[&BlockId(2)], BlockId(0));
+        assert_eq!(idom[&BlockId(3)], BlockId(0));
+    }
+
+    #[test]
+    fn frontier_of_diamond_is_join() {
+        let f = diamond();
+        let df = dominance_frontiers(&f);
+        assert!(df[&BlockId(1)].contains(&BlockId(3)));
+        assert!(df[&BlockId(2)].contains(&BlockId(3)));
+    }
+
+    #[test]
+    fn liveness_flows_backwards() {
+        let f = diamond();
+        let lv = liveness(&f);
+        // v0 is used in bb3 and bb0, so live-in everywhere on the path.
+        assert!(lv.live_in[0].contains(&VReg(0)));
+        assert!(lv.live_in[1].contains(&VReg(0)));
+        assert!(lv.live_out[0].contains(&VReg(0)));
+    }
+
+    #[test]
+    fn unreachable_blocks_excluded_from_rpo() {
+        let mut f = diamond();
+        f.blocks.push(Block {
+            insts: vec![],
+            term: Term::Ret(None),
+        });
+        let rpo = reverse_postorder(&f);
+        assert_eq!(rpo.len(), 4, "dangling block not visited");
+        assert!(reachable(&f).len() == 4);
+    }
+}

@@ -1,0 +1,261 @@
+//! `occ` — an optimizing compiler for [`tlang`], standing in for GCC.
+//!
+//! The paper compiles generated C++ with GCC 4.3.2 `-Os` and measures the
+//! assembly size. This crate reproduces that pipeline end to end:
+//!
+//! * **Front end**: [`lower`] translates a checked [`tlang::Module`] into a
+//!   three-address control-flow-graph IR ([`mir`]).
+//! * **Mid end**: SSA construction (Cytron-style dominance frontiers,
+//!   [`ssa`]), then the optimization passes of [`opt`] — constant
+//!   propagation and folding, dead-code elimination, copy propagation,
+//!   jump threading / CFG simplification, bottom-up inlining of small
+//!   functions, and call-graph dead-function elimination. The pass set per
+//!   level mirrors GCC's `-O0/-O1/-O2/-Os` philosophy ([`OptLevel`]).
+//! * **Back end**: instruction selection to the synthetic EM32 RISC ISA,
+//!   linear-scan register allocation, peephole cleanup, `-Os`-aware switch
+//!   lowering (branch chain vs jump table), and byte-accurate encoding
+//!   ([`Assembly`] reports text/rodata/data sizes — the paper's
+//!   "assembly code size in bytes").
+//! * **VM**: an EM32 interpreter ([`vm`]) so compiled programs can be
+//!   *executed* and differentially tested against the `tlang` reference
+//!   interpreter — the correctness argument for every optimization above.
+//!
+//! The central property the dead-code experiment (paper §III.C) relies on
+//! falls out of soundness, not special-casing: generated state-machine code
+//! keeps every state's functions **address-reachable** (switch cases over a
+//! runtime state code, function pointers in const tables), so dead-function
+//! elimination — which roots at exported functions and address-taken
+//! symbols — must keep them, at every optimization level.
+//!
+//! # Example
+//!
+//! ```
+//! use occ::{compile, OptLevel};
+//! use tlang::{Expr, Function, Module, Stmt, Type};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut module = Module::new("demo");
+//! module.push_function(Function {
+//!     name: "answer".into(),
+//!     params: vec![],
+//!     ret: Type::I32,
+//!     body: vec![Stmt::Return(Some(Expr::Int(42)))],
+//!     exported: true,
+//! });
+//! let artifact = compile(&module, OptLevel::Os)?;
+//! assert!(artifact.sizes().text > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod cfg;
+pub mod lower;
+pub mod mir;
+pub mod opt;
+pub mod ssa;
+pub mod vm;
+
+use std::fmt;
+
+pub use backend::{Assembly, SizeReport};
+
+/// Optimization level, mirroring GCC's user-facing levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OptLevel {
+    /// No optimization: straight lowering, fast-allocated registers.
+    O0,
+    /// Basic cleanups: CFG simplification, local folding, DCE.
+    O1,
+    /// Full mid-end: O1 plus constant propagation, copy propagation,
+    /// inlining, dead-function elimination.
+    O2,
+    /// Optimize for size: the O2 pipeline with size-tuned inlining and
+    /// size-aware switch lowering (the paper's `-Os`).
+    Os,
+}
+
+impl OptLevel {
+    /// All levels in ascending order.
+    pub fn all() -> [OptLevel; 4] {
+        [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::Os]
+    }
+
+    /// The GCC-style flag name.
+    pub fn flag(self) -> &'static str {
+        match self {
+            OptLevel::O0 => "-O0",
+            OptLevel::O1 => "-O1",
+            OptLevel::O2 => "-O2",
+            OptLevel::Os => "-Os",
+        }
+    }
+}
+
+impl fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.flag())
+    }
+}
+
+/// A compilation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The input module failed `tlang` type checking.
+    Check(String),
+    /// A function takes more arguments than the EM32 calling convention
+    /// passes in registers.
+    TooManyArgs {
+        /// Offending function.
+        function: String,
+        /// Its arity.
+        arity: usize,
+    },
+    /// Internal invariant violation (a compiler bug).
+    Internal(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Check(msg) => write!(f, "type check failed: {msg}"),
+            CompileError::TooManyArgs { function, arity } => {
+                write!(f, "function `{function}` takes {arity} arguments (max 4)")
+            }
+            CompileError::Internal(msg) => write!(f, "internal compiler error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// The result of compiling a module: the final assembly plus reports.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    asm: Assembly,
+    pass_log: Vec<String>,
+    surviving_functions: Vec<String>,
+    level: OptLevel,
+}
+
+impl Artifact {
+    /// The assembled program.
+    pub fn assembly(&self) -> &Assembly {
+        &self.asm
+    }
+
+    /// Size accounting (the paper's metric).
+    pub fn sizes(&self) -> SizeReport {
+        self.asm.sizes()
+    }
+
+    /// What each mid-end pass did — the analogue of GCC's per-pass dump
+    /// files the paper inspected ("in the dead code elimination file, we
+    /// have found that code related to the unreachable state still
+    /// exists").
+    pub fn pass_log(&self) -> &[String] {
+        &self.pass_log
+    }
+
+    /// Names of the functions present in the final program — the direct
+    /// probe for the dead-code experiment.
+    pub fn surviving_functions(&self) -> &[String] {
+        &self.surviving_functions
+    }
+
+    /// The level this artifact was compiled at.
+    pub fn level(&self) -> OptLevel {
+        self.level
+    }
+}
+
+/// Compiles a module at the given optimization level.
+///
+/// # Errors
+///
+/// Fails if the module does not type-check or exceeds backend limits (see
+/// [`CompileError`]).
+pub fn compile(module: &tlang::Module, level: OptLevel) -> Result<Artifact, CompileError> {
+    module
+        .check()
+        .map_err(|e| CompileError::Check(e.to_string()))?;
+    let mut program = lower::lower_module(module)?;
+    let mut pass_log = Vec::new();
+    opt::run_pipeline(&mut program, level, &mut pass_log);
+    let asm = backend::compile_program(&program, level)?;
+    let surviving_functions = program.functions.iter().map(|f| f.name.clone()).collect();
+    Ok(Artifact {
+        asm,
+        pass_log,
+        surviving_functions,
+        level,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlang::{Expr, Function, Module, Stmt, Type};
+
+    fn answer_module() -> Module {
+        let mut m = Module::new("demo");
+        m.push_function(Function {
+            name: "answer".into(),
+            params: vec![],
+            ret: Type::I32,
+            body: vec![Stmt::Return(Some(
+                Expr::Int(40).add(Expr::Int(2)),
+            ))],
+            exported: true,
+        });
+        m
+    }
+
+    #[test]
+    fn compiles_at_every_level() {
+        let m = answer_module();
+        for level in OptLevel::all() {
+            let a = compile(&m, level).expect("compiles");
+            assert!(a.sizes().text > 0, "{level}");
+            assert_eq!(a.level(), level);
+        }
+    }
+
+    #[test]
+    fn optimization_shrinks_constant_math() {
+        let m = answer_module();
+        let o0 = compile(&m, OptLevel::O0).expect("o0");
+        let os = compile(&m, OptLevel::Os).expect("os");
+        assert!(
+            os.sizes().text <= o0.sizes().text,
+            "-Os ({}) must not exceed -O0 ({})",
+            os.sizes().text,
+            o0.sizes().text
+        );
+    }
+
+    #[test]
+    fn rejects_ill_typed_modules() {
+        let mut m = Module::new("bad");
+        m.push_function(Function {
+            name: "f".into(),
+            params: vec![],
+            ret: Type::I32,
+            body: vec![],
+            exported: true,
+        });
+        assert!(matches!(
+            compile(&m, OptLevel::O1),
+            Err(CompileError::Check(_))
+        ));
+    }
+
+    #[test]
+    fn flag_names_match_gcc() {
+        assert_eq!(OptLevel::Os.flag(), "-Os");
+        assert_eq!(OptLevel::all().len(), 4);
+    }
+}

@@ -1,0 +1,723 @@
+//! Front end: lowering checked [`tlang`] modules to [`mir`].
+//!
+//! Aggregates are laid out flat (every scalar is one 4-byte word; structs
+//! concatenate their fields; arrays repeat their element), and place
+//! accesses become explicit address arithmetic — the information-loss
+//! boundary the paper talks about: after this point, "a state with no
+//! incoming transition" is just integers and loads.
+
+use std::collections::BTreeMap;
+
+use tlang::{Expr, Init, Module, Place, Stmt, Type};
+
+use crate::mir::{
+    BinOp, Block, BlockId, GlobalData, Inst, MirFunction, Program, Term, UnOp, VReg, Word,
+};
+use crate::CompileError;
+
+/// Maximum register-passed arguments of the EM32 calling convention.
+pub const MAX_ARGS: usize = 4;
+
+/// Lowers a type-checked module.
+///
+/// # Errors
+///
+/// Fails if a function exceeds the calling convention's argument limit.
+pub fn lower_module(module: &Module) -> Result<Program, CompileError> {
+    let mut program = Program::default();
+    for e in &module.externs {
+        program.externs.push(e.name.clone());
+    }
+    for g in &module.globals {
+        let size = size_of(module, &g.ty);
+        let mut words = Vec::with_capacity(size / 4);
+        flatten_init(module, &g.ty, &g.init, &mut words);
+        program.globals.push(GlobalData {
+            name: g.name.clone(),
+            size,
+            words,
+            mutable: g.mutable,
+        });
+    }
+    // Function indices are fixed before bodies are lowered (mutual
+    // recursion, address-of references from globals).
+    let fn_index: BTreeMap<&str, usize> = module
+        .functions
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.name.as_str(), i))
+        .collect();
+    // Relocate FnAddr words now that indices are known.
+    for (g, def) in program.globals.iter_mut().zip(&module.globals) {
+        let mut names = Vec::new();
+        collect_fn_names(&def.init, &mut names);
+        let mut cursor = 0;
+        for w in g.words.iter_mut() {
+            if let Word::FnAddr(placeholder) = w {
+                if *placeholder == usize::MAX {
+                    *w = Word::FnAddr(fn_index[names[cursor].as_str()]);
+                    cursor += 1;
+                }
+            }
+        }
+    }
+    for f in &module.functions {
+        if f.params.len() > MAX_ARGS {
+            return Err(CompileError::TooManyArgs {
+                function: f.name.clone(),
+                arity: f.params.len(),
+            });
+        }
+        program
+            .functions
+            .push(lower_function(module, f, &fn_index, &program.externs)?);
+    }
+    Ok(program)
+}
+
+/// Byte size of a type (scalars are words).
+pub fn size_of(module: &Module, ty: &Type) -> usize {
+    match ty {
+        Type::I32 | Type::Bool | Type::FnPtr { .. } | Type::Void => 4,
+        Type::Array(elem, n) => size_of(module, elem) * n,
+        Type::Struct(name) => {
+            let def = module.struct_def(name).expect("checked struct");
+            def.fields.iter().map(|(_, t)| size_of(module, t)).sum()
+        }
+    }
+}
+
+/// Byte offset of a struct field.
+pub fn field_offset(module: &Module, struct_name: &str, field: &str) -> usize {
+    let def = module.struct_def(struct_name).expect("checked struct");
+    let mut off = 0;
+    for (name, ty) in &def.fields {
+        if name == field {
+            return off;
+        }
+        off += size_of(module, ty);
+    }
+    panic!("checked field `{field}` of `{struct_name}`");
+}
+
+fn flatten_init(module: &Module, ty: &Type, init: &Init, out: &mut Vec<Word>) {
+    match (ty, init) {
+        (_, Init::Zero) => {
+            for _ in 0..(size_of(module, ty) / 4) {
+                out.push(Word::Int(0));
+            }
+        }
+        (Type::I32, Init::Int(v)) => out.push(Word::Int(*v as i32)),
+        (Type::Bool, Init::Bool(b)) => out.push(Word::Int(i32::from(*b))),
+        (Type::FnPtr { .. }, Init::FnAddr(_)) => out.push(Word::FnAddr(usize::MAX)),
+        (Type::Array(elem, _), Init::Array(items)) => {
+            for item in items {
+                flatten_init(module, elem, item, out);
+            }
+        }
+        (Type::Struct(name), Init::Struct(items)) => {
+            let def = module.struct_def(name).expect("checked struct");
+            for ((_, fty), item) in def.fields.iter().zip(items) {
+                flatten_init(module, fty, item, out);
+            }
+        }
+        _ => {
+            // Checked modules never reach here; fill with zeros defensively.
+            for _ in 0..(size_of(module, ty) / 4) {
+                out.push(Word::Int(0));
+            }
+        }
+    }
+}
+
+fn collect_fn_names(init: &Init, out: &mut Vec<String>) {
+    match init {
+        Init::FnAddr(name) => out.push(name.clone()),
+        Init::Array(items) | Init::Struct(items) => {
+            for i in items {
+                collect_fn_names(i, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+struct FnLowerer<'a> {
+    module: &'a Module,
+    fn_index: &'a BTreeMap<&'a str, usize>,
+    externs: &'a [String],
+    func: MirFunction,
+    current: BlockId,
+    locals: BTreeMap<String, VReg>,
+    loop_exits: Vec<BlockId>,
+}
+
+fn lower_function(
+    module: &Module,
+    f: &tlang::Function,
+    fn_index: &BTreeMap<&str, usize>,
+    externs: &[String],
+) -> Result<MirFunction, CompileError> {
+    let mut func = MirFunction {
+        name: f.name.clone(),
+        params: f.params.len(),
+        returns_value: f.ret != Type::Void,
+        exported: f.exported,
+        blocks: vec![Block {
+            insts: Vec::new(),
+            term: Term::Ret(None),
+        }],
+        next_vreg: f.params.len() as u32,
+    };
+    let mut locals = BTreeMap::new();
+    for (i, (name, _)) in f.params.iter().enumerate() {
+        locals.insert(name.clone(), VReg(i as u32));
+    }
+    let _ = &mut func;
+    let mut lowerer = FnLowerer {
+        module,
+        fn_index,
+        externs,
+        func,
+        current: BlockId(0),
+        locals,
+        loop_exits: Vec::new(),
+    };
+    lowerer.lower_stmts(&f.body)?;
+    // Fall-through end: return void (unreachable in value-returning
+    // functions, which the checker proved always return).
+    lowerer.set_term(Term::Ret(None));
+    Ok(lowerer.func)
+}
+
+impl FnLowerer<'_> {
+    fn emit(&mut self, inst: Inst) {
+        let b = self.current;
+        self.func.block_mut(b).insts.push(inst);
+    }
+
+    fn fresh(&mut self) -> VReg {
+        self.func.fresh()
+    }
+
+    fn new_block(&mut self) -> BlockId {
+        let id = BlockId(self.func.blocks.len() as u32);
+        self.func.blocks.push(Block {
+            insts: Vec::new(),
+            term: Term::Ret(None),
+        });
+        id
+    }
+
+    fn set_term(&mut self, term: Term) {
+        let b = self.current;
+        self.func.block_mut(b).term = term;
+    }
+
+    fn const_reg(&mut self, value: i32) -> VReg {
+        let dst = self.fresh();
+        self.emit(Inst::Const { dst, value });
+        dst
+    }
+
+    fn lower_stmts(&mut self, stmts: &[Stmt]) -> Result<(), CompileError> {
+        for s in stmts {
+            self.lower_stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt) -> Result<(), CompileError> {
+        match stmt {
+            Stmt::Let { name, init, .. } => {
+                let v = match init {
+                    Some(e) => self.lower_expr(e)?,
+                    None => self.const_reg(0),
+                };
+                // Locals get a dedicated register so later assignments can
+                // redefine them (SSA renaming versions them).
+                let slot = self.fresh();
+                self.emit(Inst::Copy { dst: slot, src: v });
+                self.locals.insert(name.clone(), slot);
+                Ok(())
+            }
+            Stmt::Assign { place, value } => {
+                let v = self.lower_expr(value)?;
+                match self.classify_place(place) {
+                    PlaceKind::Local(slot) => self.emit(Inst::Copy { dst: slot, src: v }),
+                    PlaceKind::Memory => {
+                        let addr = self.place_addr(place)?;
+                        self.emit(Inst::Store { addr, src: v });
+                    }
+                }
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let c = self.lower_expr(cond)?;
+                let then_b = self.new_block();
+                let else_b = self.new_block();
+                let join = self.new_block();
+                self.set_term(Term::Br {
+                    cond: c,
+                    then_block: then_b,
+                    else_block: else_b,
+                });
+                self.current = then_b;
+                self.lower_stmts(then_body)?;
+                self.set_term(Term::Goto(join));
+                self.current = else_b;
+                self.lower_stmts(else_body)?;
+                self.set_term(Term::Goto(join));
+                self.current = join;
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                let header = self.new_block();
+                let body_b = self.new_block();
+                let exit = self.new_block();
+                self.set_term(Term::Goto(header));
+                self.current = header;
+                let c = self.lower_expr(cond)?;
+                self.set_term(Term::Br {
+                    cond: c,
+                    then_block: body_b,
+                    else_block: exit,
+                });
+                self.current = body_b;
+                self.loop_exits.push(exit);
+                self.lower_stmts(body)?;
+                self.loop_exits.pop();
+                self.set_term(Term::Goto(header));
+                self.current = exit;
+                Ok(())
+            }
+            Stmt::Switch {
+                scrutinee,
+                cases,
+                default,
+            } => {
+                let v = self.lower_expr(scrutinee)?;
+                let join = self.new_block();
+                let mut mir_cases = Vec::new();
+                let switch_block = self.current;
+                for (value, body) in cases {
+                    let b = self.new_block();
+                    mir_cases.push((*value as i32, b));
+                    self.current = b;
+                    self.lower_stmts(body)?;
+                    self.set_term(Term::Goto(join));
+                }
+                let default_b = self.new_block();
+                self.current = default_b;
+                self.lower_stmts(default)?;
+                self.set_term(Term::Goto(join));
+                self.current = switch_block;
+                self.set_term(Term::Switch {
+                    val: v,
+                    cases: mir_cases,
+                    default: default_b,
+                });
+                self.current = join;
+                Ok(())
+            }
+            Stmt::Return(value) => {
+                let v = match value {
+                    Some(e) => Some(self.lower_expr(e)?),
+                    None => None,
+                };
+                self.set_term(Term::Ret(v));
+                // Anything lowered after this point is unreachable; give it
+                // a fresh block that simplify-cfg removes.
+                let dead = self.new_block();
+                self.current = dead;
+                Ok(())
+            }
+            Stmt::Expr(e) => {
+                self.lower_expr(e)?;
+                Ok(())
+            }
+            Stmt::Break => {
+                let exit = *self
+                    .loop_exits
+                    .last()
+                    .expect("checker rejects break outside loops");
+                self.set_term(Term::Goto(exit));
+                let dead = self.new_block();
+                self.current = dead;
+                Ok(())
+            }
+        }
+    }
+
+    fn lower_expr(&mut self, expr: &Expr) -> Result<VReg, CompileError> {
+        match expr {
+            Expr::Int(v) => Ok(self.const_reg(*v as i32)),
+            Expr::Bool(b) => Ok(self.const_reg(i32::from(*b))),
+            Expr::Place(p) => match self.classify_place(p) {
+                PlaceKind::Local(slot) => Ok(slot),
+                PlaceKind::Memory => {
+                    let addr = self.place_addr(p)?;
+                    let dst = self.fresh();
+                    self.emit(Inst::Load { dst, addr });
+                    Ok(dst)
+                }
+            },
+            Expr::Unary(op, inner) => {
+                let src = self.lower_expr(inner)?;
+                let dst = self.fresh();
+                let op = match op {
+                    tlang::UnOp::Neg => UnOp::Neg,
+                    tlang::UnOp::Not => UnOp::Not,
+                };
+                self.emit(Inst::Un { op, dst, src });
+                Ok(dst)
+            }
+            Expr::Binary(op, lhs, rhs) => {
+                let l = self.lower_expr(lhs)?;
+                let r = self.lower_expr(rhs)?;
+                let dst = self.fresh();
+                self.emit(Inst::Bin {
+                    op: lower_binop(*op),
+                    dst,
+                    lhs: l,
+                    rhs: r,
+                });
+                Ok(dst)
+            }
+            Expr::Call(name, args) => {
+                let argv = self.lower_args(args)?;
+                if let Some(&func) = self.fn_index.get(name.as_str()) {
+                    let returns = self.module.function(name).expect("checked").ret != Type::Void;
+                    let dst = if returns { Some(self.fresh()) } else { None };
+                    self.emit(Inst::Call {
+                        dst,
+                        func,
+                        args: argv,
+                    });
+                    Ok(dst.unwrap_or_else(|| VReg(0)))
+                } else {
+                    let ext = self
+                        .externs
+                        .iter()
+                        .position(|e| e == name)
+                        .expect("checked extern");
+                    let returns =
+                        self.module.extern_decl(name).expect("checked").ret != Type::Void;
+                    let dst = if returns { Some(self.fresh()) } else { None };
+                    self.emit(Inst::CallExtern {
+                        dst,
+                        ext,
+                        args: argv,
+                    });
+                    Ok(dst.unwrap_or_else(|| VReg(0)))
+                }
+            }
+            Expr::CallPtr(callee, args) => {
+                let ptr = self.lower_expr(callee)?;
+                let argv = self.lower_args(args)?;
+                // Function-pointer calls in generated code return void or
+                // bool; allocate a result slot either way (harmless).
+                let dst = Some(self.fresh());
+                self.emit(Inst::CallInd {
+                    dst,
+                    ptr,
+                    args: argv,
+                });
+                Ok(dst.expect("just set"))
+            }
+            Expr::FnAddr(name) => {
+                let func = self.fn_index[name.as_str()];
+                let dst = self.fresh();
+                self.emit(Inst::FnAddr { dst, func });
+                Ok(dst)
+            }
+        }
+    }
+
+    fn lower_args(&mut self, args: &[Expr]) -> Result<Vec<VReg>, CompileError> {
+        if args.len() > MAX_ARGS {
+            return Err(CompileError::TooManyArgs {
+                function: "<call>".into(),
+                arity: args.len(),
+            });
+        }
+        args.iter().map(|a| self.lower_expr(a)).collect()
+    }
+
+    fn classify_place(&self, place: &Place) -> PlaceKind {
+        match place_root(place) {
+            root if self.locals.contains_key(root) => {
+                PlaceKind::Local(self.locals[root])
+            }
+            _ => PlaceKind::Memory,
+        }
+    }
+
+    /// Computes the byte address of a memory place.
+    fn place_addr(&mut self, place: &Place) -> Result<VReg, CompileError> {
+        match place {
+            Place::Var(name) => {
+                let global = self
+                    .program_global_index(name)
+                    .ok_or_else(|| CompileError::Internal(format!("unknown global `{name}`")))?;
+                let dst = self.fresh();
+                self.emit(Inst::Addr {
+                    dst,
+                    global,
+                    offset: 0,
+                });
+                Ok(dst)
+            }
+            Place::Field(base, field) => {
+                let base_addr = self.place_addr(base)?;
+                let bt = self.static_place_type(base);
+                let Type::Struct(sname) = bt else {
+                    return Err(CompileError::Internal("field on non-struct".into()));
+                };
+                let off = field_offset(self.module, &sname, field) as i32;
+                if off == 0 {
+                    return Ok(base_addr);
+                }
+                let off_reg = self.const_reg(off);
+                let dst = self.fresh();
+                self.emit(Inst::Bin {
+                    op: BinOp::Add,
+                    dst,
+                    lhs: base_addr,
+                    rhs: off_reg,
+                });
+                Ok(dst)
+            }
+            Place::Index(base, index) => {
+                let base_addr = self.place_addr(base)?;
+                let bt = self.static_place_type(base);
+                let Type::Array(elem, _) = bt else {
+                    return Err(CompileError::Internal("index on non-array".into()));
+                };
+                let elem_size = size_of(self.module, &elem) as i32;
+                let idx = self.lower_expr(index)?;
+                let size_reg = self.const_reg(elem_size);
+                let scaled = self.fresh();
+                self.emit(Inst::Bin {
+                    op: BinOp::Mul,
+                    dst: scaled,
+                    lhs: idx,
+                    rhs: size_reg,
+                });
+                let dst = self.fresh();
+                self.emit(Inst::Bin {
+                    op: BinOp::Add,
+                    dst,
+                    lhs: base_addr,
+                    rhs: scaled,
+                });
+                Ok(dst)
+            }
+        }
+    }
+
+    fn program_global_index(&self, name: &str) -> Option<usize> {
+        self.module.globals.iter().position(|g| g.name == name)
+    }
+
+    fn static_place_type(&self, place: &Place) -> Type {
+        match place {
+            Place::Var(name) => self
+                .module
+                .global(name)
+                .map(|g| g.ty.clone())
+                .expect("checked memory place roots at a global"),
+            Place::Field(base, field) => {
+                let Type::Struct(sname) = self.static_place_type(base) else {
+                    panic!("checked field access")
+                };
+                self.module
+                    .struct_def(&sname)
+                    .and_then(|d| d.field(field).map(|(_, t)| t.clone()))
+                    .expect("checked field")
+            }
+            Place::Index(base, _) => {
+                let Type::Array(elem, _) = self.static_place_type(base) else {
+                    panic!("checked index access")
+                };
+                *elem
+            }
+        }
+    }
+}
+
+enum PlaceKind {
+    Local(VReg),
+    Memory,
+}
+
+fn place_root(place: &Place) -> &str {
+    match place {
+        Place::Var(name) => name,
+        Place::Field(base, _) | Place::Index(base, _) => place_root(base),
+    }
+}
+
+fn lower_binop(op: tlang::BinOp) -> BinOp {
+    match op {
+        tlang::BinOp::Add => BinOp::Add,
+        tlang::BinOp::Sub => BinOp::Sub,
+        tlang::BinOp::Mul => BinOp::Mul,
+        tlang::BinOp::Div => BinOp::Div,
+        tlang::BinOp::Rem => BinOp::Rem,
+        tlang::BinOp::Eq => BinOp::Eq,
+        tlang::BinOp::Ne => BinOp::Ne,
+        tlang::BinOp::Lt => BinOp::Lt,
+        tlang::BinOp::Le => BinOp::Le,
+        tlang::BinOp::Gt => BinOp::Gt,
+        tlang::BinOp::Ge => BinOp::Ge,
+        tlang::BinOp::And => BinOp::And,
+        tlang::BinOp::Or => BinOp::Or,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlang::{Function, GlobalDef, StructDef};
+
+    fn simple_module() -> Module {
+        let mut m = Module::new("m");
+        m.push_struct(StructDef {
+            name: "Ctx".into(),
+            fields: vec![
+                ("a".into(), Type::I32),
+                ("arr".into(), Type::Array(Box::new(Type::I32), 4)),
+                ("b".into(), Type::I32),
+            ],
+        });
+        m.push_global(GlobalDef {
+            name: "ctx".into(),
+            ty: Type::Struct("Ctx".into()),
+            init: Init::Zero,
+            mutable: true,
+        });
+        m.push_function(Function {
+            name: "main".into(),
+            params: vec![],
+            ret: Type::I32,
+            body: vec![
+                Stmt::Assign {
+                    place: Place::var("ctx").field("b"),
+                    value: Expr::Int(7),
+                },
+                Stmt::Return(Some(Expr::Place(Place::var("ctx").field("b")))),
+            ],
+            exported: true,
+        });
+        m
+    }
+
+    #[test]
+    fn layout_sizes_and_offsets() {
+        let m = simple_module();
+        assert_eq!(size_of(&m, &Type::Struct("Ctx".into())), 4 + 16 + 4);
+        assert_eq!(field_offset(&m, "Ctx", "a"), 0);
+        assert_eq!(field_offset(&m, "Ctx", "arr"), 4);
+        assert_eq!(field_offset(&m, "Ctx", "b"), 20);
+    }
+
+    #[test]
+    fn lowers_to_loads_and_stores() {
+        let m = simple_module();
+        let p = lower_module(&m).expect("lowers");
+        assert_eq!(p.functions.len(), 1);
+        let f = &p.functions[0];
+        let has_store = f
+            .blocks
+            .iter()
+            .any(|b| b.insts.iter().any(|i| matches!(i, Inst::Store { .. })));
+        let has_load = f
+            .blocks
+            .iter()
+            .any(|b| b.insts.iter().any(|i| matches!(i, Inst::Load { .. })));
+        assert!(has_store && has_load);
+    }
+
+    #[test]
+    fn globals_flatten_with_relocations() {
+        let mut m = Module::new("m");
+        m.push_function(Function {
+            name: "h".into(),
+            params: vec![],
+            ret: Type::Void,
+            body: vec![],
+            exported: false,
+        });
+        m.push_global(GlobalDef {
+            name: "tbl".into(),
+            ty: Type::Array(Box::new(Type::fn_ptr(vec![], Type::Void)), 2),
+            init: Init::Array(vec![Init::FnAddr("h".into()), Init::FnAddr("h".into())]),
+            mutable: false,
+        });
+        let p = lower_module(&m).expect("lowers");
+        assert_eq!(p.globals[0].words, vec![Word::FnAddr(0), Word::FnAddr(0)]);
+        assert_eq!(p.globals[0].size, 8);
+    }
+
+    #[test]
+    fn too_many_args_rejected() {
+        let mut m = Module::new("m");
+        m.push_function(Function {
+            name: "f".into(),
+            params: (0..5)
+                .map(|i| (format!("p{i}"), Type::I32))
+                .collect(),
+            ret: Type::Void,
+            body: vec![],
+            exported: false,
+        });
+        assert!(matches!(
+            lower_module(&m),
+            Err(CompileError::TooManyArgs { .. })
+        ));
+    }
+
+    #[test]
+    fn while_and_switch_build_cfg() {
+        let mut m = Module::new("m");
+        m.push_function(Function {
+            name: "f".into(),
+            params: vec![("k".into(), Type::I32)],
+            ret: Type::I32,
+            body: vec![
+                Stmt::Let {
+                    name: "i".into(),
+                    ty: Type::I32,
+                    init: Some(Expr::Int(0)),
+                },
+                Stmt::While {
+                    cond: Expr::var("i").bin(tlang::BinOp::Lt, Expr::var("k")),
+                    body: vec![Stmt::Assign {
+                        place: Place::var("i"),
+                        value: Expr::var("i").add(Expr::Int(1)),
+                    }],
+                },
+                Stmt::Switch {
+                    scrutinee: Expr::var("i"),
+                    cases: vec![(0, vec![Stmt::Return(Some(Expr::Int(10)))])],
+                    default: vec![],
+                },
+                Stmt::Return(Some(Expr::var("i"))),
+            ],
+            exported: true,
+        });
+        let p = lower_module(&m).expect("lowers");
+        let f = &p.functions[0];
+        assert!(f.blocks.len() >= 6, "CFG has loop + switch structure");
+        let has_switch = f
+            .blocks
+            .iter()
+            .any(|b| matches!(b.term, Term::Switch { .. }));
+        assert!(has_switch);
+    }
+}

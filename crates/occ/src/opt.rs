@@ -1,0 +1,804 @@
+//! Mid-end optimization passes and the per-level pipelines.
+//!
+//! The pass set mirrors the paper's description of GCC: "more than 100"
+//! passes distilled to the ones that matter for the experiments — constant
+//! propagation/folding with branch folding, dead-code elimination, copy
+//! propagation, CFG simplification, bottom-up inlining of small functions,
+//! and call-graph **dead-function elimination**. The latter is the pass the
+//! paper's §III.C probes: it roots at exported and address-taken functions,
+//! so an unreachable state's handlers (address-taken through dispatch
+//! tables or reachable through switch cases over a runtime value) are never
+//! removed — the model-level fact "no incoming transition" does not survive
+//! code generation.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use crate::mir::{BlockId, Inst, MirFunction, Program, Term, VReg, Word};
+use crate::ssa;
+use crate::OptLevel;
+
+/// Runs the pipeline for `level`, logging pass effects.
+pub fn run_pipeline(program: &mut Program, level: OptLevel, log: &mut Vec<String>) {
+    match level {
+        OptLevel::O0 => {
+            log.push("O0: no mid-end passes".to_string());
+        }
+        OptLevel::O1 => {
+            per_function(program, level, log);
+        }
+        OptLevel::O2 | OptLevel::Os => {
+            let threshold = if level == OptLevel::Os { 10 } else { 24 };
+            let inlined = inline_small_functions(program, threshold);
+            log.push(format!("inline: {inlined} call sites (threshold {threshold})"));
+            let removed = dead_function_elimination(program);
+            log.push(format!(
+                "dead-function-elimination: removed [{}]",
+                removed.join(", ")
+            ));
+            per_function(program, level, log);
+        }
+    }
+}
+
+fn per_function(program: &mut Program, level: OptLevel, log: &mut Vec<String>) {
+    for f in &mut program.functions {
+        let before = f.inst_count();
+        simplify_cfg(f);
+        ssa::construct(f);
+        let mut rounds = 0;
+        loop {
+            rounds += 1;
+            let mut changed = constant_fold(f);
+            if level >= OptLevel::O2 {
+                changed |= copy_propagate(f);
+            }
+            changed |= dead_code_elim(f);
+            if !changed || rounds >= 4 {
+                break;
+            }
+        }
+        ssa::destruct(f);
+        simplify_cfg(f);
+        let after = f.inst_count();
+        log.push(format!(
+            "{}: {} -> {} instructions ({} SSA rounds)",
+            f.name, before, after, rounds
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Constant propagation + folding + branch folding (on SSA)
+// ---------------------------------------------------------------------
+
+/// Propagates and folds constants; folds constant branches. Returns `true`
+/// if anything changed.
+pub fn constant_fold(f: &mut MirFunction) -> bool {
+    let mut known: BTreeMap<VReg, i32> = BTreeMap::new();
+    let mut changed = false;
+    // SSA: each def has one value; iterate to a fixpoint to flow through
+    // φs and copies in any block order.
+    loop {
+        let mut grew = false;
+        for b in f.block_ids().collect::<Vec<_>>() {
+            for inst in &f.block(b).insts {
+                let Some(dst) = inst.def() else { continue };
+                if known.contains_key(&dst) {
+                    continue;
+                }
+                let value = match inst {
+                    Inst::Const { value, .. } => Some(*value),
+                    Inst::Copy { src, .. } => known.get(src).copied(),
+                    Inst::Un { op, src, .. } => known.get(src).map(|v| op.eval(*v)),
+                    Inst::Bin { op, lhs, rhs, .. } => {
+                        match (known.get(lhs), known.get(rhs)) {
+                            (Some(a), Some(b)) => Some(op.eval(*a, *b)),
+                            _ => None,
+                        }
+                    }
+                    Inst::Phi { args, .. } => {
+                        let vals: Option<BTreeSet<i32>> = args
+                            .iter()
+                            .map(|(_, v)| known.get(v).copied())
+                            .collect();
+                        vals.and_then(|s| {
+                            if s.len() == 1 {
+                                s.into_iter().next()
+                            } else {
+                                None
+                            }
+                        })
+                    }
+                    _ => None,
+                };
+                if let Some(v) = value {
+                    known.insert(dst, v);
+                    grew = true;
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    // Rewrite: folded instructions become Consts; constant branches become
+    // gotos.
+    for b in f.block_ids().collect::<Vec<_>>() {
+        let blk = f.block_mut(b);
+        for inst in &mut blk.insts {
+            let Some(dst) = inst.def() else { continue };
+            if let Some(v) = known.get(&dst) {
+                let replace = !matches!(inst, Inst::Const { .. })
+                    && inst.is_pure()
+                    && !matches!(inst, Inst::Load { .. });
+                if replace {
+                    *inst = Inst::Const { dst, value: *v };
+                    changed = true;
+                }
+            }
+        }
+        match &blk.term {
+            Term::Br {
+                cond,
+                then_block,
+                else_block,
+            } => {
+                if let Some(v) = known.get(cond) {
+                    blk.term = Term::Goto(if *v != 0 { *then_block } else { *else_block });
+                    changed = true;
+                }
+            }
+            Term::Switch { val, cases, default } => {
+                if let Some(v) = known.get(val) {
+                    let target = cases
+                        .iter()
+                        .find(|(c, _)| c == v)
+                        .map(|(_, t)| *t)
+                        .unwrap_or(*default);
+                    blk.term = Term::Goto(target);
+                    changed = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    changed
+}
+
+// ---------------------------------------------------------------------
+// Copy propagation (on SSA)
+// ---------------------------------------------------------------------
+
+/// Replaces uses of copies with their (transitively resolved) sources.
+pub fn copy_propagate(f: &mut MirFunction) -> bool {
+    let mut alias: BTreeMap<VReg, VReg> = BTreeMap::new();
+    for b in f.block_ids().collect::<Vec<_>>() {
+        for inst in &f.block(b).insts {
+            if let Inst::Copy { dst, src } = inst {
+                alias.insert(*dst, *src);
+            }
+        }
+    }
+    if alias.is_empty() {
+        return false;
+    }
+    let resolve = |mut v: VReg| {
+        let mut hops = 0;
+        while let Some(&next) = alias.get(&v) {
+            v = next;
+            hops += 1;
+            if hops > alias.len() {
+                break; // defensive: cycles cannot occur in SSA
+            }
+        }
+        v
+    };
+    let mut changed = false;
+    for b in f.block_ids().collect::<Vec<_>>() {
+        let blk = f.block_mut(b);
+        for inst in &mut blk.insts {
+            inst.map_uses(&mut |v| {
+                let r = resolve(v);
+                if r != v {
+                    changed = true;
+                }
+                r
+            });
+        }
+        blk.term.map_uses(&mut |v| {
+            let r = resolve(v);
+            if r != v {
+                changed = true;
+            }
+            r
+        });
+    }
+    changed
+}
+
+// ---------------------------------------------------------------------
+// Dead code elimination (on SSA)
+// ---------------------------------------------------------------------
+
+/// Removes pure instructions whose results are never used. This is the
+/// per-function analogue of the paper's "dead code elimination" dump: it
+/// cannot remove state-machine handler bodies because they are reached
+/// through stores, calls and address-taken tables.
+pub fn dead_code_elim(f: &mut MirFunction) -> bool {
+    let mut changed = false;
+    loop {
+        let mut used: BTreeSet<VReg> = BTreeSet::new();
+        for b in f.block_ids() {
+            for inst in &f.block(b).insts {
+                used.extend(inst.uses());
+            }
+            used.extend(f.block(b).term.uses());
+        }
+        let mut removed = false;
+        for b in f.block_ids().collect::<Vec<_>>() {
+            let blk = f.block_mut(b);
+            let before = blk.insts.len();
+            blk.insts.retain(|inst| {
+                if !inst.is_pure() {
+                    return true;
+                }
+                match inst.def() {
+                    Some(d) => used.contains(&d),
+                    None => true,
+                }
+            });
+            if blk.insts.len() != before {
+                removed = true;
+            }
+        }
+        if !removed {
+            break;
+        }
+        changed = true;
+    }
+    changed
+}
+
+// ---------------------------------------------------------------------
+// CFG simplification (φ-free form only)
+// ---------------------------------------------------------------------
+
+/// Removes unreachable blocks, threads empty forwarding blocks and merges
+/// straight-line chains. Must run on φ-free functions.
+pub fn simplify_cfg(f: &mut MirFunction) {
+    loop {
+        ssa::remove_unreachable_blocks(f);
+        let mut changed = false;
+
+        // Thread jumps through empty forwarding blocks.
+        let mut forward: BTreeMap<BlockId, BlockId> = BTreeMap::new();
+        for b in f.block_ids() {
+            if b == BlockId(0) {
+                continue;
+            }
+            let blk = f.block(b);
+            if blk.insts.is_empty() {
+                if let Term::Goto(t) = blk.term {
+                    if t != b {
+                        forward.insert(b, t);
+                    }
+                }
+            }
+        }
+        if !forward.is_empty() {
+            let resolve = |mut b: BlockId| {
+                let mut hops = 0;
+                while let Some(&n) = forward.get(&b) {
+                    b = n;
+                    hops += 1;
+                    if hops > forward.len() {
+                        break;
+                    }
+                }
+                b
+            };
+            for b in f.block_ids().collect::<Vec<_>>() {
+                let mut term = f.block(b).term.clone();
+                term.map_succs(&mut |s| {
+                    let r = resolve(s);
+                    if r != s {
+                        changed = true;
+                    }
+                    r
+                });
+                f.block_mut(b).term = term;
+            }
+        }
+
+        // Merge b -> c when c is b's unique successor and b its unique
+        // predecessor.
+        let preds = crate::cfg::predecessors(f);
+        let mut merged = false;
+        for b in f.block_ids().collect::<Vec<_>>() {
+            let Term::Goto(c) = f.block(b).term else {
+                continue;
+            };
+            if c == b || preds[c.0 as usize].len() != 1 {
+                continue;
+            }
+            let mut tail = f.block(c).insts.clone();
+            let tail_term = f.block(c).term.clone();
+            let blk = f.block_mut(b);
+            blk.insts.append(&mut tail);
+            blk.term = tail_term;
+            // c becomes unreachable and is dropped next round.
+            merged = true;
+            changed = true;
+            break;
+        }
+        let _ = merged;
+
+        if !changed {
+            ssa::remove_unreachable_blocks(f);
+            return;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Inlining (pre-SSA, straight-line callees)
+// ---------------------------------------------------------------------
+
+/// Inlines calls to single-block functions of at most `max_insts`
+/// instructions. Returns the number of call sites inlined.
+pub fn inline_small_functions(program: &mut Program, max_insts: usize) -> usize {
+    // Snapshot eligible callees.
+    let mut eligible: BTreeMap<usize, (usize, Vec<Inst>, Option<VReg>, u32)> = BTreeMap::new();
+    for (i, f) in program.functions.iter().enumerate() {
+        if f.blocks.len() != 1 || f.blocks[0].insts.len() > max_insts {
+            continue;
+        }
+        let Term::Ret(ret) = f.blocks[0].term.clone() else {
+            continue;
+        };
+        // Self-recursive single-block functions are not eligible.
+        let self_call = f.blocks[0]
+            .insts
+            .iter()
+            .any(|inst| matches!(inst, Inst::Call { func, .. } if *func == i));
+        if self_call {
+            continue;
+        }
+        eligible.insert(i, (f.params, f.blocks[0].insts.clone(), ret, f.next_vreg));
+    }
+    if eligible.is_empty() {
+        return 0;
+    }
+    let mut inlined = 0;
+    for ci in 0..program.functions.len() {
+        for bi in 0..program.functions[ci].blocks.len() {
+            let mut new_insts: Vec<Inst> = Vec::new();
+            let insts = program.functions[ci].blocks[bi].insts.clone();
+            for inst in insts {
+                let Inst::Call { dst, func, args } = &inst else {
+                    new_insts.push(inst);
+                    continue;
+                };
+                // Do not inline into the callee itself.
+                let Some((params, body, ret, callee_vregs)) = eligible.get(func) else {
+                    new_insts.push(inst);
+                    continue;
+                };
+                if *func == ci {
+                    new_insts.push(inst);
+                    continue;
+                }
+                // Map callee registers into the caller's space.
+                let base = program.functions[ci].next_vreg;
+                program.functions[ci].next_vreg += *callee_vregs;
+                let map = |v: VReg| {
+                    if (v.0 as usize) < *params {
+                        args[v.0 as usize]
+                    } else {
+                        VReg(base + v.0)
+                    }
+                };
+                for callee_inst in body {
+                    let mut copy = callee_inst.clone();
+                    copy.map_uses(&mut |v| map(v));
+                    // Remap the definition too.
+                    match &mut copy {
+                        Inst::Const { dst, .. }
+                        | Inst::Copy { dst, .. }
+                        | Inst::Un { dst, .. }
+                        | Inst::Bin { dst, .. }
+                        | Inst::Load { dst, .. }
+                        | Inst::Addr { dst, .. }
+                        | Inst::FnAddr { dst, .. }
+                        | Inst::Phi { dst, .. } => *dst = map(*dst),
+                        Inst::Call { dst, .. }
+                        | Inst::CallExtern { dst, .. }
+                        | Inst::CallInd { dst, .. } => {
+                            if let Some(d) = dst {
+                                *d = map(*d);
+                            }
+                        }
+                        Inst::Store { .. } => {}
+                    }
+                    new_insts.push(copy);
+                }
+                if let (Some(d), Some(r)) = (dst, ret) {
+                    new_insts.push(Inst::Copy {
+                        dst: *d,
+                        src: map(*r),
+                    });
+                }
+                inlined += 1;
+            }
+            program.functions[ci].blocks[bi].insts = new_insts;
+        }
+    }
+    inlined
+}
+
+// ---------------------------------------------------------------------
+// Dead function elimination (call-graph reachability)
+// ---------------------------------------------------------------------
+
+/// Removes functions unreachable from the roots: exported functions and
+/// every address-taken function (via [`Inst::FnAddr`] or function addresses
+/// stored in global data). Returns removed names.
+pub fn dead_function_elimination(program: &mut Program) -> Vec<String> {
+    let n = program.functions.len();
+    let mut live = vec![false; n];
+    let mut work: Vec<usize> = Vec::new();
+    for (i, f) in program.functions.iter().enumerate() {
+        if f.exported {
+            live[i] = true;
+            work.push(i);
+        }
+    }
+    // Address-taken through global data (const dispatch tables!): these are
+    // roots because an indirect call may reach them at run time.
+    for g in &program.globals {
+        for w in &g.words {
+            if let Word::FnAddr(i) = w {
+                if !live[*i] {
+                    live[*i] = true;
+                    work.push(*i);
+                }
+            }
+        }
+    }
+    while let Some(i) = work.pop() {
+        for b in &program.functions[i].blocks {
+            for inst in &b.insts {
+                let callee = match inst {
+                    Inst::Call { func, .. } => Some(*func),
+                    Inst::FnAddr { func, .. } => Some(*func),
+                    _ => None,
+                };
+                if let Some(c) = callee {
+                    if !live[c] {
+                        live[c] = true;
+                        work.push(c);
+                    }
+                }
+            }
+        }
+    }
+    if live.iter().all(|l| *l) {
+        return Vec::new();
+    }
+    // Remap indices.
+    let mut remap = vec![usize::MAX; n];
+    let mut kept = Vec::new();
+    let mut removed = Vec::new();
+    for (i, f) in program.functions.drain(..).enumerate() {
+        if live[i] {
+            remap[i] = kept.len();
+            kept.push(f);
+        } else {
+            removed.push(f.name);
+        }
+    }
+    for f in &mut kept {
+        for b in &mut f.blocks {
+            for inst in &mut b.insts {
+                match inst {
+                    Inst::Call { func, .. } | Inst::FnAddr { func, .. } => {
+                        *func = remap[*func];
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    for g in &mut program.globals {
+        for w in &mut g.words {
+            if let Word::FnAddr(i) = w {
+                *i = remap[*i];
+            }
+        }
+    }
+    program.functions = kept;
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mir::{BinOp, Block, GlobalData};
+
+    fn const_add_fn() -> MirFunction {
+        MirFunction {
+            name: "f".into(),
+            params: 0,
+            returns_value: true,
+            exported: true,
+            blocks: vec![Block {
+                insts: vec![
+                    Inst::Const {
+                        dst: VReg(0),
+                        value: 40,
+                    },
+                    Inst::Const {
+                        dst: VReg(1),
+                        value: 2,
+                    },
+                    Inst::Bin {
+                        op: BinOp::Add,
+                        dst: VReg(2),
+                        lhs: VReg(0),
+                        rhs: VReg(1),
+                    },
+                ],
+                term: Term::Ret(Some(VReg(2))),
+            }],
+            next_vreg: 3,
+        }
+    }
+
+    #[test]
+    fn constant_folding_collapses_math() {
+        let mut f = const_add_fn();
+        ssa::construct(&mut f);
+        assert!(constant_fold(&mut f));
+        dead_code_elim(&mut f);
+        ssa::destruct(&mut f);
+        simplify_cfg(&mut f);
+        // One Const remains, feeding the return.
+        let consts: Vec<i32> = f.blocks[0]
+            .insts
+            .iter()
+            .filter_map(|i| match i {
+                Inst::Const { value, .. } => Some(*value),
+                _ => None,
+            })
+            .collect();
+        assert!(consts.contains(&42), "{f}");
+        assert!(f.blocks[0].insts.len() <= 2, "{f}");
+    }
+
+    #[test]
+    fn branch_folding_removes_dead_arm() {
+        let mut f = MirFunction {
+            name: "g".into(),
+            params: 0,
+            returns_value: true,
+            exported: true,
+            blocks: vec![
+                Block {
+                    insts: vec![Inst::Const {
+                        dst: VReg(0),
+                        value: 1,
+                    }],
+                    term: Term::Br {
+                        cond: VReg(0),
+                        then_block: BlockId(1),
+                        else_block: BlockId(2),
+                    },
+                },
+                Block {
+                    insts: vec![Inst::Const {
+                        dst: VReg(1),
+                        value: 10,
+                    }],
+                    term: Term::Ret(Some(VReg(1))),
+                },
+                Block {
+                    insts: vec![Inst::Const {
+                        dst: VReg(2),
+                        value: 20,
+                    }],
+                    term: Term::Ret(Some(VReg(2))),
+                },
+            ],
+            next_vreg: 3,
+        };
+        ssa::construct(&mut f);
+        constant_fold(&mut f);
+        ssa::destruct(&mut f);
+        simplify_cfg(&mut f);
+        assert!(
+            f.blocks.len() <= 2,
+            "constant branch leaves one path: {f}"
+        );
+    }
+
+    #[test]
+    fn dce_keeps_stores_and_calls() {
+        let mut f = MirFunction {
+            name: "h".into(),
+            params: 0,
+            returns_value: false,
+            exported: true,
+            blocks: vec![Block {
+                insts: vec![
+                    Inst::Const {
+                        dst: VReg(0),
+                        value: 5,
+                    },
+                    Inst::Addr {
+                        dst: VReg(1),
+                        global: 0,
+                        offset: 0,
+                    },
+                    Inst::Store {
+                        addr: VReg(1),
+                        src: VReg(0),
+                    },
+                    Inst::Const {
+                        dst: VReg(2),
+                        value: 99,
+                    }, // dead
+                ],
+                term: Term::Ret(None),
+            }],
+            next_vreg: 3,
+        };
+        assert!(dead_code_elim(&mut f));
+        assert_eq!(f.blocks[0].insts.len(), 3);
+        assert!(f.blocks[0]
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Store { .. })));
+    }
+
+    fn two_fn_program(exported_second: bool) -> Program {
+        Program {
+            functions: vec![
+                MirFunction {
+                    name: "root".into(),
+                    params: 0,
+                    returns_value: false,
+                    exported: true,
+                    blocks: vec![Block {
+                        insts: vec![],
+                        term: Term::Ret(None),
+                    }],
+                    next_vreg: 0,
+                },
+                MirFunction {
+                    name: "orphan".into(),
+                    params: 0,
+                    returns_value: false,
+                    exported: exported_second,
+                    blocks: vec![Block {
+                        insts: vec![],
+                        term: Term::Ret(None),
+                    }],
+                    next_vreg: 0,
+                },
+            ],
+            globals: vec![],
+            externs: vec![],
+        }
+    }
+
+    #[test]
+    fn dead_function_elimination_drops_orphans() {
+        let mut p = two_fn_program(false);
+        let removed = dead_function_elimination(&mut p);
+        assert_eq!(removed, vec!["orphan".to_string()]);
+        assert_eq!(p.functions.len(), 1);
+    }
+
+    #[test]
+    fn address_taken_functions_survive() {
+        // The paper's crucial case: a function only referenced from a const
+        // table must be kept.
+        let mut p = two_fn_program(false);
+        p.globals.push(GlobalData {
+            name: "tbl".into(),
+            size: 4,
+            words: vec![Word::FnAddr(1)],
+            mutable: false,
+        });
+        let removed = dead_function_elimination(&mut p);
+        assert!(removed.is_empty());
+        assert_eq!(p.functions.len(), 2);
+    }
+
+    #[test]
+    fn inline_splices_single_block_callee() {
+        let mut p = Program {
+            functions: vec![
+                MirFunction {
+                    name: "caller".into(),
+                    params: 0,
+                    returns_value: true,
+                    exported: true,
+                    blocks: vec![Block {
+                        insts: vec![
+                            Inst::Const {
+                                dst: VReg(0),
+                                value: 20,
+                            },
+                            Inst::Call {
+                                dst: Some(VReg(1)),
+                                func: 1,
+                                args: vec![VReg(0)],
+                            },
+                        ],
+                        term: Term::Ret(Some(VReg(1))),
+                    }],
+                    next_vreg: 2,
+                },
+                MirFunction {
+                    name: "double".into(),
+                    params: 1,
+                    returns_value: true,
+                    exported: false,
+                    blocks: vec![Block {
+                        insts: vec![Inst::Bin {
+                            op: BinOp::Add,
+                            dst: VReg(1),
+                            lhs: VReg(0),
+                            rhs: VReg(0),
+                        }],
+                        term: Term::Ret(Some(VReg(1))),
+                    }],
+                    next_vreg: 2,
+                },
+            ],
+            globals: vec![],
+            externs: vec![],
+        };
+        assert_eq!(inline_small_functions(&mut p, 8), 1);
+        let caller = &p.functions[0];
+        assert!(
+            !caller.blocks[0]
+                .insts
+                .iter()
+                .any(|i| matches!(i, Inst::Call { .. })),
+            "{caller}"
+        );
+        // And the callee is now removable.
+        let removed = dead_function_elimination(&mut p);
+        assert_eq!(removed, vec!["double".to_string()]);
+    }
+
+    #[test]
+    fn simplify_cfg_threads_and_merges() {
+        let mut f = MirFunction {
+            name: "s".into(),
+            params: 0,
+            returns_value: false,
+            exported: true,
+            blocks: vec![
+                Block {
+                    insts: vec![],
+                    term: Term::Goto(BlockId(1)),
+                },
+                Block {
+                    insts: vec![],
+                    term: Term::Goto(BlockId(2)),
+                },
+                Block {
+                    insts: vec![],
+                    term: Term::Ret(None),
+                },
+            ],
+            next_vreg: 0,
+        };
+        simplify_cfg(&mut f);
+        assert_eq!(f.blocks.len(), 1, "{f}");
+    }
+}

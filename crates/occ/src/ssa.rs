@@ -1,0 +1,429 @@
+//! SSA construction and destruction.
+//!
+//! Construction follows Cytron et al. (the algorithm behind GCC's Tree SSA,
+//! which the paper credits for enabling its higher-level optimizations):
+//! φ-nodes are placed at iterated dominance frontiers of multi-definition
+//! registers, then a dominator-tree walk renames versions. Destruction
+//! splits critical edges and lowers φs to staged parallel copies.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use crate::cfg;
+use crate::mir::{Block, BlockId, Inst, MirFunction, Term, VReg};
+
+/// Converts a function into SSA form (φ-nodes appear in block headers).
+pub fn construct(f: &mut MirFunction) {
+    // Work on reachable code only; unreachable blocks would confuse
+    // renaming (they have no dominator-tree position).
+    remove_unreachable_blocks(f);
+
+    let preds = cfg::predecessors(f);
+    let df = cfg::dominance_frontiers(f);
+    let idom = cfg::dominators(f);
+
+    // Definition sites per register.
+    let mut defsites: BTreeMap<VReg, BTreeSet<BlockId>> = BTreeMap::new();
+    let mut def_count: BTreeMap<VReg, usize> = BTreeMap::new();
+    for b in f.block_ids() {
+        for inst in &f.block(b).insts {
+            if let Some(d) = inst.def() {
+                defsites.entry(d).or_default().insert(b);
+                *def_count.entry(d).or_default() += 1;
+            }
+        }
+    }
+    // Parameters are defined at entry.
+    for p in 0..f.params {
+        defsites
+            .entry(VReg(p as u32))
+            .or_default()
+            .insert(BlockId(0));
+        *def_count.entry(VReg(p as u32)).or_default() += 1;
+    }
+
+    // φ placement at iterated dominance frontiers for registers with more
+    // than one definition site or several definitions.
+    let mut phis: BTreeMap<BlockId, BTreeMap<VReg, usize>> = BTreeMap::new();
+    for (v, sites) in &defsites {
+        if def_count[v] <= 1 && sites.len() <= 1 {
+            continue;
+        }
+        let mut work: Vec<BlockId> = sites.iter().copied().collect();
+        let mut placed: BTreeSet<BlockId> = BTreeSet::new();
+        while let Some(b) = work.pop() {
+            let Some(frontier) = df.get(&b) else { continue };
+            for &y in frontier {
+                if placed.insert(y) {
+                    let idx = f.block(y).insts.len();
+                    let _ = idx;
+                    let entry = phis.entry(y).or_default();
+                    entry.insert(*v, preds[y.0 as usize].len());
+                    work.push(y);
+                }
+            }
+        }
+    }
+    for (b, vars) in &phis {
+        let block_preds = &preds[b.0 as usize];
+        let mut new_insts: Vec<Inst> = Vec::new();
+        for v in vars.keys() {
+            new_insts.push(Inst::Phi {
+                dst: *v,
+                args: block_preds.iter().map(|p| (*p, *v)).collect(),
+            });
+        }
+        let blk = f.block_mut(*b);
+        new_insts.append(&mut blk.insts);
+        blk.insts = new_insts;
+    }
+
+    // Renaming: dominator-tree walk with version stacks.
+    let mut children: BTreeMap<BlockId, Vec<BlockId>> = BTreeMap::new();
+    for (b, d) in &idom {
+        if *b != BlockId(0) {
+            children.entry(*d).or_default().push(*b);
+        }
+    }
+    let mut stacks: BTreeMap<VReg, Vec<VReg>> = BTreeMap::new();
+    for p in 0..f.params {
+        stacks.insert(VReg(p as u32), vec![VReg(p as u32)]);
+    }
+
+    rename(
+        f,
+        BlockId(0),
+        &children,
+        &mut stacks,
+        &preds,
+    );
+}
+
+fn top(stacks: &BTreeMap<VReg, Vec<VReg>>, v: VReg) -> VReg {
+    stacks
+        .get(&v)
+        .and_then(|s| s.last())
+        .copied()
+        .unwrap_or(v)
+}
+
+fn rename(
+    f: &mut MirFunction,
+    b: BlockId,
+    children: &BTreeMap<BlockId, Vec<BlockId>>,
+    stacks: &mut BTreeMap<VReg, Vec<VReg>>,
+    preds: &[Vec<BlockId>],
+) {
+    let mut pushed: Vec<VReg> = Vec::new();
+
+    // Rewrite instructions.
+    let insts_len = f.block(b).insts.len();
+    for i in 0..insts_len {
+        let is_phi = matches!(f.block(b).insts[i], Inst::Phi { .. });
+        if !is_phi {
+            let mut inst = f.block(b).insts[i].clone();
+            inst.map_uses(&mut |v| top(stacks, v));
+            f.block_mut(b).insts[i] = inst;
+        }
+        // Redefine the destination with a fresh version.
+        if let Some(d) = f.block(b).insts[i].def() {
+            let fresh = f.fresh();
+            match &mut f.block_mut(b).insts[i] {
+                Inst::Const { dst, .. }
+                | Inst::Copy { dst, .. }
+                | Inst::Un { dst, .. }
+                | Inst::Bin { dst, .. }
+                | Inst::Load { dst, .. }
+                | Inst::Addr { dst, .. }
+                | Inst::FnAddr { dst, .. }
+                | Inst::Phi { dst, .. } => *dst = fresh,
+                Inst::Call { dst, .. }
+                | Inst::CallExtern { dst, .. }
+                | Inst::CallInd { dst, .. } => *dst = Some(fresh),
+                Inst::Store { .. } => {}
+            }
+            stacks.entry(d).or_default().push(fresh);
+            pushed.push(d);
+        }
+    }
+    {
+        let mut term = f.block(b).term.clone();
+        term.map_uses(&mut |v| top(stacks, v));
+        f.block_mut(b).term = term;
+    }
+
+    // Fill φ arguments of successors.
+    for s in f.block(b).term.succs() {
+        let pred_index = preds[s.0 as usize]
+            .iter()
+            .position(|p| *p == b)
+            .expect("b is a predecessor of its successor");
+        let insts_len = f.block(s).insts.len();
+        for i in 0..insts_len {
+            let Inst::Phi { args, .. } = &f.block(s).insts[i] else {
+                continue;
+            };
+            let original = args[pred_index].1;
+            let renamed = top(stacks, original);
+            if let Inst::Phi { args, .. } = &mut f.block_mut(s).insts[i] {
+                args[pred_index] = (b, renamed);
+            }
+        }
+    }
+
+    // Recurse into dominator-tree children.
+    if let Some(kids) = children.get(&b) {
+        for &k in kids.clone().iter() {
+            rename(f, k, children, stacks, preds);
+        }
+    }
+
+    for v in pushed {
+        stacks.get_mut(&v).expect("pushed").pop();
+    }
+}
+
+/// Removes blocks unreachable from the entry, remapping ids.
+pub fn remove_unreachable_blocks(f: &mut MirFunction) {
+    let reach = cfg::reachable(f);
+    if reach.len() == f.blocks.len() {
+        return;
+    }
+    let mut remap: BTreeMap<BlockId, BlockId> = BTreeMap::new();
+    let mut new_blocks = Vec::new();
+    for b in f.block_ids() {
+        if reach.contains(&b) {
+            remap.insert(b, BlockId(new_blocks.len() as u32));
+            new_blocks.push(f.block(b).clone());
+        }
+    }
+    for blk in &mut new_blocks {
+        blk.term.map_succs(&mut |s| remap[&s]);
+        for inst in &mut blk.insts {
+            if let Inst::Phi { args, .. } = inst {
+                args.retain(|(p, _)| remap.contains_key(p));
+                for (p, _) in args {
+                    *p = remap[p];
+                }
+            }
+        }
+    }
+    f.blocks = new_blocks;
+}
+
+/// Lowers φ-nodes back to copies (splitting critical edges), leaving a
+/// φ-free function ready for the backend.
+pub fn destruct(f: &mut MirFunction) {
+    // Collect copies to insert per edge (pred -> block).
+    let mut edge_copies: BTreeMap<(BlockId, BlockId), Vec<(VReg, VReg)>> = BTreeMap::new();
+    for b in f.block_ids().collect::<Vec<_>>() {
+        let mut kept = Vec::new();
+        for inst in f.block(b).insts.clone() {
+            if let Inst::Phi { dst, args } = inst {
+                for (p, v) in args {
+                    edge_copies.entry((p, b)).or_default().push((dst, v));
+                }
+            } else {
+                kept.push(inst);
+            }
+        }
+        f.block_mut(b).insts = kept;
+    }
+    if edge_copies.is_empty() {
+        return;
+    }
+    for ((p, b), copies) in edge_copies {
+        // Staged parallel copy: tmp_i = src_i ; dst_i = tmp_i. This is
+        // immune to the swap/lost-copy problems.
+        let mut seq = Vec::new();
+        let mut temps = Vec::new();
+        for (_, src) in &copies {
+            let t = f.fresh();
+            temps.push(t);
+            seq.push(Inst::Copy { dst: t, src: *src });
+        }
+        for ((dst, _), t) in copies.iter().zip(&temps) {
+            seq.push(Inst::Copy { dst: *dst, src: *t });
+        }
+        let p_succs = f.block(p).term.succs();
+        if p_succs.len() == 1 {
+            // Insert at the end of the predecessor.
+            let blk = f.block_mut(p);
+            blk.insts.extend(seq);
+        } else {
+            // Critical edge: split with a fresh forwarding block.
+            let e = BlockId(f.blocks.len() as u32);
+            f.blocks.push(Block {
+                insts: seq,
+                term: Term::Goto(b),
+            });
+            f.block_mut(p).term.map_succs(&mut |s| if s == b { e } else { s });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mir::BinOp;
+
+    /// let x = 0; if c { x = 1 } else { x = 2 }; return x  — the classic
+    /// φ example.
+    fn phi_example() -> MirFunction {
+        MirFunction {
+            name: "t".into(),
+            params: 1, // v0 = c
+            returns_value: true,
+            exported: true,
+            blocks: vec![
+                Block {
+                    insts: vec![Inst::Const {
+                        dst: VReg(1),
+                        value: 0,
+                    }],
+                    term: Term::Br {
+                        cond: VReg(0),
+                        then_block: BlockId(1),
+                        else_block: BlockId(2),
+                    },
+                },
+                Block {
+                    insts: vec![Inst::Const {
+                        dst: VReg(1),
+                        value: 1,
+                    }],
+                    term: Term::Goto(BlockId(3)),
+                },
+                Block {
+                    insts: vec![Inst::Const {
+                        dst: VReg(1),
+                        value: 2,
+                    }],
+                    term: Term::Goto(BlockId(3)),
+                },
+                Block {
+                    insts: vec![],
+                    term: Term::Ret(Some(VReg(1))),
+                },
+            ],
+            next_vreg: 2,
+        }
+    }
+
+    #[test]
+    fn construct_places_phi_at_join() {
+        let mut f = phi_example();
+        construct(&mut f);
+        let join = &f.blocks[3];
+        assert!(
+            matches!(join.insts.first(), Some(Inst::Phi { .. })),
+            "{f}"
+        );
+        // Single static assignment: every def is unique.
+        let mut defs = BTreeSet::new();
+        for b in &f.blocks {
+            for i in &b.insts {
+                if let Some(d) = i.def() {
+                    assert!(defs.insert(d), "double definition of {d} in\n{f}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn destruct_removes_phis_and_stays_executable() {
+        let mut f = phi_example();
+        construct(&mut f);
+        destruct(&mut f);
+        for b in &f.blocks {
+            for i in &b.insts {
+                assert!(!matches!(i, Inst::Phi { .. }));
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_block_removal_remaps_ids() {
+        let mut f = phi_example();
+        // Add a dangling block.
+        f.blocks.push(Block {
+            insts: vec![Inst::Bin {
+                op: BinOp::Add,
+                dst: VReg(9),
+                lhs: VReg(0),
+                rhs: VReg(0),
+            }],
+            term: Term::Ret(None),
+        });
+        remove_unreachable_blocks(&mut f);
+        assert_eq!(f.blocks.len(), 4);
+        // Terminators still point at valid blocks.
+        for b in f.block_ids() {
+            for s in f.block(b).term.succs() {
+                assert!((s.0 as usize) < f.blocks.len());
+            }
+        }
+    }
+
+    #[test]
+    fn loop_variable_gets_phi_in_header() {
+        // i = 0; while (i < n) { i = i + 1 } return i
+        let mut f = MirFunction {
+            name: "loop".into(),
+            params: 1, // v0 = n
+            returns_value: true,
+            exported: true,
+            blocks: vec![
+                Block {
+                    insts: vec![Inst::Const {
+                        dst: VReg(1),
+                        value: 0,
+                    }],
+                    term: Term::Goto(BlockId(1)),
+                },
+                Block {
+                    insts: vec![Inst::Bin {
+                        op: BinOp::Lt,
+                        dst: VReg(2),
+                        lhs: VReg(1),
+                        rhs: VReg(0),
+                    }],
+                    term: Term::Br {
+                        cond: VReg(2),
+                        then_block: BlockId(2),
+                        else_block: BlockId(3),
+                    },
+                },
+                Block {
+                    insts: vec![
+                        Inst::Const {
+                            dst: VReg(3),
+                            value: 1,
+                        },
+                        Inst::Bin {
+                            op: BinOp::Add,
+                            dst: VReg(1),
+                            lhs: VReg(1),
+                            rhs: VReg(3),
+                        },
+                    ],
+                    term: Term::Goto(BlockId(1)),
+                },
+                Block {
+                    insts: vec![],
+                    term: Term::Ret(Some(VReg(1))),
+                },
+            ],
+            next_vreg: 4,
+        };
+        construct(&mut f);
+        let header = &f.blocks[1];
+        assert!(matches!(header.insts.first(), Some(Inst::Phi { .. })), "{f}");
+        destruct(&mut f);
+        for b in &f.blocks {
+            for i in &b.insts {
+                assert!(!matches!(i, Inst::Phi { .. }));
+            }
+        }
+    }
+}

@@ -1,0 +1,758 @@
+//! Structural and type checking of modules.
+//!
+//! The checker establishes everything `occ`'s lowering assumes: resolved
+//! names, scalar locals, well-typed places, no assignment to `const`
+//! globals, acyclic struct definitions, and terminated non-void functions.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::ast::{
+    BinOp, Expr, Function, Init, Module, Place, Stmt, Type, UnOp,
+};
+
+/// A checking failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// Duplicate definition of a top-level name.
+    Duplicate(String),
+    /// Reference to an unknown name.
+    Unknown(String),
+    /// A type mismatch, with a human-readable context.
+    Mismatch {
+        /// What was expected.
+        expected: String,
+        /// What was found.
+        found: String,
+        /// Where.
+        context: String,
+    },
+    /// Locals and parameters must have scalar types.
+    NonScalarLocal(String),
+    /// Integer literal outside the 32-bit range.
+    LiteralOutOfRange(i64),
+    /// Assignment to (part of) a `const` global.
+    AssignToConst(String),
+    /// `break` outside a loop.
+    BreakOutsideLoop(String),
+    /// Duplicate `case` value in a `switch`.
+    DuplicateCase(i64),
+    /// A non-void function may fall off its end.
+    MissingReturn(String),
+    /// Struct definitions form a cycle (layout would be infinite).
+    RecursiveStruct(String),
+    /// A global initializer does not match the global's type.
+    BadInitializer(String),
+    /// Wrong number of call arguments.
+    ArityMismatch {
+        /// Callee name or description.
+        callee: String,
+        /// Expected arity.
+        expected: usize,
+        /// Found arity.
+        found: usize,
+    },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::Duplicate(n) => write!(f, "duplicate definition of `{n}`"),
+            TypeError::Unknown(n) => write!(f, "unknown name `{n}`"),
+            TypeError::Mismatch {
+                expected,
+                found,
+                context,
+            } => write!(f, "type mismatch in {context}: expected {expected}, found {found}"),
+            TypeError::NonScalarLocal(n) => write!(f, "local `{n}` has a non-scalar type"),
+            TypeError::LiteralOutOfRange(v) => write!(f, "literal {v} does not fit in i32"),
+            TypeError::AssignToConst(n) => write!(f, "assignment to const global `{n}`"),
+            TypeError::BreakOutsideLoop(fun) => write!(f, "`break` outside a loop in `{fun}`"),
+            TypeError::DuplicateCase(v) => write!(f, "duplicate case value {v}"),
+            TypeError::MissingReturn(fun) => {
+                write!(f, "non-void function `{fun}` may fall off its end")
+            }
+            TypeError::RecursiveStruct(n) => write!(f, "recursive struct `{n}`"),
+            TypeError::BadInitializer(n) => write!(f, "initializer of `{n}` does not match its type"),
+            TypeError::ArityMismatch {
+                callee,
+                expected,
+                found,
+            } => write!(f, "call of `{callee}`: expected {expected} args, found {found}"),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+struct Ctx<'m> {
+    module: &'m Module,
+    locals: BTreeMap<String, Type>,
+    current_fn: String,
+}
+
+impl Module {
+    /// Checks the whole module.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found, in a deterministic order
+    /// (top-level names, struct shapes, globals, then function bodies).
+    pub fn check(&self) -> Result<(), TypeError> {
+        self.check_toplevel_names()?;
+        self.check_struct_acyclicity()?;
+        for g in &self.globals {
+            self.check_init(&g.ty, &g.init)
+                .map_err(|_| TypeError::BadInitializer(g.name.clone()))?;
+        }
+        for f in &self.functions {
+            self.check_function(f)?;
+        }
+        Ok(())
+    }
+
+    fn check_toplevel_names(&self) -> Result<(), TypeError> {
+        let mut seen = BTreeSet::new();
+        for n in self
+            .structs
+            .iter()
+            .map(|s| &s.name)
+            .chain(self.externs.iter().map(|e| &e.name))
+            .chain(self.globals.iter().map(|g| &g.name))
+            .chain(self.functions.iter().map(|f| &f.name))
+        {
+            if !seen.insert(n.clone()) {
+                return Err(TypeError::Duplicate(n.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_struct_acyclicity(&self) -> Result<(), TypeError> {
+        fn visit(
+            module: &Module,
+            name: &str,
+            visiting: &mut BTreeSet<String>,
+            done: &mut BTreeSet<String>,
+        ) -> Result<(), TypeError> {
+            if done.contains(name) {
+                return Ok(());
+            }
+            if !visiting.insert(name.to_string()) {
+                return Err(TypeError::RecursiveStruct(name.to_string()));
+            }
+            let def = module
+                .struct_def(name)
+                .ok_or_else(|| TypeError::Unknown(name.to_string()))?;
+            for (_, ty) in &def.fields {
+                let mut t = ty;
+                while let Type::Array(elem, _) = t {
+                    t = elem;
+                }
+                if let Type::Struct(inner) = t {
+                    visit(module, inner, visiting, done)?;
+                }
+            }
+            visiting.remove(name);
+            done.insert(name.to_string());
+            Ok(())
+        }
+        let mut done = BTreeSet::new();
+        for s in &self.structs {
+            visit(self, &s.name, &mut BTreeSet::new(), &mut done)?;
+        }
+        Ok(())
+    }
+
+    fn check_init(&self, ty: &Type, init: &Init) -> Result<(), ()> {
+        match (ty, init) {
+            (_, Init::Zero) => Ok(()),
+            (Type::I32, Init::Int(v)) => {
+                if i32::try_from(*v).is_ok() {
+                    Ok(())
+                } else {
+                    Err(())
+                }
+            }
+            (Type::Bool, Init::Bool(_)) => Ok(()),
+            (Type::FnPtr { params, ret }, Init::FnAddr(name)) => {
+                let f = self.function(name).ok_or(())?;
+                let sig_params: Vec<Type> = f.params.iter().map(|(_, t)| t.clone()).collect();
+                if &sig_params == params && f.ret == **ret {
+                    Ok(())
+                } else {
+                    Err(())
+                }
+            }
+            (Type::Array(elem, n), Init::Array(items)) => {
+                if items.len() != *n {
+                    return Err(());
+                }
+                for item in items {
+                    self.check_init(elem, item)?;
+                }
+                Ok(())
+            }
+            (Type::Struct(name), Init::Struct(items)) => {
+                let def = self.struct_def(name).ok_or(())?;
+                if def.fields.len() != items.len() {
+                    return Err(());
+                }
+                for ((_, fty), item) in def.fields.iter().zip(items) {
+                    self.check_init(fty, item)?;
+                }
+                Ok(())
+            }
+            _ => Err(()),
+        }
+    }
+
+    fn check_function(&self, f: &Function) -> Result<(), TypeError> {
+        let mut ctx = Ctx {
+            module: self,
+            locals: BTreeMap::new(),
+            current_fn: f.name.clone(),
+        };
+        for (name, ty) in &f.params {
+            if !ty.is_scalar() {
+                return Err(TypeError::NonScalarLocal(name.clone()));
+            }
+            if ctx.locals.insert(name.clone(), ty.clone()).is_some() {
+                return Err(TypeError::Duplicate(name.clone()));
+            }
+        }
+        ctx.check_block(&f.body, &f.ret, false)?;
+        if f.ret != Type::Void && !block_terminates(&f.body) {
+            return Err(TypeError::MissingReturn(f.name.clone()));
+        }
+        Ok(())
+    }
+}
+
+/// `true` if every path through the block ends in `return`.
+fn block_terminates(body: &[Stmt]) -> bool {
+    body.last().is_some_and(stmt_terminates)
+}
+
+fn stmt_terminates(stmt: &Stmt) -> bool {
+    match stmt {
+        Stmt::Return(_) => true,
+        Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } => block_terminates(then_body) && block_terminates(else_body),
+        Stmt::Switch { cases, default, .. } => {
+            cases.iter().all(|(_, b)| block_terminates(b)) && block_terminates(default)
+        }
+        _ => false,
+    }
+}
+
+impl Ctx<'_> {
+    fn check_block(
+        &mut self,
+        body: &[Stmt],
+        ret: &Type,
+        in_loop: bool,
+    ) -> Result<(), TypeError> {
+        for stmt in body {
+            self.check_stmt(stmt, ret, in_loop)?;
+        }
+        Ok(())
+    }
+
+    fn check_stmt(&mut self, stmt: &Stmt, ret: &Type, in_loop: bool) -> Result<(), TypeError> {
+        match stmt {
+            Stmt::Let { name, ty, init } => {
+                if !ty.is_scalar() {
+                    return Err(TypeError::NonScalarLocal(name.clone()));
+                }
+                if let Some(init) = init {
+                    let found = self.type_of_expr(init)?;
+                    self.expect(ty, &found, &format!("initializer of `{name}`"))?;
+                }
+                if self.locals.insert(name.clone(), ty.clone()).is_some() {
+                    return Err(TypeError::Duplicate(name.clone()));
+                }
+                Ok(())
+            }
+            Stmt::Assign { place, value } => {
+                if let Some(root) = place_root(place) {
+                    if self.locals.get(root).is_none() {
+                        if let Some(g) = self.module.global(root) {
+                            if !g.mutable {
+                                return Err(TypeError::AssignToConst(root.to_string()));
+                            }
+                        }
+                    }
+                }
+                let pt = self.type_of_place(place)?;
+                let vt = self.type_of_expr(value)?;
+                self.expect(&pt, &vt, "assignment")
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let t = self.type_of_expr(cond)?;
+                self.expect(&Type::Bool, &t, "if condition")?;
+                self.check_block(then_body, ret, in_loop)?;
+                self.check_block(else_body, ret, in_loop)
+            }
+            Stmt::While { cond, body } => {
+                let t = self.type_of_expr(cond)?;
+                self.expect(&Type::Bool, &t, "while condition")?;
+                self.check_block(body, ret, true)
+            }
+            Stmt::Switch {
+                scrutinee,
+                cases,
+                default,
+            } => {
+                let t = self.type_of_expr(scrutinee)?;
+                self.expect(&Type::I32, &t, "switch scrutinee")?;
+                let mut seen = BTreeSet::new();
+                for (value, body) in cases {
+                    if !seen.insert(*value) {
+                        return Err(TypeError::DuplicateCase(*value));
+                    }
+                    if i32::try_from(*value).is_err() {
+                        return Err(TypeError::LiteralOutOfRange(*value));
+                    }
+                    self.check_block(body, ret, in_loop)?;
+                }
+                self.check_block(default, ret, in_loop)
+            }
+            Stmt::Return(value) => match (value, ret) {
+                (None, Type::Void) => Ok(()),
+                (Some(_), Type::Void) => Err(TypeError::Mismatch {
+                    expected: "void return".into(),
+                    found: "value".into(),
+                    context: format!("return in `{}`", self.current_fn),
+                }),
+                (None, other) => Err(TypeError::Mismatch {
+                    expected: other.to_string(),
+                    found: "void return".into(),
+                    context: format!("return in `{}`", self.current_fn),
+                }),
+                (Some(e), other) => {
+                    let t = self.type_of_expr(e)?;
+                    self.expect(other, &t, "return value")
+                }
+            },
+            Stmt::Expr(e) => {
+                self.type_of_expr(e)?;
+                Ok(())
+            }
+            Stmt::Break => {
+                if in_loop {
+                    Ok(())
+                } else {
+                    Err(TypeError::BreakOutsideLoop(self.current_fn.clone()))
+                }
+            }
+        }
+    }
+
+    fn expect(&self, expected: &Type, found: &Type, context: &str) -> Result<(), TypeError> {
+        if expected == found {
+            Ok(())
+        } else {
+            Err(TypeError::Mismatch {
+                expected: expected.to_string(),
+                found: found.to_string(),
+                context: format!("{context} (in `{}`)", self.current_fn),
+            })
+        }
+    }
+
+    fn type_of_place(&mut self, place: &Place) -> Result<Type, TypeError> {
+        match place {
+            Place::Var(name) => {
+                if let Some(t) = self.locals.get(name) {
+                    return Ok(t.clone());
+                }
+                if let Some(g) = self.module.global(name) {
+                    return Ok(g.ty.clone());
+                }
+                Err(TypeError::Unknown(name.clone()))
+            }
+            Place::Field(base, field) => {
+                let bt = self.type_of_place(base)?;
+                let Type::Struct(name) = bt else {
+                    return Err(TypeError::Mismatch {
+                        expected: "struct".into(),
+                        found: bt.to_string(),
+                        context: format!("field access `.{field}`"),
+                    });
+                };
+                let def = self
+                    .module
+                    .struct_def(&name)
+                    .ok_or_else(|| TypeError::Unknown(name.clone()))?;
+                let (_, ty) = def
+                    .field(field)
+                    .ok_or_else(|| TypeError::Unknown(format!("{name}.{field}")))?;
+                Ok(ty.clone())
+            }
+            Place::Index(base, index) => {
+                let bt = self.type_of_place(base)?;
+                let Type::Array(elem, _) = bt else {
+                    return Err(TypeError::Mismatch {
+                        expected: "array".into(),
+                        found: bt.to_string(),
+                        context: "indexing".into(),
+                    });
+                };
+                let it = self.type_of_expr(index)?;
+                self.expect(&Type::I32, &it, "array index")?;
+                Ok(*elem)
+            }
+        }
+    }
+
+    fn type_of_expr(&mut self, expr: &Expr) -> Result<Type, TypeError> {
+        match expr {
+            Expr::Int(v) => {
+                if i32::try_from(*v).is_err() {
+                    return Err(TypeError::LiteralOutOfRange(*v));
+                }
+                Ok(Type::I32)
+            }
+            Expr::Bool(_) => Ok(Type::Bool),
+            Expr::Place(p) => self.type_of_place(p),
+            Expr::Unary(op, inner) => {
+                let t = self.type_of_expr(inner)?;
+                match op {
+                    UnOp::Neg => {
+                        self.expect(&Type::I32, &t, "negation")?;
+                        Ok(Type::I32)
+                    }
+                    UnOp::Not => {
+                        self.expect(&Type::Bool, &t, "boolean not")?;
+                        Ok(Type::Bool)
+                    }
+                }
+            }
+            Expr::Binary(op, lhs, rhs) => {
+                let lt = self.type_of_expr(lhs)?;
+                let rt = self.type_of_expr(rhs)?;
+                match op {
+                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => {
+                        self.expect(&Type::I32, &lt, "arithmetic lhs")?;
+                        self.expect(&Type::I32, &rt, "arithmetic rhs")?;
+                        Ok(Type::I32)
+                    }
+                    BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                        self.expect(&Type::I32, &lt, "comparison lhs")?;
+                        self.expect(&Type::I32, &rt, "comparison rhs")?;
+                        Ok(Type::Bool)
+                    }
+                    BinOp::Eq | BinOp::Ne => {
+                        self.expect(&lt, &rt, "equality operands")?;
+                        Ok(Type::Bool)
+                    }
+                    BinOp::And | BinOp::Or => {
+                        self.expect(&Type::Bool, &lt, "logic lhs")?;
+                        self.expect(&Type::Bool, &rt, "logic rhs")?;
+                        Ok(Type::Bool)
+                    }
+                }
+            }
+            Expr::Call(name, args) => {
+                let (params, ret): (Vec<Type>, Type) =
+                    if let Some(f) = self.module.function(name) {
+                        (
+                            f.params.iter().map(|(_, t)| t.clone()).collect(),
+                            f.ret.clone(),
+                        )
+                    } else if let Some(e) = self.module.extern_decl(name) {
+                        (e.params.clone(), e.ret.clone())
+                    } else {
+                        return Err(TypeError::Unknown(name.clone()));
+                    };
+                self.check_args(name, &params, args)?;
+                Ok(ret)
+            }
+            Expr::CallPtr(callee, args) => {
+                let ct = self.type_of_expr(callee)?;
+                let Type::FnPtr { params, ret } = ct else {
+                    return Err(TypeError::Mismatch {
+                        expected: "function pointer".into(),
+                        found: ct.to_string(),
+                        context: "indirect call".into(),
+                    });
+                };
+                self.check_args("<indirect>", &params, args)?;
+                Ok(*ret)
+            }
+            Expr::FnAddr(name) => {
+                let f = self
+                    .module
+                    .function(name)
+                    .ok_or_else(|| TypeError::Unknown(name.clone()))?;
+                Ok(Type::fn_ptr(
+                    f.params.iter().map(|(_, t)| t.clone()).collect(),
+                    f.ret.clone(),
+                ))
+            }
+        }
+    }
+
+    fn check_args(
+        &mut self,
+        callee: &str,
+        params: &[Type],
+        args: &[Expr],
+    ) -> Result<(), TypeError> {
+        if params.len() != args.len() {
+            return Err(TypeError::ArityMismatch {
+                callee: callee.to_string(),
+                expected: params.len(),
+                found: args.len(),
+            });
+        }
+        for (p, a) in params.iter().zip(args) {
+            let at = self.type_of_expr(a)?;
+            self.expect(p, &at, &format!("argument of `{callee}`"))?;
+        }
+        Ok(())
+    }
+}
+
+fn place_root(place: &Place) -> Option<&str> {
+    match place {
+        Place::Var(name) => Some(name),
+        Place::Field(base, _) => place_root(base),
+        Place::Index(base, _) => place_root(base),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{ExternDecl, GlobalDef, StructDef};
+
+    fn f(name: &str, ret: Type, body: Vec<Stmt>) -> Function {
+        Function {
+            name: name.into(),
+            params: vec![],
+            ret,
+            body,
+            exported: true,
+        }
+    }
+
+    #[test]
+    fn accepts_simple_function() {
+        let mut m = Module::new("m");
+        m.push_function(f(
+            "main",
+            Type::I32,
+            vec![
+                Stmt::Let {
+                    name: "x".into(),
+                    ty: Type::I32,
+                    init: Some(Expr::Int(1)),
+                },
+                Stmt::Return(Some(Expr::var("x").add(Expr::Int(2)))),
+            ],
+        ));
+        m.check().expect("well-typed");
+    }
+
+    #[test]
+    fn rejects_duplicate_toplevel() {
+        let mut m = Module::new("m");
+        m.push_function(f("x", Type::Void, vec![]));
+        m.push_global(GlobalDef {
+            name: "x".into(),
+            ty: Type::I32,
+            init: Init::Int(0),
+            mutable: true,
+        });
+        assert!(matches!(m.check(), Err(TypeError::Duplicate(_))));
+    }
+
+    #[test]
+    fn rejects_unknown_variable() {
+        let mut m = Module::new("m");
+        m.push_function(f(
+            "main",
+            Type::Void,
+            vec![Stmt::Expr(Expr::var("ghost"))],
+        ));
+        assert!(matches!(m.check(), Err(TypeError::Unknown(_))));
+    }
+
+    #[test]
+    fn rejects_bad_condition_type() {
+        let mut m = Module::new("m");
+        m.push_function(f(
+            "main",
+            Type::Void,
+            vec![Stmt::If {
+                cond: Expr::Int(1),
+                then_body: vec![],
+                else_body: vec![],
+            }],
+        ));
+        assert!(matches!(m.check(), Err(TypeError::Mismatch { .. })));
+    }
+
+    #[test]
+    fn rejects_assign_to_const() {
+        let mut m = Module::new("m");
+        m.push_global(GlobalDef {
+            name: "table".into(),
+            ty: Type::Array(Box::new(Type::I32), 2),
+            init: Init::Array(vec![Init::Int(1), Init::Int(2)]),
+            mutable: false,
+        });
+        m.push_function(f(
+            "main",
+            Type::Void,
+            vec![Stmt::Assign {
+                place: Place::var("table").index(Expr::Int(0)),
+                value: Expr::Int(9),
+            }],
+        ));
+        assert!(matches!(m.check(), Err(TypeError::AssignToConst(_))));
+    }
+
+    #[test]
+    fn rejects_missing_return() {
+        let mut m = Module::new("m");
+        m.push_function(f(
+            "main",
+            Type::I32,
+            vec![Stmt::If {
+                cond: Expr::Bool(true),
+                then_body: vec![Stmt::Return(Some(Expr::Int(1)))],
+                else_body: vec![],
+            }],
+        ));
+        assert!(matches!(m.check(), Err(TypeError::MissingReturn(_))));
+    }
+
+    #[test]
+    fn accepts_exhaustive_switch_return() {
+        let mut m = Module::new("m");
+        m.push_function(Function {
+            name: "sel".into(),
+            params: vec![("k".into(), Type::I32)],
+            ret: Type::I32,
+            body: vec![Stmt::Switch {
+                scrutinee: Expr::var("k"),
+                cases: vec![
+                    (0, vec![Stmt::Return(Some(Expr::Int(10)))]),
+                    (1, vec![Stmt::Return(Some(Expr::Int(20)))]),
+                ],
+                default: vec![Stmt::Return(Some(Expr::Int(0)))],
+            }],
+            exported: true,
+        });
+        m.check().expect("well-typed");
+    }
+
+    #[test]
+    fn rejects_duplicate_case() {
+        let mut m = Module::new("m");
+        m.push_function(f(
+            "main",
+            Type::Void,
+            vec![Stmt::Switch {
+                scrutinee: Expr::Int(0),
+                cases: vec![(1, vec![]), (1, vec![])],
+                default: vec![],
+            }],
+        ));
+        assert!(matches!(m.check(), Err(TypeError::DuplicateCase(1))));
+    }
+
+    #[test]
+    fn rejects_break_outside_loop() {
+        let mut m = Module::new("m");
+        m.push_function(f("main", Type::Void, vec![Stmt::Break]));
+        assert!(matches!(m.check(), Err(TypeError::BreakOutsideLoop(_))));
+    }
+
+    #[test]
+    fn rejects_recursive_struct() {
+        let mut m = Module::new("m");
+        m.push_struct(StructDef {
+            name: "A".into(),
+            fields: vec![("b".into(), Type::Struct("B".into()))],
+        });
+        m.push_struct(StructDef {
+            name: "B".into(),
+            fields: vec![("a".into(), Type::Struct("A".into()))],
+        });
+        assert!(matches!(m.check(), Err(TypeError::RecursiveStruct(_))));
+    }
+
+    #[test]
+    fn checks_fn_ptr_tables() {
+        let mut m = Module::new("m");
+        m.push_function(Function {
+            name: "h0".into(),
+            params: vec![("e".into(), Type::I32)],
+            ret: Type::Void,
+            body: vec![],
+            exported: false,
+        });
+        m.push_global(GlobalDef {
+            name: "handlers".into(),
+            ty: Type::Array(Box::new(Type::fn_ptr(vec![Type::I32], Type::Void)), 1),
+            init: Init::Array(vec![Init::FnAddr("h0".into())]),
+            mutable: false,
+        });
+        m.push_function(f(
+            "main",
+            Type::Void,
+            vec![Stmt::Expr(Expr::CallPtr(
+                Box::new(Expr::Place(Place::var("handlers").index(Expr::Int(0)))),
+                vec![Expr::Int(7)],
+            ))],
+        ));
+        m.check().expect("well-typed");
+    }
+
+    #[test]
+    fn rejects_fn_ptr_signature_mismatch() {
+        let mut m = Module::new("m");
+        m.push_function(Function {
+            name: "h0".into(),
+            params: vec![],
+            ret: Type::Void,
+            body: vec![],
+            exported: false,
+        });
+        m.push_global(GlobalDef {
+            name: "handlers".into(),
+            ty: Type::Array(Box::new(Type::fn_ptr(vec![Type::I32], Type::Void)), 1),
+            init: Init::Array(vec![Init::FnAddr("h0".into())]),
+            mutable: false,
+        });
+        assert!(matches!(m.check(), Err(TypeError::BadInitializer(_))));
+    }
+
+    #[test]
+    fn rejects_extern_arity_mismatch() {
+        let mut m = Module::new("m");
+        m.push_extern(ExternDecl {
+            name: "env_emit".into(),
+            params: vec![Type::I32, Type::I32],
+            ret: Type::Void,
+        });
+        m.push_function(f(
+            "main",
+            Type::Void,
+            vec![Stmt::Expr(Expr::Call("env_emit".into(), vec![Expr::Int(1)]))],
+        ));
+        assert!(matches!(m.check(), Err(TypeError::ArityMismatch { .. })));
+    }
+}

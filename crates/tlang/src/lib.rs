@@ -1,0 +1,52 @@
+//! `tlang` — the target language for state-machine code generation.
+//!
+//! The paper generates C++ from UML state machines and compiles it with
+//! GCC. This crate is the corresponding substrate: a small, typed, C-like
+//! language with
+//!
+//! * 32-bit integers and booleans (the embedded target's `int`),
+//! * structs, fixed-size arrays and constant global tables,
+//! * function pointers (used by the State-Pattern and STT generators for
+//!   handler tables, i.e. the moral equivalent of C++ vtables),
+//! * `if`/`while`/`switch` control flow.
+//!
+//! It ships three tools the rest of the toolchain builds on:
+//!
+//! * a structural [`check`](Module::check) pass (name resolution + types),
+//! * a C-flavoured pretty-printer ([`Module::to_source`]) so generated
+//!   programs can be read and diffed like the paper's generated C++,
+//! * a reference [`interp`] interpreter used as the oracle when validating
+//!   the `occ` optimizing compiler: a compiled program must behave exactly
+//!   like its source.
+//!
+//! # Example
+//!
+//! ```
+//! use tlang::{Expr, Function, Module, Stmt, Type};
+//!
+//! let mut module = Module::new("demo");
+//! module.push_function(Function {
+//!     name: "answer".into(),
+//!     params: vec![],
+//!     ret: Type::I32,
+//!     body: vec![Stmt::Return(Some(Expr::Int(42)))],
+//!     exported: true,
+//! });
+//! module.check().expect("well-typed");
+//! assert!(module.to_source().contains("fn answer"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod check;
+pub mod interp;
+mod printer;
+
+pub use ast::{
+    BinOp, Expr, ExternDecl, Function, GlobalDef, Init, Module, Place, Stmt, StructDef, Type,
+    UnOp,
+};
+pub use check::TypeError;
+pub use interp::{Env, ExecError, Interpreter, RecordingEnv, Value};

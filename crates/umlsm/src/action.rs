@@ -1,0 +1,263 @@
+//! The action language used by entry/exit behaviours and transition effects.
+//!
+//! Actions are the UML "Action & Activities" subset the paper relies on for
+//! fully automatic code generation: assignments to context variables,
+//! observable signal emissions, and conditional blocks. Loops are
+//! intentionally absent so every action sequence terminates — the property
+//! that makes bounded trace equivalence a sound behaviour-preservation
+//! check for model optimizations.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::expr::Expr;
+
+/// A single action statement.
+///
+/// # Example
+///
+/// ```
+/// use umlsm::{Action, Expr};
+///
+/// // speed = speed + 1; emit("accelerating", speed)
+/// let actions = vec![
+///     Action::assign("speed", Expr::var("speed").add(Expr::int(1))),
+///     Action::emit_arg("accelerating", Expr::var("speed")),
+/// ];
+/// assert_eq!(actions.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Assigns the value of an expression to a context variable.
+    Assign {
+        /// Target variable name.
+        var: String,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// Emits an observable signal, optionally carrying one integer argument.
+    ///
+    /// Emissions are the *observable behaviour* of a machine: the trace of
+    /// emissions is what model optimization and code generation must
+    /// preserve.
+    Emit {
+        /// Signal name.
+        signal: String,
+        /// Optional integer payload.
+        arg: Option<Expr>,
+    },
+    /// Executes one of two action sequences depending on a condition.
+    If {
+        /// Boolean condition.
+        cond: Expr,
+        /// Actions executed when the condition holds.
+        then_actions: Vec<Action>,
+        /// Actions executed otherwise.
+        else_actions: Vec<Action>,
+    },
+}
+
+impl Action {
+    /// Builds an assignment action.
+    pub fn assign(var: impl Into<String>, value: Expr) -> Action {
+        Action::Assign {
+            var: var.into(),
+            value,
+        }
+    }
+
+    /// Builds a signal emission with no payload.
+    pub fn emit(signal: impl Into<String>) -> Action {
+        Action::Emit {
+            signal: signal.into(),
+            arg: None,
+        }
+    }
+
+    /// Builds a signal emission carrying one integer payload.
+    pub fn emit_arg(signal: impl Into<String>, arg: Expr) -> Action {
+        Action::Emit {
+            signal: signal.into(),
+            arg: Some(arg),
+        }
+    }
+
+    /// Builds a conditional action.
+    pub fn if_else(cond: Expr, then_actions: Vec<Action>, else_actions: Vec<Action>) -> Action {
+        Action::If {
+            cond,
+            then_actions,
+            else_actions,
+        }
+    }
+
+    /// Builds a conditional action without an else branch.
+    pub fn if_then(cond: Expr, then_actions: Vec<Action>) -> Action {
+        Action::if_else(cond, then_actions, Vec::new())
+    }
+
+    /// Collects every variable read by this action (guards and right-hand
+    /// sides, recursively).
+    pub fn read_vars(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Action::Assign { value, .. } => out.extend(value.free_vars()),
+            Action::Emit { arg, .. } => {
+                if let Some(arg) = arg {
+                    out.extend(arg.free_vars());
+                }
+            }
+            Action::If {
+                cond,
+                then_actions,
+                else_actions,
+            } => {
+                out.extend(cond.free_vars());
+                for a in then_actions.iter().chain(else_actions) {
+                    a.read_vars(out);
+                }
+            }
+        }
+    }
+
+    /// Collects every variable written by this action, recursively.
+    pub fn written_vars(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Action::Assign { var, .. } => {
+                out.insert(var.clone());
+            }
+            Action::Emit { .. } => {}
+            Action::If {
+                then_actions,
+                else_actions,
+                ..
+            } => {
+                for a in then_actions.iter().chain(else_actions) {
+                    a.written_vars(out);
+                }
+            }
+        }
+    }
+
+    /// Collects every signal name this action may emit, recursively.
+    pub fn emitted_signals(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Action::Assign { .. } => {}
+            Action::Emit { signal, .. } => {
+                out.insert(signal.clone());
+            }
+            Action::If {
+                then_actions,
+                else_actions,
+                ..
+            } => {
+                for a in then_actions.iter().chain(else_actions) {
+                    a.emitted_signals(out);
+                }
+            }
+        }
+    }
+
+    /// Counts the primitive statements in this action, recursively. Used by
+    /// model metrics.
+    pub fn statement_count(&self) -> usize {
+        match self {
+            Action::Assign { .. } | Action::Emit { .. } => 1,
+            Action::If {
+                then_actions,
+                else_actions,
+                ..
+            } => {
+                1 + then_actions
+                    .iter()
+                    .chain(else_actions)
+                    .map(Action::statement_count)
+                    .sum::<usize>()
+            }
+        }
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Assign { var, value } => write!(f, "{var} = {value};"),
+            Action::Emit { signal, arg: None } => write!(f, "emit {signal};"),
+            Action::Emit {
+                signal,
+                arg: Some(arg),
+            } => write!(f, "emit {signal}({arg});"),
+            Action::If {
+                cond,
+                then_actions,
+                else_actions,
+            } => {
+                write!(f, "if {cond} {{ ")?;
+                for a in then_actions {
+                    write!(f, "{a} ")?;
+                }
+                write!(f, "}}")?;
+                if !else_actions.is_empty() {
+                    write!(f, " else {{ ")?;
+                    for a in else_actions {
+                        write!(f, "{a} ")?;
+                    }
+                    write!(f, "}}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    #[test]
+    fn read_and_written_vars() {
+        let a = Action::if_else(
+            Expr::var("mode").eq(Expr::int(1)),
+            vec![Action::assign("x", Expr::var("y").add(Expr::int(1)))],
+            vec![Action::emit_arg("sig", Expr::var("z"))],
+        );
+        let mut reads = BTreeSet::new();
+        a.read_vars(&mut reads);
+        assert_eq!(
+            reads.into_iter().collect::<Vec<_>>(),
+            vec!["mode".to_string(), "y".to_string(), "z".to_string()]
+        );
+        let mut writes = BTreeSet::new();
+        a.written_vars(&mut writes);
+        assert_eq!(writes.into_iter().collect::<Vec<_>>(), vec!["x".to_string()]);
+    }
+
+    #[test]
+    fn emitted_signals_recurse() {
+        let a = Action::if_then(
+            Expr::bool(true),
+            vec![Action::emit("inner"), Action::emit("other")],
+        );
+        let mut sigs = BTreeSet::new();
+        a.emitted_signals(&mut sigs);
+        assert_eq!(sigs.len(), 2);
+    }
+
+    #[test]
+    fn statement_count_counts_nested() {
+        let a = Action::if_else(
+            Expr::bool(true),
+            vec![Action::emit("a"), Action::emit("b")],
+            vec![Action::assign("x", Expr::int(0))],
+        );
+        assert_eq!(a.statement_count(), 4);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let a = Action::assign("x", Expr::int(3));
+        assert_eq!(a.to_string(), "x = 3;");
+        let e = Action::emit_arg("tick", Expr::var("x"));
+        assert_eq!(e.to_string(), "emit tick(x);");
+    }
+}

@@ -1,0 +1,125 @@
+//! Graphviz export of state machines.
+//!
+//! Mirrors what the paper's Papyrus diagrams show: states (composite states
+//! as clusters), initial/final pseudostates, and labelled transition arcs.
+
+use std::fmt::Write as _;
+
+use crate::ids::RegionId;
+use crate::machine::{StateKind, StateMachine, Trigger};
+
+impl StateMachine {
+    /// Renders the machine as a Graphviz `digraph`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use umlsm::MachineBuilder;
+    ///
+    /// # fn main() -> Result<(), umlsm::ValidateError> {
+    /// let mut b = MachineBuilder::new("m");
+    /// let a = b.state("A");
+    /// b.initial(a);
+    /// let dot = b.finish()?.to_dot();
+    /// assert!(dot.starts_with("digraph"));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", self.name());
+        let _ = writeln!(out, "  rankdir=LR;");
+        let _ = writeln!(out, "  node [shape=Mrecord, fontsize=10];");
+        self.dot_region(self.root(), 1, &mut out);
+        for (tid, t) in self.transitions() {
+            let label = match t.trigger {
+                Trigger::Event(e) => self.event(e).name.clone(),
+                Trigger::Completion => String::new(),
+            };
+            let guard = t
+                .guard
+                .as_ref()
+                .map(|g| format!(" [{g}]"))
+                .unwrap_or_default();
+            let _ = writeln!(
+                out,
+                "  s{} -> s{} [label=\"{label}{guard}\", id=\"{tid}\"];",
+                t.source.index(),
+                t.target.index()
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    fn dot_region(&self, region: RegionId, indent: usize, out: &mut String) {
+        let pad = "  ".repeat(indent);
+        if let Some(initial) = self.region(region).initial {
+            let _ = writeln!(
+                out,
+                "{pad}init_r{} [shape=point, width=0.15, label=\"\"];",
+                region.index()
+            );
+            let _ = writeln!(out, "{pad}init_r{} -> s{};", region.index(), initial.index());
+        }
+        for sid in self.states_in(region) {
+            let s = self.state(sid);
+            match s.kind {
+                StateKind::Simple => {
+                    let _ = writeln!(out, "{pad}s{} [label=\"{}\"];", sid.index(), s.name);
+                }
+                StateKind::Final => {
+                    let _ = writeln!(
+                        out,
+                        "{pad}s{} [shape=doublecircle, width=0.2, label=\"\"];",
+                        sid.index()
+                    );
+                }
+                StateKind::Composite(inner) => {
+                    let _ = writeln!(out, "{pad}subgraph cluster_s{} {{", sid.index());
+                    let _ = writeln!(out, "{pad}  label=\"{}\";", s.name);
+                    // Anchor node so transitions can attach to the composite.
+                    let _ = writeln!(
+                        out,
+                        "{pad}  s{} [shape=point, style=invis, label=\"\"];",
+                        sid.index()
+                    );
+                    self.dot_region(inner, indent + 1, out);
+                    let _ = writeln!(out, "{pad}}}");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::MachineBuilder;
+
+    #[test]
+    fn dot_contains_states_and_edges() {
+        let mut b = MachineBuilder::new("m");
+        let a = b.state("A");
+        let c = b.state("B");
+        let e = b.event("go");
+        b.initial(a);
+        b.transition(a, c).on(e).build();
+        let dot = b.finish().expect("valid").to_dot();
+        assert!(dot.contains("label=\"A\""));
+        assert!(dot.contains("label=\"go\""));
+        assert!(dot.contains("->"));
+    }
+
+    #[test]
+    fn composite_renders_as_cluster() {
+        let mut b = MachineBuilder::new("m");
+        let a = b.state("A");
+        let (_, inner) = b.composite("C");
+        let i = b.state_in(inner, "I");
+        b.initial(a);
+        b.initial_in(inner, i);
+        let dot = b.finish().expect("valid").to_dot();
+        assert!(dot.contains("subgraph cluster_"));
+        assert!(dot.contains("label=\"C\""));
+    }
+}

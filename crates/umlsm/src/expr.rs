@@ -1,0 +1,592 @@
+//! The guard/action expression language.
+//!
+//! Guards on transitions and right-hand sides of assignments are written in
+//! a deliberately small expression language over the machine's integer
+//! context variables. The language is shared by the model interpreter, the
+//! model optimizer (constant analysis of guards) and the code generators
+//! (translation to target-language expressions).
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The static type of an expression (see [`Expr::static_type`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExprType {
+    /// Integer-valued.
+    Int,
+    /// Boolean-valued.
+    Bool,
+}
+
+/// A runtime value of the action language: an integer or a boolean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Interprets the value as a boolean.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::TypeMismatch`] if the value is an integer.
+    pub fn as_bool(self) -> Result<bool, EvalError> {
+        match self {
+            Value::Bool(b) => Ok(b),
+            Value::Int(_) => Err(EvalError::TypeMismatch {
+                expected: "bool",
+                found: "int",
+            }),
+        }
+    }
+
+    /// Interprets the value as an integer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::TypeMismatch`] if the value is a boolean.
+    pub fn as_int(self) -> Result<i64, EvalError> {
+        match self {
+            Value::Int(i) => Ok(i),
+            Value::Bool(_) => Err(EvalError::TypeMismatch {
+                expected: "int",
+                found: "bool",
+            }),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// Binary operators of the expression language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Integer addition (wrapping).
+    Add,
+    /// Integer subtraction (wrapping).
+    Sub,
+    /// Integer multiplication (wrapping).
+    Mul,
+    /// Integer division; division by zero evaluates to zero, mirroring the
+    /// saturating semantics the generated embedded code uses.
+    Div,
+    /// Integer remainder; remainder by zero evaluates to zero.
+    Rem,
+    /// Equality on two values of the same type.
+    Eq,
+    /// Inequality on two values of the same type.
+    Ne,
+    /// Integer less-than.
+    Lt,
+    /// Integer less-or-equal.
+    Le,
+    /// Integer greater-than.
+    Gt,
+    /// Integer greater-or-equal.
+    Ge,
+    /// Boolean conjunction (non-short-circuit at the model level).
+    And,
+    /// Boolean disjunction (non-short-circuit at the model level).
+    Or,
+}
+
+impl BinOp {
+    /// Returns the surface syntax of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        }
+    }
+}
+
+/// Unary operators of the expression language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Integer negation.
+    Neg,
+    /// Boolean negation.
+    Not,
+}
+
+/// An expression over the machine's context variables.
+///
+/// # Example
+///
+/// ```
+/// use umlsm::Expr;
+///
+/// // speed >= 30
+/// let guard = Expr::var("speed").ge(Expr::int(30));
+/// assert_eq!(guard.to_string(), "(speed >= 30)");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// Reference to a context variable.
+    Var(String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+}
+
+/// An evaluation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A referenced variable is not defined by the machine.
+    UnknownVariable(String),
+    /// An operator was applied to a value of the wrong type.
+    TypeMismatch {
+        /// The type the operator required.
+        expected: &'static str,
+        /// The type that was found.
+        found: &'static str,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnknownVariable(name) => write!(f, "unknown variable `{name}`"),
+            EvalError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl Expr {
+    /// Builds an integer literal.
+    pub fn int(value: i64) -> Expr {
+        Expr::Int(value)
+    }
+
+    /// Builds a boolean literal.
+    pub fn bool(value: bool) -> Expr {
+        Expr::Bool(value)
+    }
+
+    /// Builds a variable reference.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// Builds `self + rhs`.
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Add, Box::new(self), Box::new(rhs))
+    }
+
+    /// Builds `self - rhs`.
+    pub fn sub(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Sub, Box::new(self), Box::new(rhs))
+    }
+
+    /// Builds `self * rhs`.
+    pub fn mul(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Mul, Box::new(self), Box::new(rhs))
+    }
+
+    /// Builds `self / rhs` (division by zero yields zero).
+    pub fn div(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Div, Box::new(self), Box::new(rhs))
+    }
+
+    /// Builds `self % rhs` (remainder by zero yields zero).
+    pub fn rem(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Rem, Box::new(self), Box::new(rhs))
+    }
+
+    /// Builds `self == rhs`.
+    pub fn eq(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Eq, Box::new(self), Box::new(rhs))
+    }
+
+    /// Builds `self != rhs`.
+    pub fn ne(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Ne, Box::new(self), Box::new(rhs))
+    }
+
+    /// Builds `self < rhs`.
+    pub fn lt(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Lt, Box::new(self), Box::new(rhs))
+    }
+
+    /// Builds `self <= rhs`.
+    pub fn le(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Le, Box::new(self), Box::new(rhs))
+    }
+
+    /// Builds `self > rhs`.
+    pub fn gt(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Gt, Box::new(self), Box::new(rhs))
+    }
+
+    /// Builds `self >= rhs`.
+    pub fn ge(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Ge, Box::new(self), Box::new(rhs))
+    }
+
+    /// Builds `self && rhs`.
+    pub fn and(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::And, Box::new(self), Box::new(rhs))
+    }
+
+    /// Builds `self || rhs`.
+    pub fn or(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Or, Box::new(self), Box::new(rhs))
+    }
+
+    /// Builds `!self`.
+    pub fn not(self) -> Expr {
+        Expr::Unary(UnOp::Not, Box::new(self))
+    }
+
+    /// Builds `-self`.
+    pub fn neg(self) -> Expr {
+        Expr::Unary(UnOp::Neg, Box::new(self))
+    }
+
+    /// Evaluates the expression in `env`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a variable is undefined or an operator is applied
+    /// to a value of the wrong type.
+    pub fn eval(&self, env: &BTreeMap<String, i64>) -> Result<Value, EvalError> {
+        match self {
+            Expr::Int(i) => Ok(Value::Int(*i)),
+            Expr::Bool(b) => Ok(Value::Bool(*b)),
+            Expr::Var(name) => env
+                .get(name)
+                .map(|v| Value::Int(*v))
+                .ok_or_else(|| EvalError::UnknownVariable(name.clone())),
+            Expr::Unary(op, inner) => {
+                let v = inner.eval(env)?;
+                match op {
+                    UnOp::Neg => Ok(Value::Int(v.as_int()?.wrapping_neg())),
+                    UnOp::Not => Ok(Value::Bool(!v.as_bool()?)),
+                }
+            }
+            Expr::Binary(op, lhs, rhs) => {
+                let l = lhs.eval(env)?;
+                let r = rhs.eval(env)?;
+                eval_binop(*op, l, r)
+            }
+        }
+    }
+
+    /// Folds constant sub-expressions, returning a simplified expression.
+    ///
+    /// Folding never changes evaluation results: ill-typed constant
+    /// sub-expressions are left untouched so that [`eval`](Self::eval) still
+    /// reports the same error.
+    pub fn fold(&self) -> Expr {
+        match self {
+            Expr::Int(_) | Expr::Bool(_) | Expr::Var(_) => self.clone(),
+            Expr::Unary(op, inner) => {
+                let inner = inner.fold();
+                if let Some(v) = const_value(&inner) {
+                    let folded = match op {
+                        UnOp::Neg => v.as_int().map(|i| Expr::Int(i.wrapping_neg())),
+                        UnOp::Not => v.as_bool().map(|b| Expr::Bool(!b)),
+                    };
+                    if let Ok(folded) = folded {
+                        return folded;
+                    }
+                }
+                Expr::Unary(*op, Box::new(inner))
+            }
+            Expr::Binary(op, lhs, rhs) => {
+                let lhs = lhs.fold();
+                let rhs = rhs.fold();
+                if let (Some(l), Some(r)) = (const_value(&lhs), const_value(&rhs)) {
+                    if let Ok(v) = eval_binop(*op, l, r) {
+                        return match v {
+                            Value::Int(i) => Expr::Int(i),
+                            Value::Bool(b) => Expr::Bool(b),
+                        };
+                    }
+                }
+                // Algebraic identities that require only one constant side.
+                // Sound only when the non-constant side is well-typed
+                // boolean for every environment: otherwise folding would
+                // hide the evaluation error the original expression raises.
+                match (*op, &lhs, &rhs) {
+                    (BinOp::And, Expr::Bool(false), other)
+                    | (BinOp::And, other, Expr::Bool(false))
+                        if other.static_type() == Some(ExprType::Bool) =>
+                    {
+                        return Expr::Bool(false)
+                    }
+                    (BinOp::Or, Expr::Bool(true), other)
+                    | (BinOp::Or, other, Expr::Bool(true))
+                        if other.static_type() == Some(ExprType::Bool) =>
+                    {
+                        return Expr::Bool(true)
+                    }
+                    (BinOp::And, Expr::Bool(true), other)
+                    | (BinOp::And, other, Expr::Bool(true))
+                    | (BinOp::Or, Expr::Bool(false), other)
+                    | (BinOp::Or, other, Expr::Bool(false))
+                        if other.static_type() == Some(ExprType::Bool) =>
+                    {
+                        return other.clone()
+                    }
+                    _ => {}
+                }
+                Expr::Binary(*op, Box::new(lhs), Box::new(rhs))
+            }
+        }
+    }
+
+    /// Infers the expression's static type, or `None` if the expression is
+    /// ill-typed for some (equivalently, every) environment. Variables are
+    /// integers; a `Some` result guarantees evaluation never fails in an
+    /// environment declaring all free variables.
+    pub fn static_type(&self) -> Option<ExprType> {
+        match self {
+            Expr::Int(_) => Some(ExprType::Int),
+            Expr::Bool(_) => Some(ExprType::Bool),
+            Expr::Var(_) => Some(ExprType::Int),
+            Expr::Unary(UnOp::Neg, e) => (e.static_type()? == ExprType::Int).then_some(ExprType::Int),
+            Expr::Unary(UnOp::Not, e) => {
+                (e.static_type()? == ExprType::Bool).then_some(ExprType::Bool)
+            }
+            Expr::Binary(op, l, r) => {
+                let (lt, rt) = (l.static_type()?, r.static_type()?);
+                match op {
+                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => {
+                        (lt == ExprType::Int && rt == ExprType::Int).then_some(ExprType::Int)
+                    }
+                    BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                        (lt == ExprType::Int && rt == ExprType::Int).then_some(ExprType::Bool)
+                    }
+                    BinOp::Eq | BinOp::Ne => (lt == rt).then_some(ExprType::Bool),
+                    BinOp::And | BinOp::Or => {
+                        (lt == ExprType::Bool && rt == ExprType::Bool).then_some(ExprType::Bool)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Returns `true` if the expression folds to the literal `true`.
+    pub fn is_const_true(&self) -> bool {
+        matches!(self.fold(), Expr::Bool(true))
+    }
+
+    /// Returns `true` if the expression folds to the literal `false`.
+    pub fn is_const_false(&self) -> bool {
+        matches!(self.fold(), Expr::Bool(false))
+    }
+
+    /// Collects the names of all variables referenced by the expression.
+    pub fn free_vars(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Expr::Int(_) | Expr::Bool(_) => {}
+            Expr::Var(name) => {
+                out.insert(name.clone());
+            }
+            Expr::Unary(_, inner) => inner.collect_vars(out),
+            Expr::Binary(_, lhs, rhs) => {
+                lhs.collect_vars(out);
+                rhs.collect_vars(out);
+            }
+        }
+    }
+}
+
+fn const_value(e: &Expr) -> Option<Value> {
+    match e {
+        Expr::Int(i) => Some(Value::Int(*i)),
+        Expr::Bool(b) => Some(Value::Bool(*b)),
+        _ => None,
+    }
+}
+
+fn eval_binop(op: BinOp, l: Value, r: Value) -> Result<Value, EvalError> {
+    use BinOp::*;
+    match op {
+        Add => Ok(Value::Int(l.as_int()?.wrapping_add(r.as_int()?))),
+        Sub => Ok(Value::Int(l.as_int()?.wrapping_sub(r.as_int()?))),
+        Mul => Ok(Value::Int(l.as_int()?.wrapping_mul(r.as_int()?))),
+        Div => {
+            let (a, b) = (l.as_int()?, r.as_int()?);
+            Ok(Value::Int(if b == 0 { 0 } else { a.wrapping_div(b) }))
+        }
+        Rem => {
+            let (a, b) = (l.as_int()?, r.as_int()?);
+            Ok(Value::Int(if b == 0 { 0 } else { a.wrapping_rem(b) }))
+        }
+        Eq => Ok(Value::Bool(values_equal(l, r)?)),
+        Ne => Ok(Value::Bool(!values_equal(l, r)?)),
+        Lt => Ok(Value::Bool(l.as_int()? < r.as_int()?)),
+        Le => Ok(Value::Bool(l.as_int()? <= r.as_int()?)),
+        Gt => Ok(Value::Bool(l.as_int()? > r.as_int()?)),
+        Ge => Ok(Value::Bool(l.as_int()? >= r.as_int()?)),
+        And => Ok(Value::Bool(l.as_bool()? && r.as_bool()?)),
+        Or => Ok(Value::Bool(l.as_bool()? || r.as_bool()?)),
+    }
+}
+
+fn values_equal(l: Value, r: Value) -> Result<bool, EvalError> {
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => Ok(a == b),
+        (Value::Bool(a), Value::Bool(b)) => Ok(a == b),
+        (Value::Int(_), Value::Bool(_)) | (Value::Bool(_), Value::Int(_)) => {
+            Err(EvalError::TypeMismatch {
+                expected: "operands of one type",
+                found: "mixed int/bool",
+            })
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Int(i) => write!(f, "{i}"),
+            Expr::Bool(b) => write!(f, "{b}"),
+            Expr::Var(name) => write!(f, "{name}"),
+            Expr::Unary(UnOp::Neg, inner) => write!(f, "(-{inner})"),
+            Expr::Unary(UnOp::Not, inner) => write!(f, "(!{inner})"),
+            Expr::Binary(op, lhs, rhs) => write!(f, "({lhs} {} {rhs})", op.symbol()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(pairs: &[(&str, i64)]) -> BTreeMap<String, i64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn arithmetic_evaluates() {
+        let e = Expr::var("x").add(Expr::int(2)).mul(Expr::int(3));
+        assert_eq!(e.eval(&env(&[("x", 4)])), Ok(Value::Int(18)));
+    }
+
+    #[test]
+    fn division_by_zero_is_zero() {
+        let e = Expr::int(7).div(Expr::int(0));
+        assert_eq!(e.eval(&env(&[])), Ok(Value::Int(0)));
+        let e = Expr::int(7).rem(Expr::int(0));
+        assert_eq!(e.eval(&env(&[])), Ok(Value::Int(0)));
+    }
+
+    #[test]
+    fn comparison_and_logic() {
+        let e = Expr::var("a")
+            .lt(Expr::int(10))
+            .and(Expr::var("b").ge(Expr::int(0)));
+        assert_eq!(e.eval(&env(&[("a", 3), ("b", 0)])), Ok(Value::Bool(true)));
+        assert_eq!(e.eval(&env(&[("a", 30), ("b", 0)])), Ok(Value::Bool(false)));
+    }
+
+    #[test]
+    fn unknown_variable_errors() {
+        let e = Expr::var("missing");
+        assert_eq!(
+            e.eval(&env(&[])),
+            Err(EvalError::UnknownVariable("missing".into()))
+        );
+    }
+
+    #[test]
+    fn type_mismatch_errors() {
+        let e = Expr::bool(true).add(Expr::int(1));
+        assert!(matches!(
+            e.eval(&env(&[])),
+            Err(EvalError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn fold_constants() {
+        let e = Expr::int(2).add(Expr::int(3)).mul(Expr::int(4));
+        assert_eq!(e.fold(), Expr::Int(20));
+    }
+
+    #[test]
+    fn fold_short_circuits_logic() {
+        let e = Expr::bool(false).and(Expr::var("x").eq(Expr::int(1)));
+        assert_eq!(e.fold(), Expr::Bool(false));
+        let e = Expr::bool(true).or(Expr::var("x").eq(Expr::int(1)));
+        assert_eq!(e.fold(), Expr::Bool(true));
+        let e = Expr::bool(true).and(Expr::var("x").eq(Expr::int(1)));
+        assert_eq!(e.fold(), Expr::var("x").eq(Expr::int(1)));
+    }
+
+    #[test]
+    fn fold_keeps_ill_typed_expressions() {
+        // (true + 1) must keep failing at eval time, so fold leaves it alone.
+        let e = Expr::bool(true).add(Expr::int(1));
+        assert_eq!(e.fold(), e);
+    }
+
+    #[test]
+    fn const_true_false_detection() {
+        assert!(Expr::int(1).eq(Expr::int(1)).is_const_true());
+        assert!(Expr::int(1).eq(Expr::int(2)).is_const_false());
+        assert!(!Expr::var("x").eq(Expr::int(2)).is_const_true());
+    }
+
+    #[test]
+    fn free_vars_collects_all() {
+        let e = Expr::var("a").add(Expr::var("b")).lt(Expr::var("a"));
+        let vars = e.free_vars();
+        assert_eq!(
+            vars.into_iter().collect::<Vec<_>>(),
+            vec!["a".to_string(), "b".to_string()]
+        );
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        let e = Expr::var("x").add(Expr::int(1)).le(Expr::int(5));
+        assert_eq!(e.to_string(), "((x + 1) <= 5)");
+    }
+
+    #[test]
+    fn neg_wraps() {
+        let e = Expr::int(i64::MIN).neg();
+        assert_eq!(e.eval(&env(&[])), Ok(Value::Int(i64::MIN)));
+    }
+}

@@ -1,0 +1,85 @@
+//! Typed identifiers for model elements.
+//!
+//! Every element of a [`StateMachine`](crate::StateMachine) is addressed by a
+//! small copyable id. Ids are allocated by the machine and are stable across
+//! model transformations: removing an element never renumbers the others,
+//! which lets optimization reports refer to removed elements unambiguously.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Returns the raw index of this id.
+            ///
+            /// Raw indices are useful for building dense side tables; they
+            /// are unique per machine but not contiguous after removals.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a raw index.
+            ///
+            /// Intended for deserialization and test helpers; an id built
+            /// this way is only meaningful for the machine it came from.
+            pub fn from_index(index: usize) -> Self {
+                $name(index as u32)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $tag, self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a [`State`](crate::State) within one machine.
+    StateId,
+    "s"
+);
+id_type!(
+    /// Identifier of a [`Transition`](crate::Transition) within one machine.
+    TransitionId,
+    "t"
+);
+id_type!(
+    /// Identifier of an [`Event`](crate::Event) within one machine.
+    EventId,
+    "e"
+);
+id_type!(
+    /// Identifier of a [`Region`](crate::Region) within one machine.
+    RegionId,
+    "r"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_tag_prefix() {
+        assert_eq!(StateId(3).to_string(), "s3");
+        assert_eq!(TransitionId(0).to_string(), "t0");
+        assert_eq!(EventId(7).to_string(), "e7");
+        assert_eq!(RegionId(1).to_string(), "r1");
+    }
+
+    #[test]
+    fn index_round_trips() {
+        let id = StateId::from_index(42);
+        assert_eq!(id.index(), 42);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_allocation() {
+        assert!(StateId(1) < StateId(2));
+    }
+}

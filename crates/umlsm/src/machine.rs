@@ -1,0 +1,751 @@
+//! The state-machine model: states, regions, transitions, events.
+//!
+//! A [`StateMachine`] owns arenas of model elements addressed by the typed
+//! ids of [`crate::ids`]. The representation supports the mutations the
+//! model optimizer needs — removing states (with cascading removal of their
+//! transitions and, for composites, their whole sub-region), removing
+//! transitions and events — without invalidating other ids.
+//!
+//! ## Supported UML subset
+//!
+//! * One region per composite state (no orthogonal regions).
+//! * Transitions connect states of the *same* region; composite states
+//!   participate as sources/targets at their own level, which is exactly the
+//!   shape of the paper's Fig. 1 machines.
+//! * Each region has at most one initial state (the initial pseudostate is
+//!   represented by the region's `initial` field plus an optional effect).
+//! * Final states are ordinary states of kind [`StateKind::Final`].
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::action::Action;
+use crate::expr::Expr;
+use crate::ids::{EventId, RegionId, StateId, TransitionId};
+use crate::semantics::Semantics;
+
+/// An event type the machine can react to.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Event {
+    /// Unique event name.
+    pub name: String,
+}
+
+/// What triggers a transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Trigger {
+    /// Triggered by the dispatch of an event occurrence.
+    Event(EventId),
+    /// A completion transition: fires when the source state completes
+    /// (immediately after entry for simple states; when the nested region
+    /// reaches a final state for composite states).
+    Completion,
+}
+
+/// The kind of a state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StateKind {
+    /// A plain state.
+    Simple,
+    /// A composite state owning one nested region.
+    Composite(RegionId),
+    /// A final state; entering it completes the enclosing region.
+    Final,
+}
+
+/// A state node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct State {
+    /// Human-readable name, unique within the machine.
+    pub name: String,
+    /// Kind (simple, composite, final).
+    pub kind: StateKind,
+    /// Region this state belongs to.
+    pub parent: RegionId,
+    /// Entry behaviour.
+    pub entry: Vec<Action>,
+    /// Exit behaviour.
+    pub exit: Vec<Action>,
+}
+
+impl State {
+    /// Returns the nested region if this is a composite state.
+    pub fn region(&self) -> Option<RegionId> {
+        match self.kind {
+            StateKind::Composite(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for final states.
+    pub fn is_final(&self) -> bool {
+        self.kind == StateKind::Final
+    }
+}
+
+/// A region: the root region of the machine or the single region nested in
+/// a composite state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// Human-readable name.
+    pub name: String,
+    /// Owning composite state; `None` for the root region.
+    pub owner: Option<StateId>,
+    /// Target of the region's initial pseudostate.
+    pub initial: Option<StateId>,
+    /// Effect of the initial transition.
+    pub initial_effect: Vec<Action>,
+}
+
+/// A transition arc.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transition {
+    /// Source state.
+    pub source: StateId,
+    /// Target state.
+    pub target: StateId,
+    /// Trigger (event or completion).
+    pub trigger: Trigger,
+    /// Optional guard; an absent guard is equivalent to `true`.
+    pub guard: Option<Expr>,
+    /// Effect behaviour executed between exit and entry.
+    pub effect: Vec<Action>,
+}
+
+impl Transition {
+    /// Returns `true` for completion transitions.
+    pub fn is_completion(&self) -> bool {
+        self.trigger == Trigger::Completion
+    }
+
+    /// Returns `true` if the guard is absent or constant-folds to `true`.
+    pub fn guard_is_trivially_true(&self) -> bool {
+        match &self.guard {
+            None => true,
+            Some(g) => g.is_const_true(),
+        }
+    }
+}
+
+/// A complete UML state machine model.
+///
+/// Construct machines with [`MachineBuilder`](crate::MachineBuilder); mutate
+/// them through the removal/update methods used by the optimizer; execute
+/// them with [`Interp`](crate::Interp).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateMachine {
+    pub(crate) name: String,
+    pub(crate) semantics: Semantics,
+    pub(crate) variables: BTreeMap<String, i64>,
+    pub(crate) events: BTreeMap<EventId, Event>,
+    pub(crate) regions: BTreeMap<RegionId, Region>,
+    pub(crate) states: BTreeMap<StateId, State>,
+    pub(crate) transitions: BTreeMap<TransitionId, Transition>,
+    pub(crate) root: RegionId,
+    pub(crate) next_state: u32,
+    pub(crate) next_transition: u32,
+    pub(crate) next_event: u32,
+    pub(crate) next_region: u32,
+}
+
+impl StateMachine {
+    /// Creates an empty machine with a root region and default semantics.
+    pub fn new(name: impl Into<String>) -> StateMachine {
+        let mut m = StateMachine {
+            name: name.into(),
+            semantics: Semantics::default(),
+            variables: BTreeMap::new(),
+            events: BTreeMap::new(),
+            regions: BTreeMap::new(),
+            states: BTreeMap::new(),
+            transitions: BTreeMap::new(),
+            root: RegionId(0),
+            next_state: 0,
+            next_transition: 0,
+            next_event: 0,
+            next_region: 0,
+        };
+        let root = m.alloc_region(Region {
+            name: "root".to_string(),
+            owner: None,
+            initial: None,
+            initial_effect: Vec::new(),
+        });
+        m.root = root;
+        m
+    }
+
+    /// Machine name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The fixed execution semantics.
+    pub fn semantics(&self) -> Semantics {
+        self.semantics
+    }
+
+    /// Replaces the execution semantics (a *model-level* decision; see
+    /// [`Semantics`]).
+    pub fn set_semantics(&mut self, semantics: Semantics) {
+        self.semantics = semantics;
+    }
+
+    /// The root region id.
+    pub fn root(&self) -> RegionId {
+        self.root
+    }
+
+    /// Context variables and their initial values.
+    pub fn variables(&self) -> &BTreeMap<String, i64> {
+        &self.variables
+    }
+
+    /// Declares (or re-initializes) a context variable.
+    pub fn set_variable(&mut self, name: impl Into<String>, initial: i64) {
+        self.variables.insert(name.into(), initial);
+    }
+
+    /// Removes a context variable. Returns its initial value if it existed.
+    pub fn remove_variable(&mut self, name: &str) -> Option<i64> {
+        self.variables.remove(name)
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation
+    // ------------------------------------------------------------------
+
+    pub(crate) fn alloc_region(&mut self, region: Region) -> RegionId {
+        let id = RegionId(self.next_region);
+        self.next_region += 1;
+        self.regions.insert(id, region);
+        id
+    }
+
+    pub(crate) fn alloc_state(&mut self, state: State) -> StateId {
+        let id = StateId(self.next_state);
+        self.next_state += 1;
+        self.states.insert(id, state);
+        id
+    }
+
+    pub(crate) fn alloc_transition(&mut self, transition: Transition) -> TransitionId {
+        let id = TransitionId(self.next_transition);
+        self.next_transition += 1;
+        self.transitions.insert(id, transition);
+        id
+    }
+
+    pub(crate) fn alloc_event(&mut self, event: Event) -> EventId {
+        let id = EventId(self.next_event);
+        self.next_event += 1;
+        self.events.insert(id, event);
+        id
+    }
+
+    /// Adds an event type, returning its id. Reuses the id of an existing
+    /// event with the same name.
+    pub fn add_event(&mut self, name: impl Into<String>) -> EventId {
+        let name = name.into();
+        if let Some((id, _)) = self.events.iter().find(|(_, e)| e.name == name) {
+            return *id;
+        }
+        self.alloc_event(Event { name })
+    }
+
+    /// Adds a simple state to `region`.
+    pub fn add_state(&mut self, region: RegionId, name: impl Into<String>) -> StateId {
+        self.alloc_state(State {
+            name: name.into(),
+            kind: StateKind::Simple,
+            parent: region,
+            entry: Vec::new(),
+            exit: Vec::new(),
+        })
+    }
+
+    /// Adds a final state to `region`.
+    pub fn add_final_state(&mut self, region: RegionId, name: impl Into<String>) -> StateId {
+        self.alloc_state(State {
+            name: name.into(),
+            kind: StateKind::Final,
+            parent: region,
+            entry: Vec::new(),
+            exit: Vec::new(),
+        })
+    }
+
+    /// Adds a composite state to `region`, creating its nested region.
+    /// Returns the state id and the nested region id.
+    pub fn add_composite_state(
+        &mut self,
+        region: RegionId,
+        name: impl Into<String>,
+    ) -> (StateId, RegionId) {
+        let name = name.into();
+        let nested = self.alloc_region(Region {
+            name: format!("{name}_region"),
+            owner: None, // patched below once the state id is known
+            initial: None,
+            initial_effect: Vec::new(),
+        });
+        let sid = self.alloc_state(State {
+            name,
+            kind: StateKind::Composite(nested),
+            parent: region,
+            entry: Vec::new(),
+            exit: Vec::new(),
+        });
+        self.regions
+            .get_mut(&nested)
+            .expect("freshly allocated region")
+            .owner = Some(sid);
+        (sid, nested)
+    }
+
+    /// Adds a transition.
+    pub fn add_transition(&mut self, transition: Transition) -> TransitionId {
+        self.alloc_transition(transition)
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Looks up a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to a live state of this machine.
+    pub fn state(&self, id: StateId) -> &State {
+        &self.states[&id]
+    }
+
+    /// Looks up a state, returning `None` if it was removed.
+    pub fn try_state(&self, id: StateId) -> Option<&State> {
+        self.states.get(&id)
+    }
+
+    /// Mutable access to a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to a live state of this machine.
+    pub fn state_mut(&mut self, id: StateId) -> &mut State {
+        self.states.get_mut(&id).expect("live state id")
+    }
+
+    /// Looks up a region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to a live region of this machine.
+    pub fn region(&self, id: RegionId) -> &Region {
+        &self.regions[&id]
+    }
+
+    /// Mutable access to a region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to a live region of this machine.
+    pub fn region_mut(&mut self, id: RegionId) -> &mut Region {
+        self.regions.get_mut(&id).expect("live region id")
+    }
+
+    /// Looks up a transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to a live transition of this machine.
+    pub fn transition(&self, id: TransitionId) -> &Transition {
+        &self.transitions[&id]
+    }
+
+    /// Mutable access to a transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to a live transition of this machine.
+    pub fn transition_mut(&mut self, id: TransitionId) -> &mut Transition {
+        self.transitions.get_mut(&id).expect("live transition id")
+    }
+
+    /// Looks up an event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to a live event of this machine.
+    pub fn event(&self, id: EventId) -> &Event {
+        &self.events[&id]
+    }
+
+    /// Iterates over all live states in id order.
+    pub fn states(&self) -> impl Iterator<Item = (StateId, &State)> {
+        self.states.iter().map(|(id, s)| (*id, s))
+    }
+
+    /// Iterates over all live transitions in id order.
+    pub fn transitions(&self) -> impl Iterator<Item = (TransitionId, &Transition)> {
+        self.transitions.iter().map(|(id, t)| (*id, t))
+    }
+
+    /// Iterates over all live events in id order.
+    pub fn events(&self) -> impl Iterator<Item = (EventId, &Event)> {
+        self.events.iter().map(|(id, e)| (*id, e))
+    }
+
+    /// Iterates over all live regions in id order.
+    pub fn regions(&self) -> impl Iterator<Item = (RegionId, &Region)> {
+        self.regions.iter().map(|(id, r)| (*id, r))
+    }
+
+    /// States that belong to `region`, in id order.
+    pub fn states_in(&self, region: RegionId) -> Vec<StateId> {
+        self.states
+            .iter()
+            .filter(|(_, s)| s.parent == region)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Transitions whose source is `state`, in id order.
+    pub fn transitions_from(&self, state: StateId) -> Vec<TransitionId> {
+        self.transitions
+            .iter()
+            .filter(|(_, t)| t.source == state)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Transitions whose target is `state`, in id order.
+    pub fn transitions_into(&self, state: StateId) -> Vec<TransitionId> {
+        self.transitions
+            .iter()
+            .filter(|(_, t)| t.target == state)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Finds a state by name anywhere in the machine.
+    pub fn state_by_name(&self, name: &str) -> Option<StateId> {
+        self.states
+            .iter()
+            .find(|(_, s)| s.name == name)
+            .map(|(id, _)| *id)
+    }
+
+    /// Finds an event by name.
+    pub fn event_by_name(&self, name: &str) -> Option<EventId> {
+        self.events
+            .iter()
+            .find(|(_, e)| e.name == name)
+            .map(|(id, _)| *id)
+    }
+
+    /// The depth of a state: states of the root region have depth 0.
+    pub fn depth_of(&self, state: StateId) -> usize {
+        let mut depth = 0;
+        let mut region = self.state(state).parent;
+        while let Some(owner) = self.region(region).owner {
+            depth += 1;
+            region = self.state(owner).parent;
+        }
+        depth
+    }
+
+    /// Every signal name any action of the machine may emit, sorted.
+    pub fn emitted_signals(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for state in self.states.values() {
+            for a in state.entry.iter().chain(&state.exit) {
+                a.emitted_signals(&mut out);
+            }
+        }
+        for t in self.transitions.values() {
+            for a in &t.effect {
+                a.emitted_signals(&mut out);
+            }
+        }
+        for r in self.regions.values() {
+            for a in &r.initial_effect {
+                a.emitted_signals(&mut out);
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Mutation (used by the model optimizer)
+    // ------------------------------------------------------------------
+
+    /// Removes a state, cascading:
+    ///
+    /// * every transition whose source or target is the state is removed;
+    /// * if the state is composite, its nested region and everything inside
+    ///   it (recursively) is removed;
+    /// * if the state was a region's initial state, the region's initial is
+    ///   cleared (validation will flag the region if it is still enterable).
+    ///
+    /// Returns the ids of all removed states (including nested ones) and
+    /// transitions.
+    pub fn remove_state(&mut self, id: StateId) -> (Vec<StateId>, Vec<TransitionId>) {
+        let mut removed_states = Vec::new();
+        let mut removed_transitions = Vec::new();
+        self.remove_state_rec(id, &mut removed_states, &mut removed_transitions);
+        (removed_states, removed_transitions)
+    }
+
+    fn remove_state_rec(
+        &mut self,
+        id: StateId,
+        removed_states: &mut Vec<StateId>,
+        removed_transitions: &mut Vec<TransitionId>,
+    ) {
+        let Some(state) = self.states.get(&id).cloned() else {
+            return;
+        };
+        // Remove nested region first.
+        if let StateKind::Composite(region) = state.kind {
+            for sub in self.states_in(region) {
+                self.remove_state_rec(sub, removed_states, removed_transitions);
+            }
+            self.regions.remove(&region);
+        }
+        // Remove touching transitions.
+        let touching: Vec<TransitionId> = self
+            .transitions
+            .iter()
+            .filter(|(_, t)| t.source == id || t.target == id)
+            .map(|(tid, _)| *tid)
+            .collect();
+        for tid in touching {
+            self.transitions.remove(&tid);
+            removed_transitions.push(tid);
+        }
+        // Clear dangling initial pointers.
+        for region in self.regions.values_mut() {
+            if region.initial == Some(id) {
+                region.initial = None;
+            }
+        }
+        self.states.remove(&id);
+        removed_states.push(id);
+    }
+
+    /// Removes a transition. Returns it if it was live.
+    pub fn remove_transition(&mut self, id: TransitionId) -> Option<Transition> {
+        self.transitions.remove(&id)
+    }
+
+    /// Removes an event type. Returns it if it was live. The caller is
+    /// responsible for first removing transitions triggered by the event
+    /// (validation flags dangling triggers).
+    pub fn remove_event(&mut self, id: EventId) -> Option<Event> {
+        self.events.remove(&id)
+    }
+
+    /// Redirects every transition targeting `from` to target `into`, and
+    /// every transition sourced at `from` to source at `into`. Used by the
+    /// equivalent-state merging pass. Self-loops created by the redirection
+    /// are kept (they were loops between equivalent states).
+    pub fn redirect_state(&mut self, from: StateId, into: StateId) {
+        for t in self.transitions.values_mut() {
+            if t.source == from {
+                t.source = into;
+            }
+            if t.target == from {
+                t.target = into;
+            }
+        }
+        for region in self.regions.values_mut() {
+            if region.initial == Some(from) {
+                region.initial = Some(into);
+            }
+        }
+    }
+}
+
+impl fmt::Display for StateMachine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "state machine `{}` [{}]", self.name, self.semantics)?;
+        for (rid, region) in &self.regions {
+            let owner = match region.owner {
+                Some(s) => format!(" in {}", self.state(s).name),
+                None => String::new(),
+            };
+            writeln!(f, "  region {rid} `{}`{owner}:", region.name)?;
+            if let Some(init) = region.initial {
+                writeln!(f, "    initial -> {}", self.state(init).name)?;
+            }
+            for sid in self.states_in(*rid) {
+                let s = self.state(sid);
+                let kind = match s.kind {
+                    StateKind::Simple => "state",
+                    StateKind::Composite(_) => "composite",
+                    StateKind::Final => "final",
+                };
+                writeln!(f, "    {kind} {sid} `{}`", s.name)?;
+            }
+        }
+        for (tid, t) in &self.transitions {
+            let trig = match t.trigger {
+                Trigger::Event(e) => self.event(e).name.clone(),
+                Trigger::Completion => "<completion>".to_string(),
+            };
+            let guard = t
+                .guard
+                .as_ref()
+                .map(|g| format!(" [{g}]"))
+                .unwrap_or_default();
+            writeln!(
+                f,
+                "  {tid}: {} -{trig}{guard}-> {}",
+                self.state(t.source).name,
+                self.state(t.target).name
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_machine() -> (StateMachine, StateId, StateId, EventId) {
+        let mut m = StateMachine::new("m");
+        let root = m.root();
+        let a = m.add_state(root, "A");
+        let b = m.add_state(root, "B");
+        let e = m.add_event("go");
+        m.region_mut(root).initial = Some(a);
+        m.add_transition(Transition {
+            source: a,
+            target: b,
+            trigger: Trigger::Event(e),
+            guard: None,
+            effect: Vec::new(),
+        });
+        (m, a, b, e)
+    }
+
+    #[test]
+    fn add_and_query_states() {
+        let (m, a, b, _) = simple_machine();
+        assert_eq!(m.state(a).name, "A");
+        assert_eq!(m.states_in(m.root()), vec![a, b]);
+        assert_eq!(m.state_by_name("B"), Some(b));
+        assert_eq!(m.state_by_name("Z"), None);
+    }
+
+    #[test]
+    fn add_event_dedups_by_name() {
+        let mut m = StateMachine::new("m");
+        let e1 = m.add_event("tick");
+        let e2 = m.add_event("tick");
+        assert_eq!(e1, e2);
+        assert_eq!(m.events().count(), 1);
+    }
+
+    #[test]
+    fn transitions_from_and_into() {
+        let (m, a, b, _) = simple_machine();
+        assert_eq!(m.transitions_from(a).len(), 1);
+        assert_eq!(m.transitions_into(b).len(), 1);
+        assert!(m.transitions_from(b).is_empty());
+    }
+
+    #[test]
+    fn remove_state_cascades_transitions() {
+        let (mut m, a, b, _) = simple_machine();
+        let (states, transitions) = m.remove_state(b);
+        assert_eq!(states, vec![b]);
+        assert_eq!(transitions.len(), 1);
+        assert!(m.try_state(b).is_none());
+        assert!(m.transitions_from(a).is_empty());
+    }
+
+    #[test]
+    fn remove_composite_cascades_region() {
+        let mut m = StateMachine::new("m");
+        let root = m.root();
+        let (comp, nested) = m.add_composite_state(root, "C");
+        let inner = m.add_state(nested, "Inner");
+        m.region_mut(nested).initial = Some(inner);
+        let e = m.add_event("go");
+        m.add_transition(Transition {
+            source: inner,
+            target: inner,
+            trigger: Trigger::Event(e),
+            guard: None,
+            effect: Vec::new(),
+        });
+
+        let (states, transitions) = m.remove_state(comp);
+        assert_eq!(states.len(), 2, "inner and composite removed");
+        assert_eq!(transitions.len(), 1);
+        assert!(m.regions().all(|(id, _)| id != nested));
+    }
+
+    #[test]
+    fn remove_initial_state_clears_region_initial() {
+        let (mut m, a, _, _) = simple_machine();
+        m.remove_state(a);
+        assert_eq!(m.region(m.root()).initial, None);
+    }
+
+    #[test]
+    fn depth_of_nested_state() {
+        let mut m = StateMachine::new("m");
+        let root = m.root();
+        let (c1, r1) = m.add_composite_state(root, "C1");
+        let (_c2, r2) = m.add_composite_state(r1, "C2");
+        let leaf = m.add_state(r2, "Leaf");
+        assert_eq!(m.depth_of(c1), 0);
+        assert_eq!(m.depth_of(leaf), 2);
+    }
+
+    #[test]
+    fn redirect_rewires_endpoints_and_initial() {
+        let (mut m, a, b, e) = simple_machine();
+        let c = m.add_state(m.root(), "C");
+        m.add_transition(Transition {
+            source: b,
+            target: c,
+            trigger: Trigger::Event(e),
+            guard: None,
+            effect: Vec::new(),
+        });
+        m.redirect_state(b, a);
+        assert!(m
+            .transitions()
+            .all(|(_, t)| t.source != b && t.target != b));
+        // a -> a self loop plus a -> c.
+        assert_eq!(m.transitions_from(a).len(), 2);
+    }
+
+    #[test]
+    fn emitted_signals_union() {
+        let mut m = StateMachine::new("m");
+        let root = m.root();
+        let a = m.add_state(root, "A");
+        m.state_mut(a).entry.push(Action::emit("hello"));
+        m.state_mut(a).exit.push(Action::emit("bye"));
+        let sigs = m.emitted_signals();
+        assert_eq!(
+            sigs.into_iter().collect::<Vec<_>>(),
+            vec!["bye".to_string(), "hello".to_string()]
+        );
+    }
+
+    #[test]
+    fn display_lists_elements() {
+        let (m, ..) = simple_machine();
+        let text = m.to_string();
+        assert!(text.contains("state machine `m`"));
+        assert!(text.contains("`A`"));
+        assert!(text.contains("-go->") || text.contains("-go"), "{text}");
+    }
+}

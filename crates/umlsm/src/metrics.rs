@@ -1,0 +1,184 @@
+//! Model-size metrics.
+//!
+//! The paper relates the optimization gain to "the number of removed
+//! states/transitions" and "the kind of state machine"; [`ModelMetrics`]
+//! quantifies both for reports and the scaling experiment (E5).
+
+use std::fmt;
+
+use crate::machine::{StateKind, StateMachine};
+
+/// Size and shape statistics for a state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ModelMetrics {
+    /// Total states of every kind, all regions included.
+    pub states: usize,
+    /// Simple states.
+    pub simple_states: usize,
+    /// Composite states.
+    pub composite_states: usize,
+    /// Final states.
+    pub final_states: usize,
+    /// Transitions (completion transitions included).
+    pub transitions: usize,
+    /// Completion transitions.
+    pub completion_transitions: usize,
+    /// Declared event types.
+    pub events: usize,
+    /// Regions, root included.
+    pub regions: usize,
+    /// Maximum nesting depth (0 for a flat machine).
+    pub max_depth: usize,
+    /// Primitive action statements across entry/exit/effects.
+    pub action_statements: usize,
+    /// Declared context variables.
+    pub variables: usize,
+}
+
+impl ModelMetrics {
+    /// Difference `self - other` per field, saturating at zero. Useful to
+    /// express "what the optimizer removed".
+    pub fn removed_since(&self, optimized: &ModelMetrics) -> ModelMetrics {
+        ModelMetrics {
+            states: self.states.saturating_sub(optimized.states),
+            simple_states: self.simple_states.saturating_sub(optimized.simple_states),
+            composite_states: self
+                .composite_states
+                .saturating_sub(optimized.composite_states),
+            final_states: self.final_states.saturating_sub(optimized.final_states),
+            transitions: self.transitions.saturating_sub(optimized.transitions),
+            completion_transitions: self
+                .completion_transitions
+                .saturating_sub(optimized.completion_transitions),
+            events: self.events.saturating_sub(optimized.events),
+            regions: self.regions.saturating_sub(optimized.regions),
+            max_depth: self.max_depth.saturating_sub(optimized.max_depth),
+            action_statements: self
+                .action_statements
+                .saturating_sub(optimized.action_statements),
+            variables: self.variables.saturating_sub(optimized.variables),
+        }
+    }
+}
+
+impl fmt::Display for ModelMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} states ({} simple, {} composite, {} final), {} transitions ({} completion), {} events, {} regions, depth {}, {} action stmts, {} vars",
+            self.states,
+            self.simple_states,
+            self.composite_states,
+            self.final_states,
+            self.transitions,
+            self.completion_transitions,
+            self.events,
+            self.regions,
+            self.max_depth,
+            self.action_statements,
+            self.variables,
+        )
+    }
+}
+
+impl StateMachine {
+    /// Computes size/shape metrics for the whole machine.
+    pub fn metrics(&self) -> ModelMetrics {
+        let mut m = ModelMetrics {
+            events: self.events().count(),
+            regions: self.regions().count(),
+            variables: self.variables().len(),
+            ..ModelMetrics::default()
+        };
+        for (sid, s) in self.states() {
+            m.states += 1;
+            match s.kind {
+                StateKind::Simple => m.simple_states += 1,
+                StateKind::Composite(_) => m.composite_states += 1,
+                StateKind::Final => m.final_states += 1,
+            }
+            m.max_depth = m.max_depth.max(self.depth_of(sid));
+            m.action_statements += s
+                .entry
+                .iter()
+                .chain(&s.exit)
+                .map(|a| a.statement_count())
+                .sum::<usize>();
+        }
+        for (_, t) in self.transitions() {
+            m.transitions += 1;
+            if t.is_completion() {
+                m.completion_transitions += 1;
+            }
+            m.action_statements += t.effect.iter().map(|a| a.statement_count()).sum::<usize>();
+        }
+        for (_, r) in self.regions() {
+            m.action_statements += r
+                .initial_effect
+                .iter()
+                .map(|a| a.statement_count())
+                .sum::<usize>();
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use crate::builder::MachineBuilder;
+    use crate::expr::Expr;
+
+    #[test]
+    fn metrics_count_everything() {
+        let mut b = MachineBuilder::new("m");
+        b.variable("x", 0);
+        let a = b.state("A");
+        let (c, inner) = b.composite("C");
+        let i = b.state_in(inner, "I");
+        let fin = b.final_state_in(inner, "F");
+        let e = b.event("go");
+        b.initial(a);
+        b.initial_in(inner, i);
+        b.on_entry(a, vec![Action::assign("x", Expr::int(1))]);
+        b.transition(a, c).on(e).build();
+        b.transition(i, fin).on(e).build();
+        b.transition(c, a).on_completion().then(vec![Action::emit("done")]).build();
+        let m = b.finish().expect("valid");
+        let metrics = m.metrics();
+        assert_eq!(metrics.states, 4);
+        assert_eq!(metrics.simple_states, 2);
+        assert_eq!(metrics.composite_states, 1);
+        assert_eq!(metrics.final_states, 1);
+        assert_eq!(metrics.transitions, 3);
+        assert_eq!(metrics.completion_transitions, 1);
+        assert_eq!(metrics.regions, 2);
+        assert_eq!(metrics.max_depth, 1);
+        assert_eq!(metrics.action_statements, 2);
+        assert_eq!(metrics.variables, 1);
+    }
+
+    #[test]
+    fn removed_since_subtracts() {
+        let a = ModelMetrics {
+            states: 5,
+            transitions: 7,
+            ..ModelMetrics::default()
+        };
+        let b = ModelMetrics {
+            states: 3,
+            transitions: 7,
+            ..ModelMetrics::default()
+        };
+        let d = a.removed_since(&b);
+        assert_eq!(d.states, 2);
+        assert_eq!(d.transitions, 0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let m = ModelMetrics::default();
+        assert!(m.to_string().contains("0 states"));
+    }
+}

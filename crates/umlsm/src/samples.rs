@@ -1,0 +1,621 @@
+//! Ready-made models: the paper's Fig. 1 machines and richer RTES-flavoured
+//! workloads used by the examples and the experiment harness.
+//!
+//! Every sample validates and runs under the paper's semantics. The
+//! Fig. 1 machines follow the paper's structure exactly; their actions are
+//! fleshed out (entry/exit behaviour, effects, context variables) so that
+//! generated code has realistic mass — the paper's own machines carry
+//! behaviour code too, it is just not reproduced in the figure.
+
+use crate::action::Action;
+use crate::builder::MachineBuilder;
+use crate::expr::Expr;
+use crate::machine::StateMachine;
+
+/// A realistic slab of handler behaviour: saturating accumulation, mode
+/// bookkeeping and telemetry — the kind of entry/exit code real RTES state
+/// handlers contain (the paper's machines carry behaviour too; the figure
+/// simply does not show it). Requires the machine to declare `acc` and
+/// `mode` variables; emits signals prefixed with `tag`.
+fn handler_block(tag: &str, acc: &str, scale: i64) -> Vec<Action> {
+    vec![
+        Action::assign(
+            acc,
+            Expr::var(acc)
+                .mul(Expr::int(scale))
+                .add(Expr::int(scale + 1)),
+        ),
+        Action::if_else(
+            Expr::var(acc).gt(Expr::int(10_000)),
+            vec![
+                Action::assign(acc, Expr::int(10_000)),
+                Action::emit(format!("{tag}_sat")),
+            ],
+            vec![Action::emit_arg(format!("{tag}_acc"), Expr::var(acc))],
+        ),
+        Action::assign("mode", Expr::var("mode").add(Expr::int(1))),
+        Action::if_then(
+            Expr::var("mode").rem(Expr::int(4)).eq(Expr::int(0)),
+            vec![Action::emit_arg(format!("{tag}_mode"), Expr::var("mode"))],
+        ),
+        Action::if_else(
+            Expr::var(acc).rem(Expr::int(2)).eq(Expr::int(0)),
+            vec![Action::emit_arg(
+                format!("{tag}_even"),
+                Expr::var(acc).div(Expr::int(2)),
+            )],
+            vec![Action::emit_arg(
+                format!("{tag}_odd"),
+                Expr::var(acc).add(Expr::var("mode")),
+            )],
+        ),
+        Action::emit_arg(format!("{tag}_t"), Expr::var(acc).add(Expr::var("mode"))),
+    ]
+}
+
+/// Fig. 1, row 1: the flat machine with unreachable state `S2`.
+///
+/// Three states, initial and final pseudostates, five transitions. `S2` has
+/// two *outgoing* transitions but no incoming one, so it is unreachable —
+/// the model-level dead code the paper shows GCC cannot remove.
+///
+/// # Example
+///
+/// ```
+/// let m = umlsm::samples::flat_unreachable();
+/// let s2 = m.state_by_name("S2").expect("sample has S2");
+/// assert!(m.transitions_into(s2).is_empty(), "S2 is unreachable");
+/// ```
+pub fn flat_unreachable() -> StateMachine {
+    let mut b = MachineBuilder::new("fig1_flat");
+    b.variable("counter", 0);
+    b.variable("mode", 0);
+
+    let s1 = b.state("S1");
+    let s2 = b.state("S2");
+    let s3 = b.state("S3");
+    let fin = b.final_state("Final");
+
+    let e1 = b.event("e1");
+    let e2 = b.event("e2");
+    let e3 = b.event("e3");
+
+    b.initial(s1);
+    b.on_entry(s1, {
+        let mut acts = vec![
+            Action::assign("counter", Expr::var("counter").add(Expr::int(1))),
+            Action::emit_arg("s1_active", Expr::var("counter")),
+        ];
+        acts.extend(handler_block("s1", "counter", 2));
+        acts.extend(handler_block("s1_b", "mode", 3));
+        acts
+    });
+    b.on_exit(s1, vec![Action::emit("s1_left")]);
+    // Unreachable state with real behaviour: this is the dead code the
+    // compiler keeps and the model optimizer deletes.
+    b.on_entry(s2, {
+        let acts = vec![
+            Action::assign("mode", Expr::int(2)),
+            Action::assign("counter", Expr::var("counter").mul(Expr::int(3))),
+            Action::emit_arg("s2_active", Expr::var("counter")),
+            Action::if_then(
+                Expr::var("counter").gt(Expr::int(100)),
+                vec![Action::assign("counter", Expr::int(0))],
+            ),
+        ];
+        acts
+    });
+    b.on_exit(
+        s2,
+        vec![
+            Action::emit("s2_left"),
+            Action::assign("mode", Expr::int(0)),
+        ],
+    );
+    b.on_entry(s3, {
+        let mut acts = vec![
+            Action::assign("mode", Expr::int(3)),
+            Action::emit_arg("s3_active", Expr::var("mode")),
+        ];
+        acts.extend(handler_block("s3", "counter", 4));
+        acts.extend(handler_block("s3_b", "mode", 5));
+        acts
+    });
+    b.on_exit(s3, vec![Action::emit("s3_left")]);
+
+    // The five transitions of the figure: two leaving S2 (dead), a cycle
+    // S1 <-> S3, and S3 -> Final.
+    b.transition(s1, s3)
+        .on(e1)
+        .then(vec![Action::emit("t_s1_s3")])
+        .build();
+    b.transition(s3, s1)
+        .on(e2)
+        .then(vec![Action::assign(
+            "counter",
+            Expr::var("counter").add(Expr::int(2)),
+        )])
+        .build();
+    b.transition(s3, fin).on(e3).build();
+    b.transition(s2, s3)
+        .on(e1)
+        .then(vec![Action::emit("t_s2_s3")])
+        .build();
+    b.transition(s2, s1).on(e2).build();
+
+    b.finish().expect("fig1 flat sample is well-formed")
+}
+
+/// Fig. 1, row 2: the hierarchical machine whose composite state `S3` is
+/// never active.
+///
+/// `S2` has two outgoing transitions: `e2 -> S3` and an *unguarded
+/// completion transition* to the final state. Under the paper's semantics
+/// the completion transition always fires first, so `S3` — a composite
+/// state with a whole submachine inside — is never entered. Removing it at
+/// model level deletes the entire submachine implementation unit
+/// ("the whole class is removed"), the paper's > 45 % size win.
+///
+/// # Example
+///
+/// ```
+/// let m = umlsm::samples::hierarchical_never_active();
+/// let s3 = m.state_by_name("S3").expect("sample has S3");
+/// assert!(m.state(s3).region().is_some(), "S3 is composite");
+/// ```
+pub fn hierarchical_never_active() -> StateMachine {
+    let mut b = MachineBuilder::new("fig1_hier");
+    b.variable("counter", 0);
+    b.variable("level", 0);
+    b.variable("retries", 0);
+    b.variable("mode", 0);
+
+    let s1 = b.state("S1");
+    let s2 = b.state("S2");
+    let (s3, sub) = b.composite("S3");
+    let fin = b.final_state("Final");
+
+    let e1 = b.event("e1");
+    let e2 = b.event("e2");
+    let e3 = b.event("e3");
+    let e4 = b.event("e4");
+
+    b.initial(s1);
+    b.on_entry(s1, {
+        let mut acts = vec![
+            Action::assign("counter", Expr::var("counter").add(Expr::int(1))),
+            Action::emit_arg("s1_active", Expr::var("counter")),
+        ];
+        acts.extend(handler_block("s1", "counter", 2));
+        acts
+    });
+    b.on_exit(s1, vec![Action::emit("s1_left")]);
+    b.on_entry(
+        s2,
+        vec![
+            Action::assign("level", Expr::int(1)),
+            Action::emit_arg("s2_active", Expr::var("level")),
+        ],
+    );
+    b.on_exit(s2, vec![Action::emit("s2_left")]);
+
+    // The submachine inside S3: a four-state workflow with guards, effects
+    // and its own final state. All of it is dead under completion-priority
+    // semantics.
+    b.on_entry(s3, {
+        let mut acts = vec![
+            Action::assign("level", Expr::int(3)),
+            Action::emit_arg("s3_active", Expr::var("level")),
+        ];
+        acts.extend(handler_block("s3", "level", 4));
+        acts
+    });
+    b.on_exit(s3, vec![Action::emit("s3_left")]);
+    let sa = b.state_in(sub, "S3_Init");
+    let sb = b.state_in(sub, "S3_Work");
+    let sc = b.state_in(sub, "S3_Check");
+    let sd = b.state_in(sub, "S3_Retry");
+    let sfin = b.final_state_in(sub, "S3_Done");
+    b.initial_in(sub, sa);
+    b.on_entry(sa, {
+        let mut acts = vec![
+            Action::assign("retries", Expr::int(0)),
+            Action::emit("s3_init"),
+        ];
+        acts.extend(handler_block("s3_a", "retries", 2));
+        acts
+    });
+    b.on_entry(sb, {
+        let mut acts = vec![
+            Action::assign("counter", Expr::var("counter").add(Expr::int(10))),
+            Action::emit_arg("s3_work", Expr::var("counter")),
+        ];
+        acts.extend(handler_block("s3_b", "counter", 3));
+        acts
+    });
+    b.on_exit(sb, vec![Action::emit("s3_work_done")]);
+    b.on_entry(
+        sc,
+        vec![Action::if_else(
+            Expr::var("counter").rem(Expr::int(2)).eq(Expr::int(0)),
+            vec![Action::emit("check_even")],
+            vec![Action::emit("check_odd")],
+        )],
+    );
+    b.on_entry(sd, {
+        let mut acts = vec![
+            Action::assign("retries", Expr::var("retries").add(Expr::int(1))),
+            Action::emit_arg("s3_retry", Expr::var("retries")),
+        ];
+        acts.extend(handler_block("s3_d", "retries", 5));
+        acts
+    });
+    b.transition(sa, sb).on(e1).build();
+    b.transition(sb, sc).on(e2).build();
+    b.transition(sc, sfin)
+        .on(e3)
+        .when(Expr::var("retries").ge(Expr::int(0)))
+        .build();
+    b.transition(sc, sd)
+        .on(e4)
+        .when(Expr::var("retries").lt(Expr::int(3)))
+        .build();
+    b.transition(sd, sb)
+        .on(e1)
+        .then(vec![Action::emit("retrying")])
+        .build();
+
+    // Outer transitions (the figure): S1 -e1-> S2; from S2 both the
+    // event transition to S3 and the completion transition to Final.
+    b.transition(s1, s2).on(e1).build();
+    b.transition(s2, s3)
+        .on(e2)
+        .then(vec![Action::emit("entering_s3")])
+        .build();
+    b.transition(s2, fin).on_completion().build();
+    // S3's own outgoing arcs back into the live part.
+    b.transition(s3, s1)
+        .on(e4)
+        .then(vec![Action::emit("s3_aborted")])
+        .build();
+    b.transition(s3, fin).on_completion().build();
+
+    b.finish().expect("fig1 hierarchical sample is well-formed")
+}
+
+/// Scaling family for experiment E5: a live 4-state core plus `dead`
+/// unreachable states, each carrying realistic behaviour.
+///
+/// The paper claims the optimization gain "is proportional to the number of
+/// removed states/transitions"; sweeping `dead` reproduces that curve.
+pub fn flat_with_unreachable(dead: usize) -> StateMachine {
+    let mut b = MachineBuilder::new(format!("scaling_{dead}"));
+    b.variable("x", 0);
+    b.variable("y", 1);
+    b.variable("mode", 0);
+
+    let idle = b.state("Idle");
+    let run = b.state("Run");
+    let pause = b.state("Pause");
+    let fin = b.final_state("Final");
+    let start = b.event("start");
+    let stop = b.event("stop");
+    let toggle = b.event("toggle");
+
+    b.initial(idle);
+    b.on_entry(idle, vec![Action::emit("idle")]);
+    b.on_entry(
+        run,
+        vec![
+            Action::assign("x", Expr::var("x").add(Expr::int(1))),
+            Action::emit_arg("run", Expr::var("x")),
+        ],
+    );
+    b.on_entry(pause, vec![Action::emit("pause")]);
+    b.transition(idle, run).on(start).build();
+    b.transition(run, pause).on(toggle).build();
+    b.transition(pause, run).on(toggle).build();
+    b.transition(run, fin).on(stop).build();
+
+    for i in 0..dead {
+        let name = format!("Dead{i}");
+        let d = b.state(&name);
+        b.on_entry(d, {
+            let mut acts = vec![
+                Action::assign("y", Expr::var("y").mul(Expr::int(2)).add(Expr::int(i as i64))),
+                Action::emit_arg("dead_active", Expr::var("y")),
+                Action::if_then(
+                    Expr::var("y").gt(Expr::int(1000)),
+                    vec![Action::assign("y", Expr::int(1))],
+                ),
+            ];
+            acts.extend(handler_block("dead_h", "y", 2 + i as i64 % 3));
+            acts
+        });
+        b.on_exit(d, vec![Action::emit("dead_left")]);
+        // Dead states point into the live part and at each other, but
+        // nothing points at them.
+        b.transition(d, run).on(start).build();
+        b.transition(d, idle)
+            .on(stop)
+            .then(vec![Action::emit("dead_to_idle")])
+            .build();
+    }
+
+    b.finish().expect("scaling sample is well-formed")
+}
+
+/// An automotive cruise-control state machine: the RTES control workload
+/// the paper's introduction motivates. Fully live (nothing to optimize away
+/// except guard simplification), used by examples and as a negative control
+/// in the benches.
+pub fn cruise_control() -> StateMachine {
+    let mut b = MachineBuilder::new("cruise_control");
+    b.variable("speed", 0);
+    b.variable("target", 0);
+
+    let off = b.state("Off");
+    let standby = b.state("Standby");
+    let (active, areg) = b.composite("Active");
+    let fin = b.final_state("ShutDown");
+
+    let power = b.event("power");
+    let set = b.event("set");
+    let brake = b.event("brake");
+    let resume = b.event("resume");
+    let accel = b.event("accel");
+    let kill = b.event("kill");
+
+    b.initial(off);
+    b.on_entry(off, vec![Action::emit("cc_off")]);
+    b.on_entry(standby, vec![Action::emit("cc_standby")]);
+    b.on_entry(
+        active,
+        vec![
+            Action::assign("target", Expr::var("speed")),
+            Action::emit_arg("cc_engaged", Expr::var("target")),
+        ],
+    );
+    b.on_exit(active, vec![Action::emit("cc_disengaged")]);
+
+    let cruising = b.state_in(areg, "Cruising");
+    let adjusting = b.state_in(areg, "Adjusting");
+    b.initial_in(areg, cruising);
+    b.on_entry(cruising, vec![Action::emit_arg("hold", Expr::var("target"))]);
+    b.on_entry(
+        adjusting,
+        vec![
+            Action::assign("target", Expr::var("target").add(Expr::int(5))),
+            Action::emit_arg("adjust", Expr::var("target")),
+        ],
+    );
+    b.transition(cruising, adjusting)
+        .on(accel)
+        .when(Expr::var("target").lt(Expr::int(130)))
+        .build();
+    b.transition(adjusting, cruising).on(set).build();
+
+    b.transition(off, standby).on(power).build();
+    b.transition(standby, active)
+        .on(set)
+        .when(Expr::var("speed").ge(Expr::int(30)))
+        .then(vec![Action::emit("engaging")])
+        .build();
+    b.transition(active, standby)
+        .on(brake)
+        .then(vec![Action::emit("braked")])
+        .build();
+    b.transition(standby, active)
+        .on(resume)
+        .when(Expr::var("target").gt(Expr::int(0)))
+        .build();
+    b.transition(standby, off).on(power).build();
+    b.transition(off, fin).on(kill).build();
+
+    b.finish().expect("cruise control sample is well-formed")
+}
+
+/// A communication-protocol handler with a dead "legacy" composite state:
+/// a realistic machine where *both* paper optimizations apply at once
+/// (an unreachable simple state and a completion-shadowed composite).
+pub fn protocol_handler() -> StateMachine {
+    let mut b = MachineBuilder::new("protocol_handler");
+    b.variable("seq", 0);
+    b.variable("errors", 0);
+
+    let idle = b.state("Idle");
+    let connecting = b.state("Connecting");
+    let established = b.state("Established");
+    let draining = b.state("Draining");
+    let (legacy, lreg) = b.composite("LegacyMode");
+    let orphan = b.state("OrphanDiag");
+    let fin = b.final_state("Closed");
+
+    let open = b.event("open");
+    let ack = b.event("ack");
+    let data = b.event("data");
+    let close = b.event("close");
+    let downgrade = b.event("downgrade");
+
+    b.initial(idle);
+    b.on_entry(idle, vec![Action::emit("idle")]);
+    b.on_entry(
+        connecting,
+        vec![
+            Action::assign("seq", Expr::int(1)),
+            Action::emit_arg("syn", Expr::var("seq")),
+        ],
+    );
+    b.on_entry(
+        established,
+        vec![Action::emit_arg("established", Expr::var("seq"))],
+    );
+    b.on_entry(draining, vec![Action::emit("draining")]);
+
+    b.transition(idle, connecting).on(open).build();
+    b.transition(connecting, established)
+        .on(ack)
+        .then(vec![Action::assign(
+            "seq",
+            Expr::var("seq").add(Expr::int(1)),
+        )])
+        .build();
+    b.transition(established, established)
+        .on(data)
+        .then(vec![
+            Action::assign("seq", Expr::var("seq").add(Expr::int(1))),
+            Action::emit_arg("payload", Expr::var("seq")),
+        ])
+        .build();
+    b.transition(established, draining).on(close).build();
+    // Draining completes immediately: unguarded completion transition that
+    // shadows the event transition into the legacy composite below.
+    b.transition(draining, fin).on_completion().build();
+    b.transition(draining, legacy)
+        .on(downgrade)
+        .then(vec![Action::emit("downgrading")])
+        .build();
+
+    // The dead legacy submachine.
+    b.on_entry(legacy, vec![Action::emit("legacy")]);
+    let l1 = b.state_in(lreg, "Legacy_Negotiate");
+    let l2 = b.state_in(lreg, "Legacy_Transfer");
+    let lfin = b.final_state_in(lreg, "Legacy_Done");
+    b.initial_in(lreg, l1);
+    b.on_entry(
+        l1,
+        vec![
+            Action::assign("errors", Expr::var("errors").add(Expr::int(1))),
+            Action::emit_arg("legacy_nego", Expr::var("errors")),
+        ],
+    );
+    b.on_entry(l2, vec![Action::emit("legacy_xfer")]);
+    b.transition(l1, l2).on(ack).build();
+    b.transition(l2, lfin).on(close).build();
+    b.transition(legacy, fin).on_completion().build();
+
+    // An unreachable diagnostic state (no incoming transitions).
+    b.on_entry(
+        orphan,
+        vec![
+            Action::assign("errors", Expr::var("errors").add(Expr::int(100))),
+            Action::emit_arg("diag", Expr::var("errors")),
+        ],
+    );
+    b.transition(orphan, idle).on(open).build();
+
+    b.finish().expect("protocol handler sample is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interp;
+
+    #[test]
+    fn flat_unreachable_shape_matches_figure() {
+        let m = flat_unreachable();
+        let metrics = m.metrics();
+        assert_eq!(metrics.simple_states, 3);
+        assert_eq!(metrics.final_states, 1);
+        assert_eq!(metrics.transitions, 5);
+        let s2 = m.state_by_name("S2").expect("S2");
+        assert!(m.transitions_into(s2).is_empty());
+        assert_eq!(m.transitions_from(s2).len(), 2);
+    }
+
+    #[test]
+    fn flat_unreachable_runs() {
+        let m = flat_unreachable();
+        let mut i = Interp::new(&m).expect("start");
+        for name in ["e1", "e2", "e1", "e3"] {
+            i.step_by_name(name).expect("step");
+        }
+        assert!(i.is_terminated());
+        // S2's signals never show up.
+        assert!(i
+            .trace()
+            .observable()
+            .iter()
+            .all(|(s, _)| !s.starts_with("s2_")));
+    }
+
+    #[test]
+    fn hierarchical_never_activates_s3() {
+        let m = hierarchical_never_active();
+        let mut i = Interp::new(&m).expect("start");
+        for name in ["e1", "e2", "e1", "e2", "e3", "e4"] {
+            i.step_by_name(name).expect("step");
+        }
+        assert!(i
+            .trace()
+            .observable()
+            .iter()
+            .all(|(s, _)| !s.starts_with("s3_") && s != "entering_s3"));
+        assert!(i.is_terminated());
+    }
+
+    #[test]
+    fn scaling_family_grows_linearly() {
+        let m0 = flat_with_unreachable(0);
+        let m5 = flat_with_unreachable(5);
+        assert_eq!(m5.metrics().states - m0.metrics().states, 5);
+        assert_eq!(m5.metrics().transitions - m0.metrics().transitions, 10);
+    }
+
+    #[test]
+    fn cruise_control_engages_and_brakes() {
+        let m = cruise_control();
+        let mut i = Interp::new(&m).expect("start");
+        i.step_by_name("power").expect("power");
+        // Not fast enough: guard blocks.
+        i.step_by_name("set").expect("set blocked");
+        assert_eq!(i.configuration(), vec!["Standby".to_string()]);
+        // Speed up, then engage.
+        let speed = i.machine().event_by_name("set").expect("set");
+        let _ = speed;
+        // Directly poke the variable through a fresh machine run: use accel
+        // path instead — engage requires speed >= 30 which our env provides
+        // by constructing the machine with speed preset.
+        let mut m2 = cruise_control();
+        m2.set_variable("speed", 50);
+        let mut i2 = Interp::new(&m2).expect("start");
+        i2.step_by_name("power").expect("power");
+        i2.step_by_name("set").expect("engage");
+        assert_eq!(
+            i2.configuration(),
+            vec!["Active".to_string(), "Cruising".to_string()]
+        );
+        i2.step_by_name("brake").expect("brake");
+        assert_eq!(i2.configuration(), vec!["Standby".to_string()]);
+    }
+
+    #[test]
+    fn protocol_handler_dead_parts_never_emit() {
+        let m = protocol_handler();
+        let mut i = Interp::new(&m).expect("start");
+        for name in ["open", "ack", "data", "data", "close", "downgrade", "ack"] {
+            i.step_by_name(name).expect("step");
+        }
+        assert!(i.is_terminated());
+        for (sig, _) in i.trace().observable() {
+            assert!(
+                !sig.starts_with("legacy") && sig != "diag" && sig != "downgrading",
+                "dead signal {sig} observed"
+            );
+        }
+    }
+
+    #[test]
+    fn all_samples_validate() {
+        for m in [
+            flat_unreachable(),
+            hierarchical_never_active(),
+            flat_with_unreachable(7),
+            cruise_control(),
+            protocol_handler(),
+        ] {
+            m.validate().expect("sample validates");
+        }
+    }
+}

@@ -1,0 +1,463 @@
+//! Well-formedness checking for state machines.
+//!
+//! Validation is the model-level analogue of a front-end's semantic checks:
+//! everything the interpreter, the optimizer and the code generators rely on
+//! is established here once, so downstream code can use infallible accessors.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::action::Action;
+use crate::expr::Expr;
+use crate::ids::{RegionId, StateId, TransitionId};
+use crate::machine::{StateMachine, Trigger};
+
+/// A model well-formedness violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// Two states share a name; names must be unique machine-wide because
+    /// code generators use them as identifiers.
+    DuplicateStateName(String),
+    /// Two events share a name.
+    DuplicateEventName(String),
+    /// A region that can be entered has no initial state.
+    MissingInitial {
+        /// The offending region.
+        region: RegionId,
+        /// The region's name.
+        name: String,
+    },
+    /// A region's initial state belongs to a different region.
+    ForeignInitial {
+        /// The offending region.
+        region: RegionId,
+        /// The state pointed to.
+        state: StateId,
+    },
+    /// A region's initial state is a final state (UML forbids this: an
+    /// initial transition must target a real state).
+    InitialIsFinal {
+        /// The offending region.
+        region: RegionId,
+    },
+    /// A transition connects states of different regions.
+    CrossRegionTransition {
+        /// The offending transition.
+        transition: TransitionId,
+    },
+    /// A transition's source is a final state (final states have no outgoing
+    /// transitions).
+    TransitionFromFinal {
+        /// The offending transition.
+        transition: TransitionId,
+    },
+    /// A transition refers to a removed state.
+    DanglingEndpoint {
+        /// The offending transition.
+        transition: TransitionId,
+    },
+    /// A transition is triggered by a removed event.
+    DanglingTrigger {
+        /// The offending transition.
+        transition: TransitionId,
+    },
+    /// A guard or action references an undeclared context variable.
+    UnknownVariable {
+        /// The variable name.
+        variable: String,
+        /// Where it was referenced.
+        location: String,
+    },
+    /// An emission carries more than one argument (the toolchain's runtime
+    /// convention allows at most one payload).
+    TooManyEmitArgs {
+        /// The signal name.
+        signal: String,
+    },
+    /// The machine has no states at all.
+    EmptyMachine,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::DuplicateStateName(name) => {
+                write!(f, "duplicate state name `{name}`")
+            }
+            ValidateError::DuplicateEventName(name) => {
+                write!(f, "duplicate event name `{name}`")
+            }
+            ValidateError::MissingInitial { region, name } => {
+                write!(f, "region {region} `{name}` has no initial state")
+            }
+            ValidateError::ForeignInitial { region, state } => {
+                write!(f, "initial state {state} does not belong to region {region}")
+            }
+            ValidateError::InitialIsFinal { region } => {
+                write!(f, "initial state of region {region} is a final state")
+            }
+            ValidateError::CrossRegionTransition { transition } => {
+                write!(f, "transition {transition} connects different regions")
+            }
+            ValidateError::TransitionFromFinal { transition } => {
+                write!(f, "transition {transition} leaves a final state")
+            }
+            ValidateError::DanglingEndpoint { transition } => {
+                write!(f, "transition {transition} references a removed state")
+            }
+            ValidateError::DanglingTrigger { transition } => {
+                write!(f, "transition {transition} is triggered by a removed event")
+            }
+            ValidateError::UnknownVariable { variable, location } => {
+                write!(f, "unknown variable `{variable}` referenced in {location}")
+            }
+            ValidateError::TooManyEmitArgs { signal } => {
+                write!(f, "emission of `{signal}` carries more than one argument")
+            }
+            ValidateError::EmptyMachine => write!(f, "machine has no states"),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+impl StateMachine {
+    /// Checks well-formedness of the whole model.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found, in a deterministic order (names,
+    /// regions, transitions, then action-language references).
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        if self.states().next().is_none() {
+            return Err(ValidateError::EmptyMachine);
+        }
+        self.validate_names()?;
+        self.validate_regions()?;
+        self.validate_transitions()?;
+        self.validate_actions()?;
+        Ok(())
+    }
+
+    fn validate_names(&self) -> Result<(), ValidateError> {
+        let mut seen = BTreeSet::new();
+        for (_, s) in self.states() {
+            if !seen.insert(s.name.clone()) {
+                return Err(ValidateError::DuplicateStateName(s.name.clone()));
+            }
+        }
+        let mut seen = BTreeSet::new();
+        for (_, e) in self.events() {
+            if !seen.insert(e.name.clone()) {
+                return Err(ValidateError::DuplicateEventName(e.name.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_regions(&self) -> Result<(), ValidateError> {
+        for (rid, region) in self.regions() {
+            let non_final_states = self
+                .states_in(rid)
+                .into_iter()
+                .filter(|s| !self.state(*s).is_final())
+                .count();
+            match region.initial {
+                None => {
+                    // A region with at least one non-final state must be
+                    // enterable deterministically.
+                    if non_final_states > 0 {
+                        return Err(ValidateError::MissingInitial {
+                            region: rid,
+                            name: region.name.clone(),
+                        });
+                    }
+                }
+                Some(init) => {
+                    let Some(state) = self.try_state(init) else {
+                        return Err(ValidateError::ForeignInitial {
+                            region: rid,
+                            state: init,
+                        });
+                    };
+                    if state.parent != rid {
+                        return Err(ValidateError::ForeignInitial {
+                            region: rid,
+                            state: init,
+                        });
+                    }
+                    if state.is_final() {
+                        return Err(ValidateError::InitialIsFinal { region: rid });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_transitions(&self) -> Result<(), ValidateError> {
+        for (tid, t) in self.transitions() {
+            let (Some(src), Some(dst)) = (self.try_state(t.source), self.try_state(t.target))
+            else {
+                return Err(ValidateError::DanglingEndpoint { transition: tid });
+            };
+            if src.parent != dst.parent {
+                return Err(ValidateError::CrossRegionTransition { transition: tid });
+            }
+            if src.is_final() {
+                return Err(ValidateError::TransitionFromFinal { transition: tid });
+            }
+            if let Trigger::Event(e) = t.trigger {
+                if self.events().all(|(id, _)| id != e) {
+                    return Err(ValidateError::DanglingTrigger { transition: tid });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_actions(&self) -> Result<(), ValidateError> {
+        let declared: BTreeSet<&String> = self.variables().keys().collect();
+        let check_expr = |expr: &Expr, location: &str| -> Result<(), ValidateError> {
+            for v in expr.free_vars() {
+                if !declared.contains(&v) {
+                    return Err(ValidateError::UnknownVariable {
+                        variable: v,
+                        location: location.to_string(),
+                    });
+                }
+            }
+            Ok(())
+        };
+        fn check_actions(
+            actions: &[Action],
+            location: &str,
+            check_expr: &dyn Fn(&Expr, &str) -> Result<(), ValidateError>,
+        ) -> Result<(), ValidateError> {
+            for a in actions {
+                match a {
+                    Action::Assign { value, .. } => check_expr(value, location)?,
+                    Action::Emit { signal, arg } => {
+                        if let Some(arg) = arg {
+                            check_expr(arg, location)?;
+                        }
+                        let _ = signal;
+                    }
+                    Action::If {
+                        cond,
+                        then_actions,
+                        else_actions,
+                    } => {
+                        check_expr(cond, location)?;
+                        check_actions(then_actions, location, check_expr)?;
+                        check_actions(else_actions, location, check_expr)?;
+                    }
+                }
+            }
+            Ok(())
+        }
+        // Assigned variables must also be declared: the context struct of the
+        // generated code is fixed at generation time.
+        let check_writes = |actions: &[Action], location: &str| -> Result<(), ValidateError> {
+            let mut writes = BTreeSet::new();
+            for a in actions {
+                a.written_vars(&mut writes);
+            }
+            for w in writes {
+                if !declared.contains(&w) {
+                    return Err(ValidateError::UnknownVariable {
+                        variable: w,
+                        location: location.to_string(),
+                    });
+                }
+            }
+            Ok(())
+        };
+
+        for (_, s) in self.states() {
+            let loc_entry = format!("entry of `{}`", s.name);
+            let loc_exit = format!("exit of `{}`", s.name);
+            check_actions(&s.entry, &loc_entry, &check_expr)?;
+            check_actions(&s.exit, &loc_exit, &check_expr)?;
+            check_writes(&s.entry, &loc_entry)?;
+            check_writes(&s.exit, &loc_exit)?;
+        }
+        for (tid, t) in self.transitions() {
+            let loc = format!("transition {tid}");
+            if let Some(g) = &t.guard {
+                check_expr(g, &loc)?;
+            }
+            check_actions(&t.effect, &loc, &check_expr)?;
+            check_writes(&t.effect, &loc)?;
+        }
+        for (rid, r) in self.regions() {
+            let loc = format!("initial effect of region {rid}");
+            check_actions(&r.initial_effect, &loc, &check_expr)?;
+            check_writes(&r.initial_effect, &loc)?;
+        }
+
+        // Emission arity: one payload max (runtime convention).
+        for sig in self.emitted_signals() {
+            let _ = sig; // arity is enforced structurally by Action::Emit
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::MachineBuilder;
+    use crate::expr::Expr;
+
+    #[test]
+    fn duplicate_state_names_rejected() {
+        let mut b = MachineBuilder::new("m");
+        let a = b.state("A");
+        b.state("A");
+        b.initial(a);
+        assert!(matches!(
+            b.finish_unchecked().validate(),
+            Err(ValidateError::DuplicateStateName(_))
+        ));
+    }
+
+    #[test]
+    fn missing_initial_rejected() {
+        let mut b = MachineBuilder::new("m");
+        b.state("A");
+        assert!(matches!(
+            b.finish_unchecked().validate(),
+            Err(ValidateError::MissingInitial { .. })
+        ));
+    }
+
+    #[test]
+    fn initial_must_be_in_region() {
+        let mut b = MachineBuilder::new("m");
+        let a = b.state("A");
+        let (_, inner) = b.composite("C");
+        let i = b.state_in(inner, "I");
+        b.initial(a);
+        // Root's initial points into the nested region: invalid.
+        let mut m = b.finish_unchecked();
+        let root = m.root();
+        m.region_mut(root).initial = Some(i);
+        m.region_mut(inner).initial = Some(i);
+        assert!(matches!(
+            m.validate(),
+            Err(ValidateError::ForeignInitial { .. })
+        ));
+    }
+
+    #[test]
+    fn initial_must_not_be_final() {
+        let mut b = MachineBuilder::new("m");
+        let f = b.final_state("End");
+        b.state("A");
+        let mut m = b.finish_unchecked();
+        let root = m.root();
+        m.region_mut(root).initial = Some(f);
+        assert!(matches!(
+            m.validate(),
+            Err(ValidateError::InitialIsFinal { .. })
+        ));
+    }
+
+    #[test]
+    fn cross_region_transition_rejected() {
+        let mut b = MachineBuilder::new("m");
+        let a = b.state("A");
+        let (_, inner) = b.composite("C");
+        let i = b.state_in(inner, "I");
+        b.initial(a);
+        b.initial_in(inner, i);
+        b.transition(a, i).build();
+        assert!(matches!(
+            b.finish_unchecked().validate(),
+            Err(ValidateError::CrossRegionTransition { .. })
+        ));
+    }
+
+    #[test]
+    fn transition_from_final_rejected() {
+        let mut b = MachineBuilder::new("m");
+        let a = b.state("A");
+        let f = b.final_state("End");
+        b.initial(a);
+        b.transition(f, a).build();
+        assert!(matches!(
+            b.finish_unchecked().validate(),
+            Err(ValidateError::TransitionFromFinal { .. })
+        ));
+    }
+
+    #[test]
+    fn dangling_trigger_rejected() {
+        let mut b = MachineBuilder::new("m");
+        let a = b.state("A");
+        let c = b.state("B");
+        let e = b.event("go");
+        b.initial(a);
+        b.transition(a, c).on(e).build();
+        let mut m = b.finish_unchecked();
+        m.remove_event(e);
+        assert!(matches!(
+            m.validate(),
+            Err(ValidateError::DanglingTrigger { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_guard_variable_rejected() {
+        let mut b = MachineBuilder::new("m");
+        let a = b.state("A");
+        let c = b.state("B");
+        let e = b.event("go");
+        b.initial(a);
+        b.transition(a, c)
+            .on(e)
+            .when(Expr::var("ghost").gt(Expr::int(0)))
+            .build();
+        assert!(matches!(
+            b.finish_unchecked().validate(),
+            Err(ValidateError::UnknownVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_assigned_variable_rejected() {
+        let mut b = MachineBuilder::new("m");
+        let a = b.state("A");
+        b.initial(a);
+        b.on_entry(a, vec![crate::Action::assign("ghost", Expr::int(1))]);
+        assert!(matches!(
+            b.finish_unchecked().validate(),
+            Err(ValidateError::UnknownVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_machine_rejected() {
+        let b = MachineBuilder::new("m");
+        assert_eq!(
+            b.finish_unchecked().validate(),
+            Err(ValidateError::EmptyMachine)
+        );
+    }
+
+    #[test]
+    fn valid_machine_passes() {
+        let mut b = MachineBuilder::new("m");
+        b.variable("x", 1);
+        let a = b.state("A");
+        let c = b.state("B");
+        let e = b.event("go");
+        b.initial(a);
+        b.transition(a, c)
+            .on(e)
+            .when(Expr::var("x").gt(Expr::int(0)))
+            .build();
+        assert!(b.finish().is_ok());
+    }
+}

@@ -1,0 +1,19 @@
+//! `mbot` — facade crate re-exporting the model-based optimization
+//! toolchain (a reproduction of Charfi et al., DATE 2010).
+//!
+//! The pipeline, bottom to top:
+//!
+//! * [`umlsm`] — executable UML state-machine models (the paper's input),
+//! * [`mbo`] — the model-level optimizer (the paper's contribution),
+//! * [`cgen`] — the three implementation-pattern code generators,
+//! * [`tlang`] — the generated target language (the "C++" of the paper),
+//! * [`occ`] — the optimizing compiler + EM32 backend and VM (the "GCC").
+//!
+//! See `examples/quickstart.rs` for the whole chain in one page and the
+//! `bench` crate for the binaries regenerating every table and figure.
+
+pub use cgen;
+pub use mbo;
+pub use occ;
+pub use tlang;
+pub use umlsm;

@@ -1,0 +1,191 @@
+//! End-to-end integration: model interpreter ≡ generated code ≡ compiled
+//! EM32 program, for every sample machine, every implementation pattern and
+//! every compiler optimization level — the correctness backbone of all
+//! experiments.
+
+use cgen::{Generated, Pattern};
+use mbo::Optimizer;
+use occ::{vm::Vm, OptLevel};
+use tlang::RecordingEnv;
+use umlsm::{samples, Interp, StateMachine};
+
+fn model_trace(machine: &StateMachine, events: &[&str]) -> Vec<(String, i64)> {
+    let mut interp = Interp::new(machine).expect("model starts");
+    for e in events {
+        interp.step_by_name(e).expect("model steps");
+    }
+    interp.trace().observable()
+}
+
+fn compiled_trace(
+    generated: &Generated,
+    level: OptLevel,
+    events: &[&str],
+) -> Vec<(String, i64)> {
+    let artifact = occ::compile(&generated.module, level).expect("compiles");
+    let mut vm = Vm::new(artifact.assembly(), RecordingEnv::new());
+    vm.run("sm_init", &[]).expect("init runs");
+    for e in events {
+        if let Some(code) = generated.codes.event_code(e) {
+            vm.run("sm_step", &[code as i32]).expect("step runs");
+        }
+    }
+    vm.into_env()
+        .calls
+        .iter()
+        .map(|(_, args)| {
+            (
+                generated
+                    .codes
+                    .signal_name(i64::from(args[0]))
+                    .unwrap_or("<unknown>")
+                    .to_string(),
+                i64::from(args[1]),
+            )
+        })
+        .collect()
+}
+
+fn assert_chain(machine: &StateMachine, events: &[&str]) {
+    let oracle = model_trace(machine, events);
+    for pattern in Pattern::all() {
+        let generated = cgen::generate(machine, pattern).expect("generates");
+        // Source level: the tlang reference interpreter.
+        let run = cgen::run_generated(&generated, events).expect("interprets");
+        assert_eq!(
+            run.observable, oracle,
+            "{} / {pattern}: generated code diverges from the model",
+            machine.name()
+        );
+        // Machine level: compiled EM32 at every level.
+        for level in OptLevel::all() {
+            let trace = compiled_trace(&generated, level, events);
+            assert_eq!(
+                trace, oracle,
+                "{} / {pattern} / {level}: compiled program diverges",
+                machine.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn flat_machine_full_chain() {
+    let m = samples::flat_unreachable();
+    assert_chain(&m, &["e1", "e2", "e1", "e3"]);
+    assert_chain(&m, &["e3", "e2", "e1", "e1", "e2", "e3", "e1"]);
+}
+
+#[test]
+fn hierarchical_machine_full_chain() {
+    let m = samples::hierarchical_never_active();
+    assert_chain(&m, &["e1", "e2", "e3", "e4"]);
+    assert_chain(&m, &["e2", "e1", "e2", "e4", "e3", "e1"]);
+}
+
+#[test]
+fn cruise_control_full_chain() {
+    let mut m = samples::cruise_control();
+    m.set_variable("speed", 64);
+    assert_chain(
+        &m,
+        &["power", "set", "accel", "set", "accel", "brake", "resume", "power", "kill"],
+    );
+}
+
+#[test]
+fn protocol_handler_full_chain() {
+    let m = samples::protocol_handler();
+    assert_chain(
+        &m,
+        &["open", "ack", "data", "data", "data", "close", "downgrade", "ack", "open"],
+    );
+}
+
+#[test]
+fn scaling_family_full_chain() {
+    let m = samples::flat_with_unreachable(4);
+    assert_chain(&m, &["start", "toggle", "toggle", "stop", "start"]);
+}
+
+#[test]
+fn two_step_preserves_behaviour_through_the_whole_chain() {
+    // The paper's proposal end to end: the optimized model, generated and
+    // compiled at -Os, behaves exactly like the *original* model.
+    for machine in [
+        samples::flat_unreachable(),
+        samples::hierarchical_never_active(),
+        samples::protocol_handler(),
+    ] {
+        let events = ["e1", "e2", "e3", "e4", "open", "ack", "data", "close", "e1"];
+        let oracle = model_trace(&machine, &events);
+        let optimized = Optimizer::with_all()
+            .check_behaviour(true)
+            .optimize(&machine)
+            .expect("optimizes")
+            .machine;
+        for pattern in Pattern::all() {
+            let generated = cgen::generate(&optimized, pattern).expect("generates");
+            let trace = compiled_trace(&generated, OptLevel::Os, &events);
+            assert_eq!(
+                trace, oracle,
+                "{} / {pattern}: two-step pipeline changed behaviour",
+                machine.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn optimization_levels_never_grow_code() {
+    for machine in [
+        samples::flat_unreachable(),
+        samples::hierarchical_never_active(),
+    ] {
+        for pattern in Pattern::all() {
+            let generated = cgen::generate(&machine, pattern).expect("generates");
+            let o0 = occ::compile(&generated.module, OptLevel::O0)
+                .expect("compiles")
+                .sizes()
+                .total();
+            let os = occ::compile(&generated.module, OptLevel::Os)
+                .expect("compiles")
+                .sizes()
+                .total();
+            assert!(
+                os <= o0,
+                "{} / {pattern}: -Os ({os}) larger than -O0 ({o0})",
+                machine.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn model_optimization_shrinks_every_pattern() {
+    let machine = samples::hierarchical_never_active();
+    let optimized = Optimizer::with_all()
+        .optimize(&machine)
+        .expect("optimizes")
+        .machine;
+    for pattern in Pattern::all() {
+        let before = occ::compile(
+            &cgen::generate(&machine, pattern).expect("generates").module,
+            OptLevel::Os,
+        )
+        .expect("compiles")
+        .sizes()
+        .total();
+        let after = occ::compile(
+            &cgen::generate(&optimized, pattern).expect("generates").module,
+            OptLevel::Os,
+        )
+        .expect("compiles")
+        .sizes()
+        .total();
+        assert!(
+            after < before,
+            "{pattern}: expected shrink, got {before} -> {after}"
+        );
+    }
+}
