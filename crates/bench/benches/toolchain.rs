@@ -54,8 +54,7 @@ fn bench_compiler_levels(c: &mut Criterion) {
             &level,
             |b, level| {
                 b.iter(|| {
-                    occ::compile(std::hint::black_box(&generated.module), *level)
-                        .expect("compiles")
+                    occ::compile(std::hint::black_box(&generated.module), *level).expect("compiles")
                 })
             },
         );
@@ -96,8 +95,7 @@ fn bench_end_to_end(c: &mut Criterion) {
             let opt = Optimizer::with_all()
                 .optimize(std::hint::black_box(&m))
                 .expect("optimizes");
-            let generated =
-                cgen::generate(&opt.machine, Pattern::NestedSwitch).expect("generates");
+            let generated = cgen::generate(&opt.machine, Pattern::NestedSwitch).expect("generates");
             occ::compile(&generated.module, OptLevel::Os).expect("compiles")
         })
     });

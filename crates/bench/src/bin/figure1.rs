@@ -16,11 +16,7 @@ fn main() {
     let row = GainRow::measure(&flat, Pattern::NestedSwitch);
     println!("row 1: flat machine, unreachable state S2");
     let opt = optimize_model(&flat);
-    println!(
-        "  model: {} -> {}",
-        summary(&flat),
-        summary(&opt)
-    );
+    println!("  model: {} -> {}", summary(&flat), summary(&opt));
     println!(
         "  assembly: {} -> {} bytes   gain {:.2}%   (paper: 12669 -> 11393, 10.07%)",
         row.before,
@@ -32,11 +28,7 @@ fn main() {
     let row = GainRow::measure(&hier, Pattern::NestedSwitch);
     println!("\nrow 2: hierarchical machine, never-active composite S3");
     let opt = optimize_model(&hier);
-    println!(
-        "  model: {} -> {}",
-        summary(&hier),
-        summary(&opt)
-    );
+    println!("  model: {} -> {}", summary(&hier), summary(&opt));
     println!(
         "  assembly: {} -> {} bytes   gain {:.2}%   (paper: > 45%)",
         row.before,

@@ -62,6 +62,10 @@ fn main() {
     );
     println!(
         "  shape check: fallback semantics blocks the composite removal: {}",
-        if fb_states > normal_states { "ok" } else { "MISS" }
+        if fb_states > normal_states {
+            "ok"
+        } else {
+            "MISS"
+        }
     );
 }

@@ -151,12 +151,21 @@ mod tests {
         let stt = assembly_size(&flat, Pattern::StateTable, OptLevel::Os).total();
         let ns = assembly_size(&flat, Pattern::NestedSwitch, OptLevel::Os).total();
         let sp = assembly_size(&flat, Pattern::StatePattern, OptLevel::Os).total();
-        assert!(stt < ns, "STT ({stt}) should be smaller than NestedSwitch ({ns})");
-        assert!(stt < sp, "STT ({stt}) should be smaller than StatePattern ({sp})");
+        assert!(
+            stt < ns,
+            "STT ({stt}) should be smaller than NestedSwitch ({ns})"
+        );
+        assert!(
+            stt < sp,
+            "STT ({stt}) should be smaller than StatePattern ({sp})"
+        );
         let hier = samples::hierarchical_never_active();
         let ns_h = assembly_size(&hier, Pattern::NestedSwitch, OptLevel::Os).total();
         let sp_h = assembly_size(&hier, Pattern::StatePattern, OptLevel::Os).total();
-        assert!(sp_h > ns_h, "State Pattern must be the largest (paper Table I)");
+        assert!(
+            sp_h > ns_h,
+            "State Pattern must be the largest (paper Table I)"
+        );
     }
 
     #[test]
@@ -167,6 +176,9 @@ mod tests {
         let stt = GainRow::measure(&m, Pattern::StateTable).gain();
         let ns = GainRow::measure(&m, Pattern::NestedSwitch).gain();
         let sp = GainRow::measure(&m, Pattern::StatePattern).gain();
-        assert!(sp > ns && ns > stt, "gain order SP({sp:.1}) > NS({ns:.1}) > STT({stt:.1})");
+        assert!(
+            sp > ns && ns > stt,
+            "gain order SP({sp:.1}) > NS({ns:.1}) > STT({stt:.1})"
+        );
     }
 }

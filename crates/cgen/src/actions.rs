@@ -82,11 +82,7 @@ pub(crate) fn lower_actions(
     Ok(out)
 }
 
-fn lower_action(
-    action: &Action,
-    codes: &CodeMap,
-    out: &mut Vec<Stmt>,
-) -> Result<(), CodegenError> {
+fn lower_action(action: &Action, codes: &CodeMap, out: &mut Vec<Stmt>) -> Result<(), CodegenError> {
     match action {
         Action::Assign { var, value } => {
             out.push(Stmt::Assign {

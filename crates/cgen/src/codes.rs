@@ -65,7 +65,10 @@ impl CodeMap {
 
     /// The integer code of a signal name, if any action emits it.
     pub fn signal_code(&self, name: &str) -> Option<i64> {
-        self.signals.iter().position(|s| s == name).map(|i| i as i64)
+        self.signals
+            .iter()
+            .position(|s| s == name)
+            .map(|i| i as i64)
     }
 
     /// The signal name for a code (used to decode `env_emit` traces).

@@ -157,8 +157,7 @@ impl<'m> Gen<'m> {
             Grey,
             Black,
         }
-        let mut marks: BTreeMap<StateId, Mark> =
-            edges.keys().map(|s| (*s, Mark::White)).collect();
+        let mut marks: BTreeMap<StateId, Mark> = edges.keys().map(|s| (*s, Mark::White)).collect();
         fn dfs(
             node: StateId,
             edges: &BTreeMap<StateId, Vec<StateId>>,

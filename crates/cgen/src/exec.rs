@@ -83,7 +83,8 @@ mod tests {
             g.module.check().expect("type-checks");
             let run = run_generated(&g, events).expect("executes");
             assert_eq!(
-                run.observable, expected,
+                run.observable,
+                expected,
                 "{} / {pattern} diverges on {events:?}",
                 machine.name()
             );
@@ -115,7 +116,9 @@ mod tests {
         m.set_variable("speed", 60);
         assert_equivalent(
             &m,
-            &["power", "set", "accel", "set", "accel", "brake", "resume", "power"],
+            &[
+                "power", "set", "accel", "set", "accel", "brake", "resume", "power",
+            ],
         );
     }
 
@@ -124,7 +127,16 @@ mod tests {
         let m = samples::protocol_handler();
         assert_equivalent(
             &m,
-            &["open", "ack", "data", "data", "close", "downgrade", "ack", "open"],
+            &[
+                "open",
+                "ack",
+                "data",
+                "data",
+                "close",
+                "downgrade",
+                "ack",
+                "open",
+            ],
         );
     }
 
@@ -158,6 +170,9 @@ mod tests {
         let g = generate(&m, Pattern::NestedSwitch).expect("generates");
         let run = run_generated(&g, &["e1", "e3"]).expect("executes");
         let fin = m.state_by_name("Final").expect("Final");
-        assert_eq!(i64::from(run.final_state), g.codes.state_code(fin).expect("code"));
+        assert_eq!(
+            i64::from(run.final_state),
+            g.codes.state_code(fin).expect("code")
+        );
     }
 }

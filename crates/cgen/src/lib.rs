@@ -196,8 +196,7 @@ mod tests {
         ];
         for m in &machines {
             for p in Pattern::all() {
-                let g = generate(m, p)
-                    .unwrap_or_else(|e| panic!("{} / {p}: {e}", m.name()));
+                let g = generate(m, p).unwrap_or_else(|e| panic!("{} / {p}: {e}", m.name()));
                 g.module
                     .check()
                     .unwrap_or_else(|e| panic!("{} / {p}: type error {e}", m.name()));

@@ -63,12 +63,10 @@ pub(crate) fn emit(gen: &Gen) -> Result<Module, CodegenError> {
         ret: Type::Void,
         body: vec![
             Stmt::If {
-                cond: Expr::var("ev")
-                    .bin(tlang::BinOp::Lt, Expr::Int(0))
-                    .bin(
-                        tlang::BinOp::Or,
-                        Expr::var("ev").bin(tlang::BinOp::Ge, Expr::Int(ne)),
-                    ),
+                cond: Expr::var("ev").bin(tlang::BinOp::Lt, Expr::Int(0)).bin(
+                    tlang::BinOp::Or,
+                    Expr::var("ev").bin(tlang::BinOp::Ge, Expr::Int(ne)),
+                ),
                 then_body: vec![Stmt::Return(None)],
                 else_body: vec![],
             },
@@ -91,11 +89,7 @@ struct Rule {
     effect_fn: String,
 }
 
-fn emit_region_tables(
-    gen: &Gen,
-    rid: RegionId,
-    module: &mut Module,
-) -> Result<(), CodegenError> {
+fn emit_region_tables(gen: &Gen, rid: RegionId, module: &mut Module) -> Result<(), CodegenError> {
     let field = gen.region_field(rid).to_string();
     let states = gen.m.states_in(rid);
     let ns = states.len();
@@ -263,9 +257,7 @@ fn region_engine(gen: &Gen, rid: RegionId) -> Result<Function, CodegenError> {
         });
     }
 
-    let idx = |name: &str, e: Expr| {
-        Expr::Place(Place::var(format!("t_{field}_{name}")).index(e))
-    };
+    let idx = |name: &str, e: Expr| Expr::Place(Place::var(format!("t_{field}_{name}")).index(e));
     body.extend([
         Stmt::Let {
             name: "base".into(),
@@ -300,10 +292,7 @@ fn region_engine(gen: &Gen, rid: RegionId) -> Result<Function, CodegenError> {
                         vec![],
                     ),
                     then_body: vec![
-                        Stmt::Expr(Expr::CallPtr(
-                            Box::new(idx("exit", Expr::var("s"))),
-                            vec![],
-                        )),
+                        Stmt::Expr(Expr::CallPtr(Box::new(idx("exit", Expr::var("s"))), vec![])),
                         Stmt::Expr(Expr::CallPtr(
                             Box::new(idx("effect", Expr::var("head").add(Expr::var("k")))),
                             vec![],

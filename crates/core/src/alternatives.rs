@@ -202,10 +202,7 @@ impl Classification {
             out.push_str(&format!("{:<24}", a.label()));
             for c in Criterion::all() {
                 let cell = Self::cell(a, c);
-                out.push_str(&format!(
-                    "{:<40}",
-                    if cell.verdict { "YES" } else { "NO" }
-                ));
+                out.push_str(&format!("{:<40}", if cell.verdict { "YES" } else { "NO" }));
             }
             out.push('\n');
         }
@@ -216,7 +213,7 @@ impl Classification {
     /// from the model implementation, does not affect model debugging, and
     /// is easy to implement and detect.
     pub fn recommended() -> Alternative {
-        let best = Alternative::all()
+        Alternative::all()
             .into_iter()
             .max_by_key(|a| {
                 Criterion::all()
@@ -233,8 +230,7 @@ impl Classification {
                     })
                     .sum::<usize>()
             })
-            .expect("non-empty alternatives");
-        best
+            .expect("non-empty alternatives")
     }
 }
 
@@ -245,7 +241,6 @@ mod tests {
     #[test]
     fn matrix_matches_paper_row_by_row() {
         use Alternative::*;
-        use Criterion::*;
         // Paper Table II: After = NO,NO,NO,NO,NO; During = YES,YES,YES,NO,NO;
         // Before = YES,YES,NO,YES,NO.
         let expect = [
@@ -255,11 +250,7 @@ mod tests {
         ];
         for (alt, verdicts) in expect {
             for (c, want) in Criterion::all().into_iter().zip(verdicts) {
-                assert_eq!(
-                    Classification::cell(alt, c).verdict,
-                    want,
-                    "{alt} / {c}"
-                );
+                assert_eq!(Classification::cell(alt, c).verdict, want, "{alt} / {c}");
             }
         }
     }

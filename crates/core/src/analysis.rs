@@ -90,8 +90,9 @@ pub fn completion_shadowed_transitions(machine: &StateMachine) -> Vec<Transition
 /// Reasons are reported with this priority: constant-false guard, then
 /// completion shadowing, then unreachable source.
 pub fn dead_transitions(machine: &StateMachine) -> Vec<(TransitionId, DeadTransitionReason)> {
-    let shadowed: BTreeSet<TransitionId> =
-        completion_shadowed_transitions(machine).into_iter().collect();
+    let shadowed: BTreeSet<TransitionId> = completion_shadowed_transitions(machine)
+        .into_iter()
+        .collect();
     let reach = reachable_states(machine);
     let mut out = Vec::new();
     for (tid, t) in machine.transitions() {
@@ -119,8 +120,9 @@ pub fn dead_transitions(machine: &StateMachine) -> Vec<(TransitionId, DeadTransi
 ///
 /// Guards that depend on variables are conservatively assumed satisfiable.
 pub fn reachable_states(machine: &StateMachine) -> Reachability {
-    let shadowed: BTreeSet<TransitionId> =
-        completion_shadowed_transitions(machine).into_iter().collect();
+    let shadowed: BTreeSet<TransitionId> = completion_shadowed_transitions(machine)
+        .into_iter()
+        .collect();
     let mut reachable = BTreeSet::new();
     let mut order = Vec::new();
     let mut queue = VecDeque::new();
@@ -175,7 +177,8 @@ pub fn equivalence_classes(machine: &StateMachine) -> Vec<Vec<StateId>> {
         .map(|(id, _)| id)
         .collect();
 
-    let mut class_of: std::collections::BTreeMap<StateId, usize> = std::collections::BTreeMap::new();
+    let mut class_of: std::collections::BTreeMap<StateId, usize> =
+        std::collections::BTreeMap::new();
     {
         let mut key_to_class: std::collections::BTreeMap<String, usize> =
             std::collections::BTreeMap::new();
@@ -213,9 +216,7 @@ pub fn equivalence_classes(machine: &StateMachine) -> Vec<Vec<StateId>> {
                 };
                 sig.push_str(&format!(
                     ";{trig}|{:?}|{:?}|->{}",
-                    t.guard,
-                    t.effect,
-                    class_of[&t.target]
+                    t.guard, t.effect, class_of[&t.target]
                 ));
             }
             let next = signature_to_class.len();
@@ -317,7 +318,9 @@ mod tests {
     fn hierarchical_sample_s3_and_submachine_unreachable() {
         let m = samples::hierarchical_never_active();
         let r = reachable_states(&m);
-        for name in ["S3", "S3_Init", "S3_Work", "S3_Check", "S3_Retry", "S3_Done"] {
+        for name in [
+            "S3", "S3_Init", "S3_Work", "S3_Check", "S3_Retry", "S3_Done",
+        ] {
             let sid = m.state_by_name(name).expect(name);
             assert!(!r.is_reachable(sid), "{name} must be unreachable");
         }
@@ -435,10 +438,7 @@ mod tests {
         b.transition(y, f).on(e1).build();
         let m = b.finish().expect("valid");
         let classes = equivalence_classes(&m);
-        let xy = classes
-            .iter()
-            .find(|c| c.contains(&x))
-            .expect("class of X");
+        let xy = classes.iter().find(|c| c.contains(&x)).expect("class of X");
         assert!(xy.contains(&y), "X and Y must share a class");
     }
 

@@ -4,15 +4,19 @@
 //! module checks that dynamically: two machines are compared by the
 //! observable traces (signal emissions) they produce on the same event
 //! sequences, using bounded-exhaustive enumeration for short sequences plus
-//! seeded random sequences for depth. Because the action language has no
-//! loops and run-to-completion chains are bounded, every run terminates,
-//! making the check effective.
+//! seeded random sequences for depth. Run-to-completion chains are bounded
+//! by [`Semantics::max_completion_chain`](umlsm::Semantics), so every probe
+//! terminates — but a probe may *fault* mid-sequence (a guarded completion
+//! cycle whose guard stays true hits the chain bound, or a guard fails to
+//! evaluate). A fault is part of the machine's observable behaviour: the
+//! two machines must fault identically, after identical observable
+//! prefixes, or the sequence is a counterexample.
 
 use std::fmt;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use umlsm::{Interp, InterpError, StateMachine};
+use umlsm::{EvalError, Interp, InterpError, StateMachine};
 
 /// Configuration of the equivalence check.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,13 +86,22 @@ impl fmt::Display for EquivReport {
 ///
 /// # Errors
 ///
-/// Propagates interpreter failures (evaluation errors, completion loops) —
-/// these indicate a malformed model, not an inequivalence.
+/// Returns an error only when the *original* machine fails to initialize
+/// (no initial state, or its initial run-to-completion step faults) —
+/// malformed input, not an inequivalence. Every fault of the *optimized*
+/// machine, including at initialization, and every fault of the original
+/// while dispatching a probe sequence, is compared rather than propagated:
+/// an optimization that turns a faulting run into a clean one (or vice
+/// versa) changed behaviour, and is reported as a counterexample.
 pub fn check_trace_equivalence(
     original: &StateMachine,
     optimized: &StateMachine,
     config: &EquivConfig,
 ) -> Result<EquivReport, InterpError> {
+    // The original must at least start; everything after this point is
+    // outcome comparison, never an error.
+    Interp::new(original)?;
+
     let mut alphabet: Vec<String> = original
         .events()
         .map(|(_, e)| e.name.clone())
@@ -100,7 +113,7 @@ pub fn check_trace_equivalence(
     let mut checked = 0usize;
 
     // Empty sequence: initial run-to-completion must already agree.
-    if let Some(report) = try_sequence(original, optimized, &[], &mut checked)? {
+    if let Some(report) = try_sequence(original, optimized, &[], &mut checked) {
         return Ok(report);
     }
 
@@ -115,9 +128,8 @@ pub fn check_trace_equivalence(
             budget -= count;
             let mut indices = vec![0usize; depth];
             loop {
-                let seq: Vec<String> =
-                    indices.iter().map(|i| alphabet[*i].clone()).collect();
-                if let Some(report) = try_sequence(original, optimized, &seq, &mut checked)? {
+                let seq: Vec<String> = indices.iter().map(|i| alphabet[*i].clone()).collect();
+                if let Some(report) = try_sequence(original, optimized, &seq, &mut checked) {
                     return Ok(report);
                 }
                 if !next_odometer(&mut indices, alphabet.len()) {
@@ -132,7 +144,7 @@ pub fn check_trace_equivalence(
             let seq: Vec<String> = (0..config.random_length)
                 .map(|_| alphabet[rng.gen_range(0..alphabet.len())].clone())
                 .collect();
-            if let Some(report) = try_sequence(original, optimized, &seq, &mut checked)? {
+            if let Some(report) = try_sequence(original, optimized, &seq, &mut checked) {
                 return Ok(report);
             }
         }
@@ -157,27 +169,66 @@ fn next_odometer(indices: &mut [usize], base: usize) -> bool {
     false
 }
 
+/// The kind of fault that halted a run, with model-element payloads
+/// stripped: passes may rename model elements (`merge-equivalent-states`
+/// folds a state into its surviving twin), so the state name inside a
+/// `CompletionLoop` is not behaviour — only *that* the chain bound
+/// tripped, after the same observable prefix, is. Evaluation faults keep
+/// their kind (unknown variable vs type mismatch) because those are
+/// different behaviours, just not their payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultKind {
+    Eval(std::mem::Discriminant<EvalError>),
+    CompletionLoop,
+    NoInitialState,
+}
+
+impl FaultKind {
+    fn of(fault: &InterpError) -> FaultKind {
+        match fault {
+            InterpError::Eval(inner) => FaultKind::Eval(std::mem::discriminant(inner)),
+            InterpError::CompletionLoop { .. } => FaultKind::CompletionLoop,
+            InterpError::NoInitialState => FaultKind::NoInitialState,
+        }
+    }
+}
+
+/// What one machine did on one probe sequence: its observable trace plus
+/// the kind of fault that stopped it, if any. Both components must match
+/// between the two machines for the sequence to count as agreeing.
+type RunOutcome = (Vec<(String, i64)>, Option<FaultKind>);
+
+/// Runs `seq` on a fresh instance of `machine`. Total: a fault — at
+/// initialization or while dispatching — halts the run and becomes part
+/// of the outcome.
+fn run_sequence(machine: &StateMachine, seq: &[String]) -> RunOutcome {
+    let mut interp = match Interp::new(machine) {
+        Ok(interp) => interp,
+        Err(fault) => return (Vec::new(), Some(FaultKind::of(&fault))),
+    };
+    for name in seq {
+        if let Err(fault) = interp.step_by_name(name) {
+            return (interp.trace().observable(), Some(FaultKind::of(&fault)));
+        }
+    }
+    (interp.trace().observable(), None)
+}
+
 fn try_sequence(
     original: &StateMachine,
     optimized: &StateMachine,
     seq: &[String],
     checked: &mut usize,
-) -> Result<Option<EquivReport>, InterpError> {
+) -> Option<EquivReport> {
     *checked += 1;
-    let mut a = Interp::new(original)?;
-    let mut b = Interp::new(optimized)?;
-    for name in seq {
-        a.step_by_name(name)?;
-        b.step_by_name(name)?;
-    }
-    if a.trace().observable() != b.trace().observable() {
-        return Ok(Some(EquivReport {
+    if run_sequence(original, seq) != run_sequence(optimized, seq) {
+        return Some(EquivReport {
             equivalent: false,
             counterexample: Some(seq.to_vec()),
             sequences_checked: *checked,
-        }));
+        });
     }
-    Ok(None)
+    None
 }
 
 #[cfg(test)]
@@ -230,6 +281,98 @@ mod tests {
         let r = check_trace_equivalence(&m1, &m2, &EquivConfig::default()).expect("check");
         assert!(!r.equivalent);
         assert_eq!(r.counterexample, Some(vec!["go".to_string()]));
+    }
+
+    #[test]
+    fn divergent_runs_compare_instead_of_erroring() {
+        // A guarded completion self-loop whose guard becomes (and stays)
+        // true mid-run trips the completion-chain bound. That fault is
+        // behaviour: the machine must agree with itself, and a variant
+        // without the divergence must be flagged, not crash the check.
+        let build = |with_loop: bool| {
+            let mut b = MachineBuilder::new("m");
+            b.variable("x", 0);
+            let a = b.state("A");
+            let bump = b.event("bump");
+            b.initial(a);
+            b.transition(a, a)
+                .on(bump)
+                .then(vec![Action::assign("x", umlsm::Expr::int(1))])
+                .build();
+            if with_loop {
+                b.transition(a, a)
+                    .on_completion()
+                    .when(umlsm::Expr::var("x").ge(umlsm::Expr::int(1)))
+                    .build();
+            }
+            b.finish().expect("valid")
+        };
+        let divergent = build(true);
+        let clean = build(false);
+        let r = check_trace_equivalence(&divergent, &divergent, &EquivConfig::default())
+            .expect("self-check runs despite runtime divergence");
+        assert!(r.equivalent, "{r}");
+        let r = check_trace_equivalence(&divergent, &clean, &EquivConfig::default())
+            .expect("cross-check runs");
+        assert!(!r.equivalent, "fault/no-fault must be a counterexample");
+    }
+
+    #[test]
+    fn optimized_init_fault_is_a_counterexample_not_an_error() {
+        // Only the *original* machine's initialization may error the
+        // check. If a (buggy) optimization makes the optimized machine
+        // fault during its initial run-to-completion step, that is a
+        // behaviour change and must surface as a counterexample.
+        let clean = {
+            let mut b = MachineBuilder::new("m");
+            let a = b.state("A");
+            b.initial(a);
+            b.finish().expect("valid")
+        };
+        let init_faults = {
+            let mut b = MachineBuilder::new("m");
+            let a = b.state("A");
+            let c = b.state("B");
+            b.initial(a);
+            b.transition(a, c).on_completion().build();
+            b.transition(c, a).on_completion().build();
+            b.finish().expect("valid")
+        };
+        let r = check_trace_equivalence(&clean, &init_faults, &EquivConfig::default())
+            .expect("check runs");
+        assert!(!r.equivalent, "init fault must be a counterexample");
+        assert_eq!(r.counterexample, Some(vec![]), "empty sequence suffices");
+
+        // Flipped: a malformed *original* is the caller's bug — error.
+        assert!(check_trace_equivalence(&init_faults, &clean, &EquivConfig::default()).is_err());
+    }
+
+    #[test]
+    fn fault_comparison_ignores_state_names() {
+        // Passes like merge-equivalent-states change which state *name* a
+        // completion-chain fault is reported at. Two machines that differ
+        // only in the looping state's name must still compare equivalent:
+        // the fault kind and the observable prefix are the behaviour, the
+        // name in the error payload is not.
+        let build = |state_name: &str| {
+            let mut b = MachineBuilder::new("m");
+            b.variable("x", 0);
+            let a = b.state(state_name);
+            let bump = b.event("bump");
+            b.initial(a);
+            b.transition(a, a)
+                .on(bump)
+                .then(vec![Action::assign("x", umlsm::Expr::int(1))])
+                .build();
+            b.transition(a, a)
+                .on_completion()
+                .when(umlsm::Expr::var("x").ge(umlsm::Expr::int(1)))
+                .build();
+            b.finish().expect("valid")
+        };
+        let r = check_trace_equivalence(&build("A"), &build("Renamed"), &EquivConfig::default())
+            .expect("check runs");
+        assert!(r.equivalent, "{r}");
     }
 
     #[test]

@@ -168,7 +168,9 @@ impl ModelPass for MergeEquivalentStates {
                     .removed_states
                     .extend(states.iter().map(|s| format!("{s}")));
                 report.removed_transitions += transitions.len();
-                report.notes.push(format!("merged `{name}` into `{keep_name}`"));
+                report
+                    .notes
+                    .push(format!("merged `{name}` into `{keep_name}`"));
             }
         }
         report
@@ -329,10 +331,7 @@ mod tests {
         b.initial(a);
         b.transition(a, fin).on_completion().build();
         b.transition(a, c).on(e).build(); // shadowed
-        b.transition(c, d)
-            .on(e)
-            .when(Expr::bool(false))
-            .build(); // false guard
+        b.transition(c, d).on(e).when(Expr::bool(false)).build(); // false guard
         let mut m = b.finish().expect("valid");
         let report = PruneDeadTransitions.run(&mut m);
         assert_eq!(report.removed_transitions, 2);
@@ -363,11 +362,7 @@ mod tests {
             Some(Expr::var("x").gt(Expr::int(5)))
         );
         // The always-true guard disappeared entirely.
-        assert!(m
-            .transitions()
-            .filter(|(_, t)| t.guard.is_none())
-            .count()
-            >= 1);
+        assert!(m.transitions().filter(|(_, t)| t.guard.is_none()).count() >= 1);
     }
 
     #[test]

@@ -99,8 +99,8 @@ where
     } else {
         (machine.clone(), OptimizationReport::default())
     };
-    let artifact = generate_and_compile(&model, mode.optimizes_code())
-        .map_err(PipelineError::Backend)?;
+    let artifact =
+        generate_and_compile(&model, mode.optimizes_code()).map_err(PipelineError::Backend)?;
     Ok(PipelineRun {
         mode,
         model,

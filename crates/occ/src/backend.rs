@@ -350,13 +350,14 @@ fn linear_scan(f: &MirFunction) -> Alloc {
     let mut pos = 0usize;
     let mut start: BTreeMap<VReg, usize> = BTreeMap::new();
     let mut end: BTreeMap<VReg, usize> = BTreeMap::new();
-    let touch = |v: VReg, p: usize, start: &mut BTreeMap<VReg, usize>, end: &mut BTreeMap<VReg, usize>| {
-        start.entry(v).or_insert(p);
-        let e = end.entry(v).or_insert(p);
-        if *e < p {
-            *e = p;
-        }
-    };
+    let touch =
+        |v: VReg, p: usize, start: &mut BTreeMap<VReg, usize>, end: &mut BTreeMap<VReg, usize>| {
+            start.entry(v).or_insert(p);
+            let e = end.entry(v).or_insert(p);
+            if *e < p {
+                *e = p;
+            }
+        };
     for p in 0..f.params {
         touch(VReg(p as u32), 0, &mut start, &mut end);
     }
@@ -384,10 +385,8 @@ fn linear_scan(f: &MirFunction) -> Alloc {
         }
     }
 
-    let mut intervals: Vec<(VReg, usize, usize)> = start
-        .iter()
-        .map(|(v, s)| (*v, *s, end[v]))
-        .collect();
+    let mut intervals: Vec<(VReg, usize, usize)> =
+        start.iter().map(|(v, s)| (*v, *s, end[v])).collect();
     intervals.sort_by_key(|(v, s, _)| (*s, v.0));
 
     let mut free: Vec<u8> = ALLOC_REGS.to_vec();
@@ -679,10 +678,7 @@ impl Emitter<'_> {
                 if let Some(v) = value {
                     let r = self.read(*v, SCRATCH0);
                     if r != RET_REG {
-                        self.insts.push(AsmInst::Mv {
-                            rd: RET_REG,
-                            rs: r,
-                        });
+                        self.insts.push(AsmInst::Mv { rd: RET_REG, rs: r });
                     }
                 }
                 // Restore frame. SCRATCH1 holds the frame size constant.
@@ -778,17 +774,22 @@ fn compile_function(f: &MirFunction, level: OptLevel) -> Result<AsmFunction, Com
         }
     }
     // Move incoming arguments to their allocated homes.
-    for p in 0..f.params {
+    assert!(
+        f.params <= ARG_REGS.len(),
+        "EM32 calling convention passes at most {} register arguments",
+        ARG_REGS.len()
+    );
+    for (p, arg_reg) in ARG_REGS.iter().enumerate().take(f.params) {
         let v = VReg(p as u32);
         match alloc.loc.get(&v) {
             Some(Loc::Reg(r)) => e.insts.push(AsmInst::Mv {
                 rd: *r,
-                rs: ARG_REGS[p],
+                rs: *arg_reg,
             }),
             Some(Loc::Slot(s)) => {
                 let off = e.slot_off(*s);
                 e.insts.push(AsmInst::Sw {
-                    src: ARG_REGS[p],
+                    src: *arg_reg,
                     base: SP,
                     off,
                 });
@@ -940,11 +941,7 @@ mod tests {
 
     #[test]
     fn peephole_removes_fallthrough_jumps() {
-        let mut insts = vec![
-            AsmInst::J { label: 1 },
-            AsmInst::Label(1),
-            AsmInst::Ret,
-        ];
+        let mut insts = vec![AsmInst::J { label: 1 }, AsmInst::Label(1), AsmInst::Ret];
         peephole(&mut insts);
         assert_eq!(insts.len(), 2);
     }

@@ -61,8 +61,7 @@ pub fn reverse_postorder(f: &MirFunction) -> Vec<BlockId> {
 /// Immediate dominators (entry maps to itself).
 pub fn dominators(f: &MirFunction) -> BTreeMap<BlockId, BlockId> {
     let rpo = reverse_postorder(f);
-    let order: BTreeMap<BlockId, usize> =
-        rpo.iter().enumerate().map(|(i, b)| (*b, i)).collect();
+    let order: BTreeMap<BlockId, usize> = rpo.iter().enumerate().map(|(i, b)| (*b, i)).collect();
     let preds = predecessors(f);
     let mut idom: BTreeMap<BlockId, BlockId> = BTreeMap::new();
     idom.insert(BlockId(0), BlockId(0));

@@ -206,9 +206,7 @@ mod tests {
             name: "answer".into(),
             params: vec![],
             ret: Type::I32,
-            body: vec![Stmt::Return(Some(
-                Expr::Int(40).add(Expr::Int(2)),
-            ))],
+            body: vec![Stmt::Return(Some(Expr::Int(40).add(Expr::Int(2))))],
             exported: true,
         });
         m

@@ -398,22 +398,21 @@ impl FnLowerer<'_> {
                         func,
                         args: argv,
                     });
-                    Ok(dst.unwrap_or_else(|| VReg(0)))
+                    Ok(dst.unwrap_or(VReg(0)))
                 } else {
                     let ext = self
                         .externs
                         .iter()
                         .position(|e| e == name)
                         .expect("checked extern");
-                    let returns =
-                        self.module.extern_decl(name).expect("checked").ret != Type::Void;
+                    let returns = self.module.extern_decl(name).expect("checked").ret != Type::Void;
                     let dst = if returns { Some(self.fresh()) } else { None };
                     self.emit(Inst::CallExtern {
                         dst,
                         ext,
                         args: argv,
                     });
-                    Ok(dst.unwrap_or_else(|| VReg(0)))
+                    Ok(dst.unwrap_or(VReg(0)))
                 }
             }
             Expr::CallPtr(callee, args) => {
@@ -421,13 +420,13 @@ impl FnLowerer<'_> {
                 let argv = self.lower_args(args)?;
                 // Function-pointer calls in generated code return void or
                 // bool; allocate a result slot either way (harmless).
-                let dst = Some(self.fresh());
+                let dst = self.fresh();
                 self.emit(Inst::CallInd {
-                    dst,
+                    dst: Some(dst),
                     ptr,
                     args: argv,
                 });
-                Ok(dst.expect("just set"))
+                Ok(dst)
             }
             Expr::FnAddr(name) => {
                 let func = self.fn_index[name.as_str()];
@@ -450,9 +449,7 @@ impl FnLowerer<'_> {
 
     fn classify_place(&self, place: &Place) -> PlaceKind {
         match place_root(place) {
-            root if self.locals.contains_key(root) => {
-                PlaceKind::Local(self.locals[root])
-            }
+            root if self.locals.contains_key(root) => PlaceKind::Local(self.locals[root]),
             _ => PlaceKind::Memory,
         }
     }
@@ -669,9 +666,7 @@ mod tests {
         let mut m = Module::new("m");
         m.push_function(Function {
             name: "f".into(),
-            params: (0..5)
-                .map(|i| (format!("p{i}"), Type::I32))
-                .collect(),
+            params: (0..5).map(|i| (format!("p{i}"), Type::I32)).collect(),
             ret: Type::Void,
             body: vec![],
             exported: false,

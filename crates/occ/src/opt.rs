@@ -30,7 +30,9 @@ pub fn run_pipeline(program: &mut Program, level: OptLevel, log: &mut Vec<String
         OptLevel::O2 | OptLevel::Os => {
             let threshold = if level == OptLevel::Os { 10 } else { 24 };
             let inlined = inline_small_functions(program, threshold);
-            log.push(format!("inline: {inlined} call sites (threshold {threshold})"));
+            log.push(format!(
+                "inline: {inlined} call sites (threshold {threshold})"
+            ));
             let removed = dead_function_elimination(program);
             log.push(format!(
                 "dead-function-elimination: removed [{}]",
@@ -91,17 +93,13 @@ pub fn constant_fold(f: &mut MirFunction) -> bool {
                     Inst::Const { value, .. } => Some(*value),
                     Inst::Copy { src, .. } => known.get(src).copied(),
                     Inst::Un { op, src, .. } => known.get(src).map(|v| op.eval(*v)),
-                    Inst::Bin { op, lhs, rhs, .. } => {
-                        match (known.get(lhs), known.get(rhs)) {
-                            (Some(a), Some(b)) => Some(op.eval(*a, *b)),
-                            _ => None,
-                        }
-                    }
+                    Inst::Bin { op, lhs, rhs, .. } => match (known.get(lhs), known.get(rhs)) {
+                        (Some(a), Some(b)) => Some(op.eval(*a, *b)),
+                        _ => None,
+                    },
                     Inst::Phi { args, .. } => {
-                        let vals: Option<BTreeSet<i32>> = args
-                            .iter()
-                            .map(|(_, v)| known.get(v).copied())
-                            .collect();
+                        let vals: Option<BTreeSet<i32>> =
+                            args.iter().map(|(_, v)| known.get(v).copied()).collect();
                         vals.and_then(|s| {
                             if s.len() == 1 {
                                 s.into_iter().next()
@@ -149,7 +147,11 @@ pub fn constant_fold(f: &mut MirFunction) -> bool {
                     changed = true;
                 }
             }
-            Term::Switch { val, cases, default } => {
+            Term::Switch {
+                val,
+                cases,
+                default,
+            } => {
                 if let Some(v) = known.get(val) {
                     let target = cases
                         .iter()
@@ -616,10 +618,7 @@ mod tests {
         constant_fold(&mut f);
         ssa::destruct(&mut f);
         simplify_cfg(&mut f);
-        assert!(
-            f.blocks.len() <= 2,
-            "constant branch leaves one path: {f}"
-        );
+        assert!(f.blocks.len() <= 2, "constant branch leaves one path: {f}");
     }
 
     #[test]

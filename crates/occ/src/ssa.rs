@@ -90,21 +90,11 @@ pub fn construct(f: &mut MirFunction) {
         stacks.insert(VReg(p as u32), vec![VReg(p as u32)]);
     }
 
-    rename(
-        f,
-        BlockId(0),
-        &children,
-        &mut stacks,
-        &preds,
-    );
+    rename(f, BlockId(0), &children, &mut stacks, &preds);
 }
 
 fn top(stacks: &BTreeMap<VReg, Vec<VReg>>, v: VReg) -> VReg {
-    stacks
-        .get(&v)
-        .and_then(|s| s.last())
-        .copied()
-        .unwrap_or(v)
+    stacks.get(&v).and_then(|s| s.last()).copied().unwrap_or(v)
 }
 
 fn rename(
@@ -257,7 +247,9 @@ pub fn destruct(f: &mut MirFunction) {
                 insts: seq,
                 term: Term::Goto(b),
             });
-            f.block_mut(p).term.map_succs(&mut |s| if s == b { e } else { s });
+            f.block_mut(p)
+                .term
+                .map_succs(&mut |s| if s == b { e } else { s });
         }
     }
 }
@@ -315,10 +307,7 @@ mod tests {
         let mut f = phi_example();
         construct(&mut f);
         let join = &f.blocks[3];
-        assert!(
-            matches!(join.insts.first(), Some(Inst::Phi { .. })),
-            "{f}"
-        );
+        assert!(matches!(join.insts.first(), Some(Inst::Phi { .. })), "{f}");
         // Single static assignment: every def is unique.
         let mut defs = BTreeSet::new();
         for b in &f.blocks {
@@ -418,7 +407,10 @@ mod tests {
         };
         construct(&mut f);
         let header = &f.blocks[1];
-        assert!(matches!(header.insts.first(), Some(Inst::Phi { .. })), "{f}");
+        assert!(
+            matches!(header.insts.first(), Some(Inst::Phi { .. })),
+            "{f}"
+        );
         destruct(&mut f);
         for b in &f.blocks {
             for i in &b.insts {

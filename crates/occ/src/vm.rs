@@ -216,13 +216,9 @@ impl<'a, E: Env> Vm<'a, E> {
                     returns,
                 } => {
                     let name = &self.asm.externs[ext];
-                    let args: Vec<Value> = (0..nargs)
-                        .map(|i| Value::Int(self.regs[1 + i]))
-                        .collect();
-                    let result = self
-                        .env
-                        .call_extern(name, &args)
-                        .map_err(VmError::Host)?;
+                    let args: Vec<Value> =
+                        (0..nargs).map(|i| Value::Int(self.regs[1 + i])).collect();
+                    let result = self.env.call_extern(name, &args).map_err(VmError::Host)?;
                     if returns {
                         let v = match result {
                             Value::Int(v) => v,
@@ -306,8 +302,8 @@ mod tests {
     use super::*;
     use crate::{compile, OptLevel};
     use tlang::{
-        Expr, ExternDecl, Function, GlobalDef, Init, Module, Place, RecordingEnv, Stmt,
-        StructDef, Type,
+        Expr, ExternDecl, Function, GlobalDef, Init, Module, Place, RecordingEnv, Stmt, StructDef,
+        Type,
     };
 
     fn run_main(module: &Module, level: OptLevel) -> (i32, RecordingEnv) {

@@ -185,6 +185,10 @@ pub enum Expr {
     FnAddr(String),
 }
 
+// `add` intentionally shadows the `std::ops::Add` method name: it builds
+// an AST node by value rather than evaluating, so the operator trait would
+// misleadingly suggest arithmetic.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// Reads a named variable.
     pub fn var(name: impl Into<String>) -> Expr {
@@ -409,10 +413,7 @@ mod tests {
     #[test]
     fn type_display() {
         assert_eq!(Type::I32.to_string(), "i32");
-        assert_eq!(
-            Type::Array(Box::new(Type::I32), 4).to_string(),
-            "i32[4]"
-        );
+        assert_eq!(Type::Array(Box::new(Type::I32), 4).to_string(), "i32[4]");
         assert_eq!(
             Type::fn_ptr(vec![Type::I32], Type::Void).to_string(),
             "fn(i32) -> void"
@@ -460,9 +461,7 @@ mod tests {
 
     #[test]
     fn place_builders_nest() {
-        let p = Place::var("tbl")
-            .index(Expr::Int(3))
-            .field("handler");
+        let p = Place::var("tbl").index(Expr::Int(3)).field("handler");
         assert!(matches!(p, Place::Field(_, _)));
     }
 }

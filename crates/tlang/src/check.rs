@@ -8,9 +8,7 @@ use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 use std::fmt;
 
-use crate::ast::{
-    BinOp, Expr, Function, Init, Module, Place, Stmt, Type, UnOp,
-};
+use crate::ast::{BinOp, Expr, Function, Init, Module, Place, Stmt, Type, UnOp};
 
 /// A checking failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,7 +62,10 @@ impl fmt::Display for TypeError {
                 expected,
                 found,
                 context,
-            } => write!(f, "type mismatch in {context}: expected {expected}, found {found}"),
+            } => write!(
+                f,
+                "type mismatch in {context}: expected {expected}, found {found}"
+            ),
             TypeError::NonScalarLocal(n) => write!(f, "local `{n}` has a non-scalar type"),
             TypeError::LiteralOutOfRange(v) => write!(f, "literal {v} does not fit in i32"),
             TypeError::AssignToConst(n) => write!(f, "assignment to const global `{n}`"),
@@ -74,12 +75,17 @@ impl fmt::Display for TypeError {
                 write!(f, "non-void function `{fun}` may fall off its end")
             }
             TypeError::RecursiveStruct(n) => write!(f, "recursive struct `{n}`"),
-            TypeError::BadInitializer(n) => write!(f, "initializer of `{n}` does not match its type"),
+            TypeError::BadInitializer(n) => {
+                write!(f, "initializer of `{n}` does not match its type")
+            }
             TypeError::ArityMismatch {
                 callee,
                 expected,
                 found,
-            } => write!(f, "call of `{callee}`: expected {expected} args, found {found}"),
+            } => write!(
+                f,
+                "call of `{callee}`: expected {expected} args, found {found}"
+            ),
         }
     }
 }
@@ -251,12 +257,7 @@ fn stmt_terminates(stmt: &Stmt) -> bool {
 }
 
 impl Ctx<'_> {
-    fn check_block(
-        &mut self,
-        body: &[Stmt],
-        ret: &Type,
-        in_loop: bool,
-    ) -> Result<(), TypeError> {
+    fn check_block(&mut self, body: &[Stmt], ret: &Type, in_loop: bool) -> Result<(), TypeError> {
         for stmt in body {
             self.check_stmt(stmt, ret, in_loop)?;
         }
@@ -280,7 +281,7 @@ impl Ctx<'_> {
             }
             Stmt::Assign { place, value } => {
                 if let Some(root) = place_root(place) {
-                    if self.locals.get(root).is_none() {
+                    if !self.locals.contains_key(root) {
                         if let Some(g) = self.module.global(root) {
                             if !g.mutable {
                                 return Err(TypeError::AssignToConst(root.to_string()));
@@ -463,17 +464,16 @@ impl Ctx<'_> {
                 }
             }
             Expr::Call(name, args) => {
-                let (params, ret): (Vec<Type>, Type) =
-                    if let Some(f) = self.module.function(name) {
-                        (
-                            f.params.iter().map(|(_, t)| t.clone()).collect(),
-                            f.ret.clone(),
-                        )
-                    } else if let Some(e) = self.module.extern_decl(name) {
-                        (e.params.clone(), e.ret.clone())
-                    } else {
-                        return Err(TypeError::Unknown(name.clone()));
-                    };
+                let (params, ret): (Vec<Type>, Type) = if let Some(f) = self.module.function(name) {
+                    (
+                        f.params.iter().map(|(_, t)| t.clone()).collect(),
+                        f.ret.clone(),
+                    )
+                } else if let Some(e) = self.module.extern_decl(name) {
+                    (e.params.clone(), e.ret.clone())
+                } else {
+                    return Err(TypeError::Unknown(name.clone()));
+                };
                 self.check_args(name, &params, args)?;
                 Ok(ret)
             }
@@ -580,11 +580,7 @@ mod tests {
     #[test]
     fn rejects_unknown_variable() {
         let mut m = Module::new("m");
-        m.push_function(f(
-            "main",
-            Type::Void,
-            vec![Stmt::Expr(Expr::var("ghost"))],
-        ));
+        m.push_function(f("main", Type::Void, vec![Stmt::Expr(Expr::var("ghost"))]));
         assert!(matches!(m.check(), Err(TypeError::Unknown(_))));
     }
 
@@ -751,7 +747,10 @@ mod tests {
         m.push_function(f(
             "main",
             Type::Void,
-            vec![Stmt::Expr(Expr::Call("env_emit".into(), vec![Expr::Int(1)]))],
+            vec![Stmt::Expr(Expr::Call(
+                "env_emit".into(),
+                vec![Expr::Int(1)],
+            ))],
         ));
         assert!(matches!(m.check(), Err(TypeError::ArityMismatch { .. })));
     }

@@ -344,13 +344,9 @@ impl<'m, E: Env> Interpreter<'m, E> {
                 let argv = argv?;
                 if self.module.function(name).is_some() {
                     let func = self.module.function(name).expect("checked").clone();
-                    Ok(self
-                        .call_function(&func, &argv)?
-                        .unwrap_or(Value::Int(0)))
+                    Ok(self.call_function(&func, &argv)?.unwrap_or(Value::Int(0)))
                 } else if self.module.extern_decl(name).is_some() {
-                    self.env
-                        .call_extern(name, &argv)
-                        .map_err(ExecError::Host)
+                    self.env.call_extern(name, &argv).map_err(ExecError::Host)
                 } else {
                     Err(ExecError::UnknownFunction(name.clone()))
                 }
@@ -472,7 +468,7 @@ impl<'m, E: Env> Interpreter<'m, E> {
                 let def = self
                     .module
                     .struct_def(&name)
-                    .ok_or_else(|| ExecError::UnknownVariable(name))?;
+                    .ok_or(ExecError::UnknownVariable(name))?;
                 def.field(field)
                     .map(|(_, t)| t.clone())
                     .ok_or_else(|| ExecError::UnknownVariable(field.to_string()))
@@ -576,9 +572,12 @@ fn value_of_init(module: &Module, ty: &Type, init: &Init) -> Value {
         (Type::I32, Init::Int(v)) => Value::Int(*v as i32),
         (Type::Bool, Init::Bool(b)) => Value::Bool(*b),
         (Type::FnPtr { .. }, Init::FnAddr(name)) => Value::Fn(name.clone()),
-        (Type::Array(elem, _), Init::Array(items)) => {
-            Value::Array(items.iter().map(|i| value_of_init(module, elem, i)).collect())
-        }
+        (Type::Array(elem, _), Init::Array(items)) => Value::Array(
+            items
+                .iter()
+                .map(|i| value_of_init(module, elem, i))
+                .collect(),
+        ),
         (Type::Struct(name), Init::Struct(items)) => {
             let def = module.struct_def(name).expect("checked struct");
             Value::Struct(
@@ -767,8 +766,14 @@ mod tests {
         });
         m.check().expect("typed");
         let mut i = Interpreter::new(&m, RecordingEnv::new());
-        assert_eq!(i.call("sel", &[Value::Int(5)]).expect("runs"), Some(Value::Int(500)));
-        assert_eq!(i.call("sel", &[Value::Int(9)]).expect("runs"), Some(Value::Int(-1)));
+        assert_eq!(
+            i.call("sel", &[Value::Int(5)]).expect("runs"),
+            Some(Value::Int(500))
+        );
+        assert_eq!(
+            i.call("sel", &[Value::Int(9)]).expect("runs"),
+            Some(Value::Int(-1))
+        );
     }
 
     #[test]
@@ -828,11 +833,9 @@ mod tests {
                     place: Place::var("ctx").field("flags").index(Expr::Int(2)),
                     value: Expr::Int(9),
                 },
-                Stmt::Return(Some(
-                    Expr::Place(Place::var("ctx").field("state")).add(Expr::Place(
-                        Place::var("ctx").field("flags").index(Expr::Int(2)),
-                    )),
-                )),
+                Stmt::Return(Some(Expr::Place(Place::var("ctx").field("state")).add(
+                    Expr::Place(Place::var("ctx").field("flags").index(Expr::Int(2))),
+                ))),
             ],
             exported: true,
         });
@@ -853,8 +856,14 @@ mod tests {
             params: vec![],
             ret: Type::Void,
             body: vec![
-                Stmt::Expr(Expr::Call("env_emit".into(), vec![Expr::Int(3), Expr::Int(4)])),
-                Stmt::Expr(Expr::Call("env_emit".into(), vec![Expr::Int(5), Expr::Int(6)])),
+                Stmt::Expr(Expr::Call(
+                    "env_emit".into(),
+                    vec![Expr::Int(3), Expr::Int(4)],
+                )),
+                Stmt::Expr(Expr::Call(
+                    "env_emit".into(),
+                    vec![Expr::Int(5), Expr::Int(6)],
+                )),
             ],
             exported: true,
         });
@@ -882,7 +891,10 @@ mod tests {
                 name: name.into(),
                 params: vec![],
                 ret: Type::Void,
-                body: vec![Stmt::Expr(Expr::Call("env_emit".into(), vec![Expr::Int(v)]))],
+                body: vec![Stmt::Expr(Expr::Call(
+                    "env_emit".into(),
+                    vec![Expr::Int(v)],
+                ))],
                 exported: false,
             });
         }

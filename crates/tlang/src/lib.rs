@@ -45,8 +45,7 @@ pub mod interp;
 mod printer;
 
 pub use ast::{
-    BinOp, Expr, ExternDecl, Function, GlobalDef, Init, Module, Place, Stmt, StructDef, Type,
-    UnOp,
+    BinOp, Expr, ExternDecl, Function, GlobalDef, Init, Module, Place, Stmt, StructDef, Type, UnOp,
 };
 pub use check::TypeError;
 pub use interp::{Env, ExecError, Interpreter, RecordingEnv, Value};

@@ -25,18 +25,20 @@ impl Module {
         }
         for e in &self.externs {
             let params: Vec<String> = e.params.iter().map(|t| t.to_string()).collect();
-            let _ = writeln!(out, "extern fn {}({}) -> {};", e.name, params.join(", "), e.ret);
+            let _ = writeln!(
+                out,
+                "extern fn {}({}) -> {};",
+                e.name,
+                params.join(", "),
+                e.ret
+            );
         }
         for g in &self.globals {
             let kw = if g.mutable { "static" } else { "const" };
             let _ = writeln!(out, "{kw} {}: {} = {};", g.name, g.ty, print_init(&g.init));
         }
         for f in &self.functions {
-            let params: Vec<String> = f
-                .params
-                .iter()
-                .map(|(n, t)| format!("{n}: {t}"))
-                .collect();
+            let params: Vec<String> = f.params.iter().map(|(n, t)| format!("{n}: {t}")).collect();
             let vis = if f.exported { "pub " } else { "" };
             let _ = writeln!(
                 out,
@@ -207,10 +209,13 @@ mod tests {
             body: vec![
                 Stmt::Switch {
                     scrutinee: Expr::var("ev"),
-                    cases: vec![(0, vec![Stmt::Assign {
-                        place: Place::var("ctx").field("state"),
-                        value: Expr::Int(1),
-                    }])],
+                    cases: vec![(
+                        0,
+                        vec![Stmt::Assign {
+                            place: Place::var("ctx").field("state"),
+                            value: Expr::Int(1),
+                        }],
+                    )],
                     default: vec![Stmt::Expr(Expr::Call(
                         "env_emit".into(),
                         vec![Expr::Int(9), Expr::Int(0)],

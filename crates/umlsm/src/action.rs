@@ -229,7 +229,10 @@ mod tests {
         );
         let mut writes = BTreeSet::new();
         a.written_vars(&mut writes);
-        assert_eq!(writes.into_iter().collect::<Vec<_>>(), vec!["x".to_string()]);
+        assert_eq!(
+            writes.into_iter().collect::<Vec<_>>(),
+            vec!["x".to_string()]
+        );
     }
 
     #[test]

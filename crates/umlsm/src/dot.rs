@@ -60,7 +60,12 @@ impl StateMachine {
                 "{pad}init_r{} [shape=point, width=0.15, label=\"\"];",
                 region.index()
             );
-            let _ = writeln!(out, "{pad}init_r{} -> s{};", region.index(), initial.index());
+            let _ = writeln!(
+                out,
+                "{pad}init_r{} -> s{};",
+                region.index(),
+                initial.index()
+            );
         }
         for sid in self.states_in(region) {
             let s = self.state(sid);

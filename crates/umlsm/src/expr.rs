@@ -183,6 +183,10 @@ impl fmt::Display for EvalError {
 
 impl std::error::Error for EvalError {}
 
+// The fluent builders intentionally shadow the `std::ops` method names:
+// `a.add(b)` builds an AST node by value, it does not evaluate, so
+// implementing the operator traits would misleadingly suggest arithmetic.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// Builds an integer literal.
     pub fn int(value: i64) -> Expr {
@@ -346,8 +350,7 @@ impl Expr {
                     {
                         return Expr::Bool(false)
                     }
-                    (BinOp::Or, Expr::Bool(true), other)
-                    | (BinOp::Or, other, Expr::Bool(true))
+                    (BinOp::Or, Expr::Bool(true), other) | (BinOp::Or, other, Expr::Bool(true))
                         if other.static_type() == Some(ExprType::Bool) =>
                     {
                         return Expr::Bool(true)
@@ -376,7 +379,9 @@ impl Expr {
             Expr::Int(_) => Some(ExprType::Int),
             Expr::Bool(_) => Some(ExprType::Bool),
             Expr::Var(_) => Some(ExprType::Int),
-            Expr::Unary(UnOp::Neg, e) => (e.static_type()? == ExprType::Int).then_some(ExprType::Int),
+            Expr::Unary(UnOp::Neg, e) => {
+                (e.static_type()? == ExprType::Int).then_some(ExprType::Int)
+            }
             Expr::Unary(UnOp::Not, e) => {
                 (e.static_type()? == ExprType::Bool).then_some(ExprType::Bool)
             }

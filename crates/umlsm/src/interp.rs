@@ -299,10 +299,14 @@ impl<'m> Interp<'m> {
     fn discard(&mut self, name: &str) {
         match self.machine.semantics().unhandled {
             UnhandledEventPolicy::Discard => {
-                self.trace.events.push(TraceEvent::Discard(name.to_string()));
+                self.trace
+                    .events
+                    .push(TraceEvent::Discard(name.to_string()));
             }
             UnhandledEventPolicy::Flag => {
-                self.trace.events.push(TraceEvent::Discard(name.to_string()));
+                self.trace
+                    .events
+                    .push(TraceEvent::Discard(name.to_string()));
                 self.trace.events.push(TraceEvent::Emit {
                     signal: "unhandled".to_string(),
                     arg: 0,
@@ -388,7 +392,9 @@ impl<'m> Interp<'m> {
     fn enter_state(&mut self, sid: StateId) -> Result<(), InterpError> {
         let state = self.machine.state(sid).clone();
         self.run_actions(&state.entry)?;
-        self.trace.events.push(TraceEvent::Enter(state.name.clone()));
+        self.trace
+            .events
+            .push(TraceEvent::Enter(state.name.clone()));
         self.config.push(sid);
         if state.is_final() && state.parent == self.machine.root() {
             self.terminated = true;
@@ -475,7 +481,10 @@ mod tests {
         b.on_entry(a, vec![Action::emit("in_a")]);
         b.on_exit(a, vec![Action::emit("out_a")]);
         b.on_entry(c, vec![Action::emit("in_b")]);
-        b.transition(a, c).on(go).then(vec![Action::emit("effect")]).build();
+        b.transition(a, c)
+            .on(go)
+            .then(vec![Action::emit("effect")])
+            .build();
         (b.finish().expect("valid"), go)
     }
 

@@ -719,9 +719,7 @@ mod tests {
             effect: Vec::new(),
         });
         m.redirect_state(b, a);
-        assert!(m
-            .transitions()
-            .all(|(_, t)| t.source != b && t.target != b));
+        assert!(m.transitions().all(|(_, t)| t.source != b && t.target != b));
         // a -> a self loop plus a -> c.
         assert_eq!(m.transitions_from(a).len(), 2);
     }

@@ -144,7 +144,10 @@ mod tests {
         b.on_entry(a, vec![Action::assign("x", Expr::int(1))]);
         b.transition(a, c).on(e).build();
         b.transition(i, fin).on(e).build();
-        b.transition(c, a).on_completion().then(vec![Action::emit("done")]).build();
+        b.transition(c, a)
+            .on_completion()
+            .then(vec![Action::emit("done")])
+            .build();
         let m = b.finish().expect("valid");
         let metrics = m.metrics();
         assert_eq!(metrics.states, 4);

@@ -322,7 +322,10 @@ pub fn flat_with_unreachable(dead: usize) -> StateMachine {
         let d = b.state(&name);
         b.on_entry(d, {
             let mut acts = vec![
-                Action::assign("y", Expr::var("y").mul(Expr::int(2)).add(Expr::int(i as i64))),
+                Action::assign(
+                    "y",
+                    Expr::var("y").mul(Expr::int(2)).add(Expr::int(i as i64)),
+                ),
                 Action::emit_arg("dead_active", Expr::var("y")),
                 Action::if_then(
                     Expr::var("y").gt(Expr::int(1000)),
@@ -381,7 +384,10 @@ pub fn cruise_control() -> StateMachine {
     let cruising = b.state_in(areg, "Cruising");
     let adjusting = b.state_in(areg, "Adjusting");
     b.initial_in(areg, cruising);
-    b.on_entry(cruising, vec![Action::emit_arg("hold", Expr::var("target"))]);
+    b.on_entry(
+        cruising,
+        vec![Action::emit_arg("hold", Expr::var("target"))],
+    );
     b.on_entry(
         adjusting,
         vec![

@@ -91,7 +91,10 @@ impl fmt::Display for ValidateError {
                 write!(f, "region {region} `{name}` has no initial state")
             }
             ValidateError::ForeignInitial { region, state } => {
-                write!(f, "initial state {state} does not belong to region {region}")
+                write!(
+                    f,
+                    "initial state {state} does not belong to region {region}"
+                )
             }
             ValidateError::InitialIsFinal { region } => {
                 write!(f, "initial state of region {region} is a final state")

@@ -21,14 +21,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Drive a scenario on the reference interpreter.
     let mut run = Interp::new(&machine)?;
-    for e in ["power", "set", "accel", "accel", "set", "brake", "resume", "power"] {
+    for e in [
+        "power", "set", "accel", "accel", "set", "brake", "resume", "power",
+    ] {
         run.step_by_name(e)?;
         println!("after {e:<7} active: {:?}", run.configuration());
     }
     println!("observable trace: {:?}", run.trace().observable());
 
     // Negative control: nothing to optimize away.
-    let outcome = Optimizer::with_all().check_behaviour(true).optimize(&machine)?;
+    let outcome = Optimizer::with_all()
+        .check_behaviour(true)
+        .optimize(&machine)?;
     assert_eq!(
         outcome.machine.metrics().states,
         machine.metrics().states,

@@ -30,7 +30,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Full optimization with the behaviour check on.
-    let outcome = Optimizer::with_all().check_behaviour(true).optimize(&machine)?;
+    let outcome = Optimizer::with_all()
+        .check_behaviour(true)
+        .optimize(&machine)?;
     println!("\n{}", outcome.report);
     println!(
         "equivalence: {}",
@@ -40,10 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The payoff in bytes, per pattern.
     println!("\ntwo-step payoff at -Os:");
     for pattern in Pattern::all() {
-        let before = occ::compile(
-            &cgen::generate(&machine, pattern)?.module,
-            OptLevel::Os,
-        )?;
+        let before = occ::compile(&cgen::generate(&machine, pattern)?.module, OptLevel::Os)?;
         let after = occ::compile(
             &cgen::generate(&outcome.machine, pattern)?.module,
             OptLevel::Os,

@@ -17,11 +17,7 @@ fn model_trace(machine: &StateMachine, events: &[&str]) -> Vec<(String, i64)> {
     interp.trace().observable()
 }
 
-fn compiled_trace(
-    generated: &Generated,
-    level: OptLevel,
-    events: &[&str],
-) -> Vec<(String, i64)> {
+fn compiled_trace(generated: &Generated, level: OptLevel, events: &[&str]) -> Vec<(String, i64)> {
     let artifact = occ::compile(&generated.module, level).expect("compiles");
     let mut vm = Vm::new(artifact.assembly(), RecordingEnv::new());
     vm.run("sm_init", &[]).expect("init runs");
@@ -53,7 +49,8 @@ fn assert_chain(machine: &StateMachine, events: &[&str]) {
         // Source level: the tlang reference interpreter.
         let run = cgen::run_generated(&generated, events).expect("interprets");
         assert_eq!(
-            run.observable, oracle,
+            run.observable,
+            oracle,
             "{} / {pattern}: generated code diverges from the model",
             machine.name()
         );
@@ -61,7 +58,8 @@ fn assert_chain(machine: &StateMachine, events: &[&str]) {
         for level in OptLevel::all() {
             let trace = compiled_trace(&generated, level, events);
             assert_eq!(
-                trace, oracle,
+                trace,
+                oracle,
                 "{} / {pattern} / {level}: compiled program diverges",
                 machine.name()
             );
@@ -89,7 +87,9 @@ fn cruise_control_full_chain() {
     m.set_variable("speed", 64);
     assert_chain(
         &m,
-        &["power", "set", "accel", "set", "accel", "brake", "resume", "power", "kill"],
+        &[
+            "power", "set", "accel", "set", "accel", "brake", "resume", "power", "kill",
+        ],
     );
 }
 
@@ -98,7 +98,17 @@ fn protocol_handler_full_chain() {
     let m = samples::protocol_handler();
     assert_chain(
         &m,
-        &["open", "ack", "data", "data", "data", "close", "downgrade", "ack", "open"],
+        &[
+            "open",
+            "ack",
+            "data",
+            "data",
+            "data",
+            "close",
+            "downgrade",
+            "ack",
+            "open",
+        ],
     );
 }
 
@@ -128,7 +138,8 @@ fn two_step_preserves_behaviour_through_the_whole_chain() {
             let generated = cgen::generate(&optimized, pattern).expect("generates");
             let trace = compiled_trace(&generated, OptLevel::Os, &events);
             assert_eq!(
-                trace, oracle,
+                trace,
+                oracle,
                 "{} / {pattern}: two-step pipeline changed behaviour",
                 machine.name()
             );
@@ -177,7 +188,9 @@ fn model_optimization_shrinks_every_pattern() {
         .sizes()
         .total();
         let after = occ::compile(
-            &cgen::generate(&optimized, pattern).expect("generates").module,
+            &cgen::generate(&optimized, pattern)
+                .expect("generates")
+                .module,
             OptLevel::Os,
         )
         .expect("compiles")

@@ -1,0 +1,39 @@
+//! Smoke test: every example must build, run to completion and exit 0.
+//!
+//! The examples double as end-to-end documentation of the toolchain
+//! (model → optimizer → codegen → compiler → VM); a panic or non-zero
+//! exit in any of them means a user-visible flow is broken even if the
+//! unit tests pass.
+
+use std::path::Path;
+use std::process::Command;
+
+const EXAMPLES: &[&str] = &[
+    "quickstart",
+    "cruise_control",
+    "protocol_handler",
+    "pattern_shootout",
+];
+
+#[test]
+fn all_examples_exit_zero() {
+    let manifest_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
+    // `cargo test` has already released the build lock by the time tests
+    // run, so nested cargo invocations are safe; they reuse the build
+    // cache from the enclosing `cargo test`/`cargo build`.
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    for example in EXAMPLES {
+        let output = Command::new(&cargo)
+            .current_dir(manifest_dir)
+            .args(["run", "--quiet", "--example", example])
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn cargo for `{example}`: {e}"));
+        assert!(
+            output.status.success(),
+            "example `{example}` exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            output.status.code(),
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+    }
+}

@@ -83,16 +83,16 @@ fn arb_transitions(states: usize, events: usize) -> impl Strategy<Value = Vec<Tr
             prop::bool::weighted(0.15),
             any::<u8>(),
         )
-            .prop_map(
-                |(source, target, event, guarded, completion, emit)| TransitionSpec {
+            .prop_map(|(source, target, event, guarded, completion, emit)| {
+                TransitionSpec {
                     source,
                     target,
                     event,
                     guarded,
                     completion,
                     emit,
-                },
-            ),
+                }
+            }),
         1..12,
     )
 }
@@ -120,7 +120,8 @@ fn build_machine(states: usize, events: usize, specs: &[TransitionSpec]) -> Opti
             // can easily form chains/cycles that code generation rejects;
             // a guard keeps the machine compilable while still exercising
             // completion semantics.
-            t.on_completion().when(Expr::var("x").rem(Expr::int(3)).eq(Expr::int(1)))
+            t.on_completion()
+                .when(Expr::var("x").rem(Expr::int(3)).eq(Expr::int(1)))
         } else if spec.guarded {
             t.on(eids[spec.event])
                 .when(Expr::var("x").rem(Expr::int(2)).eq(Expr::int(0)))
