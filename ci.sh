@@ -27,7 +27,13 @@ fi
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
-echo "==> table1 smoke run"
-cargo run --release -q -p bench --bin table1 > /dev/null
+# Smoke-run every bench binary: a mid-end regression that only breaks
+# artifact generation (a panic, a failed shape check, an incomplete
+# table) must fail CI, not wait for the next manual regeneration.
+# BENCH_SMOKE=1 shortens the scaling sweep.
+for bin in figure1 table1 table2 scaling deadcode twostep; do
+    echo "==> bench smoke: $bin"
+    BENCH_SMOKE=1 cargo run --release -q -p bench --bin "$bin" > /dev/null
+done
 
 echo "CI gate passed."

@@ -46,6 +46,19 @@ fn bench_codegen_patterns(c: &mut Criterion) {
 fn bench_compiler_levels(c: &mut Criterion) {
     let m = samples::hierarchical_never_active();
     let generated = cgen::generate(&m, Pattern::NestedSwitch).expect("generates");
+    // Report per-pass effect counts once per level so the bench output
+    // shows *what* each level's time is buying.
+    for level in OptLevel::all() {
+        let artifact = occ::compile(&generated.module, level).expect("compiles");
+        println!(
+            "pass effects at {} ({} bytes):",
+            level.flag(),
+            artifact.sizes().total()
+        );
+        for line in bench::pass_effect_lines(&artifact) {
+            println!("  {line}");
+        }
+    }
     let mut group = c.benchmark_group("compile");
     group.sample_size(15);
     for level in OptLevel::all() {

@@ -7,7 +7,7 @@
 //! optimization removes them before the compiler ever sees them. Run with
 //! `cargo run -p bench --bin deadcode`.
 
-use bench::optimize_model;
+use bench::{compile_artifact, compile_generated, generate, optimize_model, pass_effect_lines};
 use cgen::Pattern;
 use occ::OptLevel;
 use umlsm::samples;
@@ -16,12 +16,27 @@ fn main() {
     println!("=== Dead code: compiler DCE vs model-level optimization ===\n");
     let machine = samples::flat_unreachable();
     let s2_functions = ["enter_S2", "exit_S2"];
+    let mut failures = 0usize;
 
     for pattern in Pattern::all() {
-        let generated = cgen::generate(&machine, pattern).expect("generates");
         println!("pattern {}:", pattern.label());
+        let generated = match generate(&machine, pattern) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("  ERROR: {e}");
+                failures += 1;
+                continue;
+            }
+        };
         for level in OptLevel::all() {
-            let artifact = occ::compile(&generated.module, level).expect("compiles");
+            let artifact = match compile_generated(machine.name(), pattern, level, &generated) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("  {:>4}: ERROR: {e}", level.flag());
+                    failures += 1;
+                    continue;
+                }
+            };
             let survivors: Vec<&str> = s2_functions
                 .iter()
                 .copied()
@@ -53,24 +68,41 @@ fn main() {
             }
         }
         // Now the model-level step.
-        let optimized = optimize_model(&machine);
-        let generated_opt = cgen::generate(&optimized, pattern).expect("generates");
-        let artifact = occ::compile(&generated_opt.module, OptLevel::Os).expect("compiles");
-        let any_s2 = artifact
-            .surviving_functions()
-            .iter()
-            .any(|f| f.contains("S2"));
-        println!(
-            "  model-opt + -Os: total {:>6} bytes; S2 code present: {} — removed at the model level\n",
-            artifact.sizes().total(),
-            any_s2
-        );
+        match optimize_model(&machine)
+            .and_then(|optimized| compile_artifact(&optimized, pattern, OptLevel::Os))
+        {
+            Ok(artifact) => {
+                let any_s2 = artifact
+                    .surviving_functions()
+                    .iter()
+                    .any(|f| f.contains("S2"));
+                println!(
+                    "  model-opt + -Os: total {:>6} bytes; S2 code present: {} — removed at the model level\n",
+                    artifact.sizes().total(),
+                    any_s2
+                );
+            }
+            Err(e) => {
+                eprintln!("  model-opt + -Os: ERROR: {e}\n");
+                failures += 1;
+            }
+        }
     }
 
-    println!("pass log excerpt (-Os, NestedSwitch, unoptimized model):");
-    let generated = cgen::generate(&machine, Pattern::NestedSwitch).expect("generates");
-    let artifact = occ::compile(&generated.module, OptLevel::Os).expect("compiles");
-    for line in artifact.pass_log().iter().take(6) {
-        println!("  {line}");
+    println!("per-pass effects (-Os, NestedSwitch, unoptimized model):");
+    match compile_artifact(&machine, Pattern::NestedSwitch, OptLevel::Os) {
+        Ok(artifact) => {
+            for line in pass_effect_lines(&artifact) {
+                println!("  {line}");
+            }
+        }
+        Err(e) => {
+            eprintln!("  ERROR: {e}");
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("\n{failures} cell(s) failed — report incomplete");
+        std::process::exit(1);
     }
 }

@@ -4,18 +4,26 @@
 //!
 //! Run with `cargo run -p bench --bin figure1`.
 
-use bench::{optimize_model, pct_gain, GainRow};
+use bench::{compile_artifact, optimize_model, pass_effect_lines, pct_gain, BenchError, GainRow};
 use cgen::Pattern;
+use occ::OptLevel;
 use umlsm::samples;
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("ERROR: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), BenchError> {
     println!("=== Figure 1: model optimizations and their impact on assembly size ===");
     println!("(generated with Nested Switch, compiled at -Os; paper numbers for GCC 4.3.2/x86)\n");
 
     let flat = samples::flat_unreachable();
-    let row = GainRow::measure(&flat, Pattern::NestedSwitch);
+    let row = GainRow::measure(&flat, Pattern::NestedSwitch)?;
     println!("row 1: flat machine, unreachable state S2");
-    let opt = optimize_model(&flat);
+    let opt = optimize_model(&flat)?;
     println!("  model: {} -> {}", summary(&flat), summary(&opt));
     println!(
         "  assembly: {} -> {} bytes   gain {:.2}%   (paper: 12669 -> 11393, 10.07%)",
@@ -25,9 +33,9 @@ fn main() {
     );
 
     let hier = samples::hierarchical_never_active();
-    let row = GainRow::measure(&hier, Pattern::NestedSwitch);
+    let row = GainRow::measure(&hier, Pattern::NestedSwitch)?;
     println!("\nrow 2: hierarchical machine, never-active composite S3");
-    let opt = optimize_model(&hier);
+    let opt = optimize_model(&hier)?;
     println!("  model: {} -> {}", summary(&hier), summary(&opt));
     println!(
         "  assembly: {} -> {} bytes   gain {:.2}%   (paper: > 45%)",
@@ -41,6 +49,13 @@ fn main() {
         "\nshape check: hierarchical gain {} the paper's '>45%' ballpark",
         if ok1 { "matches" } else { "MISSES" }
     );
+
+    println!("\nper-pass effects (flat machine, NestedSwitch at -Os):");
+    let artifact = compile_artifact(&flat, Pattern::NestedSwitch, OptLevel::Os)?;
+    for line in pass_effect_lines(&artifact) {
+        println!("  {line}");
+    }
+    Ok(())
 }
 
 fn summary(m: &umlsm::StateMachine) -> String {

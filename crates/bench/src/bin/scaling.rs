@@ -3,7 +3,8 @@
 //!
 //! Sweeps the number of unreachable states appended to a live core and
 //! reports the size gain per pattern. Run with
-//! `cargo run -p bench --bin scaling`.
+//! `cargo run -p bench --bin scaling`; set `BENCH_SMOKE=1` for the short
+//! CI sweep.
 
 use bench::GainRow;
 use cgen::Pattern;
@@ -16,9 +17,15 @@ fn main() {
         "{:>5} {:>12} {:>12} {:>12}",
         "dead", "STT", "NestedSwitch", "StatePattern"
     );
-    let ks = [0usize, 1, 2, 4, 6, 8, 10, 12];
+    let smoke = std::env::var_os("BENCH_SMOKE").is_some();
+    let ks: &[usize] = if smoke {
+        &[0, 4, 8]
+    } else {
+        &[0, 1, 2, 4, 6, 8, 10, 12]
+    };
     let mut ns_gains = Vec::new();
-    for &k in &ks {
+    let mut failures = 0usize;
+    for &k in ks {
         let machine = samples::flat_with_unreachable(k);
         let mut cells = Vec::new();
         for pattern in [
@@ -26,13 +33,25 @@ fn main() {
             Pattern::NestedSwitch,
             Pattern::StatePattern,
         ] {
-            let row = GainRow::measure(&machine, pattern);
-            cells.push(format!("{:>11.1}%", row.gain()));
-            if pattern == Pattern::NestedSwitch {
-                ns_gains.push(row.gain());
+            match GainRow::measure(&machine, pattern) {
+                Ok(row) => {
+                    cells.push(format!("{:>11.1}%", row.gain()));
+                    if pattern == Pattern::NestedSwitch {
+                        ns_gains.push(row.gain());
+                    }
+                }
+                Err(e) => {
+                    cells.push(format!("{:>12}", "ERROR"));
+                    eprintln!("  ERROR: {e}");
+                    failures += 1;
+                }
             }
         }
         println!("{k:>5} {} {} {}", cells[0], cells[1], cells[2]);
+    }
+    if failures > 0 {
+        eprintln!("\n{failures} cell(s) failed — sweep incomplete");
+        std::process::exit(1);
     }
 
     let monotone = ns_gains.windows(2).all(|w| w[1] >= w[0] - 0.5);
@@ -45,10 +64,20 @@ fn main() {
     // semantics the hierarchical machine's composite is reachable, so the
     // optimizer must not remove it and the gain collapses to (almost) zero.
     let normal = samples::hierarchical_never_active();
-    let normal_states = bench::optimize_model(&normal).metrics().states;
     let mut fallback = samples::hierarchical_never_active();
     fallback.set_semantics(umlsm::Semantics::completion_as_fallback());
-    let fb_states = bench::optimize_model(&fallback).metrics().states;
+    let (normal_states, fb_states) = match (
+        bench::optimize_model(&normal),
+        bench::optimize_model(&fallback),
+    ) {
+        (Ok(n), Ok(f)) => (n.metrics().states, f.metrics().states),
+        (n, f) => {
+            for e in [n.err(), f.err()].into_iter().flatten() {
+                eprintln!("  ERROR: {e}");
+            }
+            std::process::exit(1);
+        }
+    };
     println!("\nablation (semantic variation point):");
     println!(
         "  completion-priority semantics: optimizer leaves {} of {} states",

@@ -3,8 +3,9 @@
 //!
 //! Run with `cargo run -p bench --bin table1`.
 
-use bench::GainRow;
+use bench::{compile_artifact, pass_effect_lines, GainRow};
 use cgen::Pattern;
+use occ::OptLevel;
 use umlsm::samples;
 
 fn main() {
@@ -21,8 +22,16 @@ fn main() {
         (Pattern::StatePattern, 49863, 23663, 52.54),
     ];
     let mut rows = Vec::new();
+    let mut failures = 0usize;
     for (pattern, pb, pa, pr) in paper {
-        let row = GainRow::measure(&machine, pattern);
+        let row = match GainRow::measure(&machine, pattern) {
+            Ok(row) => row,
+            Err(e) => {
+                eprintln!("{:<16} ERROR: {e}", pattern.label());
+                failures += 1;
+                continue;
+            }
+        };
         println!(
             "{:<16} {:>14} {:>14} {:>9.2}%   (paper: {} -> {}, {:.2}%)",
             pattern.label(),
@@ -34,6 +43,10 @@ fn main() {
             pr
         );
         rows.push((pattern, row));
+    }
+    if failures > 0 {
+        eprintln!("\n{failures} row(s) failed — table incomplete");
+        std::process::exit(1);
     }
 
     println!("\nshape checks:");
@@ -61,9 +74,27 @@ fn main() {
         "gain order matches the paper: StatePattern > NestedSwitch > STT",
         sp.1.gain() > ns.1.gain() && ns.1.gain() > stt.1.gain(),
     );
+
+    println!("\nper-pass effects (NestedSwitch at -Os, unoptimized model):");
+    match compile_artifact(&machine, Pattern::NestedSwitch, OptLevel::Os) {
+        Ok(artifact) => {
+            for line in pass_effect_lines(&artifact) {
+                println!("  {line}");
+            }
+        }
+        Err(e) => {
+            eprintln!("  ERROR: {e}");
+            failures += 1;
+        }
+    }
+
     println!("\ndeviation note: our STT pays one engine copy per region, so on this");
     println!("hierarchical machine it is not the absolute-smallest (it is on the flat");
     println!("machine); gains and their ordering reproduce the paper (see EXPERIMENTS.md)");
+    if failures > 0 {
+        eprintln!("\n{failures} cell(s) failed — table incomplete");
+        std::process::exit(1);
+    }
 }
 
 fn check(label: &str, ok: bool) {

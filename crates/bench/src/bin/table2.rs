@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run -p bench --bin table2`.
 
-use bench::GainRow;
+use bench::{compile_generated, generate, GainRow};
 use cgen::Pattern;
 use mbo::alternatives::{Alternative, Classification, Criterion};
 use occ::OptLevel;
@@ -19,6 +19,7 @@ fn main() {
     );
 
     println!("\nmechanical evidence for the measurable cells:");
+    let mut failures = 0usize;
 
     // Evidence 1: "Before code generation" is independent from the model
     // implementation — the same optimized model wins under all three
@@ -26,52 +27,73 @@ fn main() {
     let machine = samples::hierarchical_never_active();
     println!("  * model-level optimization is pattern-independent:");
     for pattern in Pattern::all() {
-        let row = GainRow::measure(&machine, pattern);
-        println!(
-            "      {:<14} {:>6} -> {:>6} bytes ({:.1}%)",
-            pattern.label(),
-            row.before,
-            row.after,
-            row.gain()
-        );
+        match GainRow::measure(&machine, pattern) {
+            Ok(row) => println!(
+                "      {:<14} {:>6} -> {:>6} bytes ({:.1}%)",
+                pattern.label(),
+                row.before,
+                row.after,
+                row.gain()
+            ),
+            Err(e) => {
+                eprintln!("      {:<14} ERROR: {e}", pattern.label());
+                failures += 1;
+            }
+        }
     }
 
     // Evidence 2: "After code generation" cannot see the model facts — the
     // unreachable state's functions survive the compiler's DCE and
     // dead-function elimination at every level.
-    let generated =
-        cgen::generate(&samples::flat_unreachable(), Pattern::NestedSwitch).expect("generates");
+    let flat = samples::flat_unreachable();
     println!("  * compiler-level DCE keeps the unreachable state's code:");
+    let flat_generated = generate(&flat, Pattern::NestedSwitch);
     for level in OptLevel::all() {
-        let artifact = occ::compile(&generated.module, level).expect("compiles");
-        let kept = artifact
-            .surviving_functions()
-            .iter()
-            .any(|f| f == "enter_S2");
-        println!(
-            "      {:>4}: enter_S2 {} ({} bytes total)",
-            level.flag(),
-            if kept { "survives" } else { "REMOVED (!)" },
-            artifact.sizes().total()
-        );
+        match flat_generated
+            .as_ref()
+            .map_err(|e| e.clone())
+            .and_then(|g| compile_generated(flat.name(), Pattern::NestedSwitch, level, g))
+        {
+            Ok(artifact) => {
+                let kept = artifact
+                    .surviving_functions()
+                    .iter()
+                    .any(|f| f == "enter_S2");
+                println!(
+                    "      {:>4}: enter_S2 {} ({} bytes total)",
+                    level.flag(),
+                    if kept { "survives" } else { "REMOVED (!)" },
+                    artifact.sizes().total()
+                );
+            }
+            Err(e) => {
+                eprintln!("      {:>4}: ERROR: {e}", level.flag());
+                failures += 1;
+            }
+        }
     }
 
     // Evidence 3: no alternative is independent from the semantics — under
     // fallback completion semantics the optimizer must keep the composite.
     let mut fallback = samples::hierarchical_never_active();
     fallback.set_semantics(umlsm::Semantics::completion_as_fallback());
-    let optimized = mbo::Optimizer::with_all()
-        .optimize(&fallback)
-        .expect("optimizes");
-    let s3_kept = optimized.machine.state_by_name("S3").is_some();
-    println!(
-        "  * semantics dependence: under completion-as-fallback semantics S3 is {}",
-        if s3_kept {
-            "correctly kept"
-        } else {
-            "WRONGLY removed"
+    match mbo::Optimizer::with_all().optimize(&fallback) {
+        Ok(optimized) => {
+            let s3_kept = optimized.machine.state_by_name("S3").is_some();
+            println!(
+                "  * semantics dependence: under completion-as-fallback semantics S3 is {}",
+                if s3_kept {
+                    "correctly kept"
+                } else {
+                    "WRONGLY removed"
+                }
+            );
         }
-    );
+        Err(e) => {
+            eprintln!("  * semantics dependence: ERROR: {e}");
+            failures += 1;
+        }
+    }
 
     println!("\ncriteria legend:");
     for c in Criterion::all() {
@@ -85,5 +107,9 @@ fn main() {
                 cell.rationale
             );
         }
+    }
+    if failures > 0 {
+        eprintln!("\n{failures} cell(s) failed — evidence incomplete");
+        std::process::exit(1);
     }
 }

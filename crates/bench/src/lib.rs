@@ -19,36 +19,158 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::fmt;
+
 use cgen::Pattern;
 use mbo::Optimizer;
-use occ::{OptLevel, SizeReport};
+use occ::{Artifact, OptLevel, SizeReport};
 use umlsm::StateMachine;
+
+/// A failure in one experiment cell. Carries the machine / pattern /
+/// level so a bench binary can report the exact failing cell and keep
+/// going instead of aborting mid-table.
+#[derive(Debug, Clone)]
+pub enum BenchError {
+    /// Code generation failed for a machine/pattern cell.
+    Codegen {
+        /// Machine name.
+        machine: String,
+        /// Implementation pattern.
+        pattern: Pattern,
+        /// Underlying error text.
+        message: String,
+    },
+    /// Compilation failed for a machine/pattern/level cell.
+    Compile {
+        /// Machine name.
+        machine: String,
+        /// Implementation pattern.
+        pattern: Pattern,
+        /// Optimization level.
+        level: OptLevel,
+        /// Underlying error text.
+        message: String,
+    },
+    /// Model-level optimization failed.
+    Optimize {
+        /// Machine name.
+        machine: String,
+        /// Underlying error text.
+        message: String,
+    },
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::Codegen {
+                machine,
+                pattern,
+                message,
+            } => write!(f, "codegen failed for {machine}/{pattern}: {message}"),
+            BenchError::Compile {
+                machine,
+                pattern,
+                level,
+                message,
+            } => write!(
+                f,
+                "compile failed for {machine}/{pattern}/{level}: {message}"
+            ),
+            BenchError::Optimize { machine, message } => {
+                write!(f, "model optimization failed for {machine}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BenchError {}
+
+/// Generates code for `machine` with `pattern` and compiles it at
+/// `level`, returning the full artifact (sizes, surviving functions and
+/// per-pass statistics).
+///
+/// # Errors
+///
+/// Returns a [`BenchError`] naming the failing cell.
+pub fn compile_artifact(
+    machine: &StateMachine,
+    pattern: Pattern,
+    level: OptLevel,
+) -> Result<Artifact, BenchError> {
+    let generated = generate(machine, pattern)?;
+    compile_generated(machine.name(), pattern, level, &generated)
+}
+
+/// Generates code for `machine` with `pattern`, wrapping failures with
+/// cell context. Use with [`compile_generated`] to reuse one generation
+/// across several optimization levels.
+///
+/// # Errors
+///
+/// Returns [`BenchError::Codegen`] naming the failing cell.
+pub fn generate(machine: &StateMachine, pattern: Pattern) -> Result<cgen::Generated, BenchError> {
+    cgen::generate(machine, pattern).map_err(|e| BenchError::Codegen {
+        machine: machine.name().to_string(),
+        pattern,
+        message: e.to_string(),
+    })
+}
+
+/// Compiles already-generated code at `level`, wrapping failures with
+/// cell context.
+///
+/// # Errors
+///
+/// Returns [`BenchError::Compile`] naming the failing cell.
+pub fn compile_generated(
+    machine: &str,
+    pattern: Pattern,
+    level: OptLevel,
+    generated: &cgen::Generated,
+) -> Result<Artifact, BenchError> {
+    occ::compile(&generated.module, level).map_err(|e| BenchError::Compile {
+        machine: machine.to_string(),
+        pattern,
+        level,
+        message: e.to_string(),
+    })
+}
 
 /// Generates code for `machine` with `pattern`, compiles it at `level`,
 /// and returns the size report.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if generation or compilation fails — experiment inputs are the
-/// validated sample machines, so a failure is a toolchain bug.
-pub fn assembly_size(machine: &StateMachine, pattern: Pattern, level: OptLevel) -> SizeReport {
-    let generated = cgen::generate(machine, pattern)
-        .unwrap_or_else(|e| panic!("codegen failed for {}: {e}", machine.name()));
-    let artifact = occ::compile(&generated.module, level)
-        .unwrap_or_else(|e| panic!("compile failed for {}: {e}", machine.name()));
-    artifact.sizes()
+/// Returns a [`BenchError`] naming the failing cell.
+pub fn assembly_size(
+    machine: &StateMachine,
+    pattern: Pattern,
+    level: OptLevel,
+) -> Result<SizeReport, BenchError> {
+    compile_artifact(machine, pattern, level).map(|a| a.sizes())
 }
 
 /// Runs the full model-level optimizer (the paper tool's automatic mode).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if optimization fails on a validated sample machine.
-pub fn optimize_model(machine: &StateMachine) -> StateMachine {
+/// Returns [`BenchError::Optimize`] naming the machine.
+pub fn optimize_model(machine: &StateMachine) -> Result<StateMachine, BenchError> {
     Optimizer::with_all()
         .optimize(machine)
-        .unwrap_or_else(|e| panic!("model optimization failed for {}: {e}", machine.name()))
-        .machine
+        .map(|o| o.machine)
+        .map_err(|e| BenchError::Optimize {
+            machine: machine.name().to_string(),
+            message: e.to_string(),
+        })
+}
+
+/// Renders the per-pass effect counters of an artifact's mid-end run,
+/// one line per pass — the harness-facing view of [`occ::PassStats`].
+/// Delegates to the single renderer in `occ` so the two can never drift.
+pub fn pass_effect_lines(artifact: &Artifact) -> Vec<String> {
+    artifact.pass_log()
 }
 
 /// Percentage gain from `before` to `after` bytes (positive = smaller).
@@ -71,12 +193,16 @@ pub struct GainRow {
 impl GainRow {
     /// Measures one machine/pattern at `-Os`, before and after model
     /// optimization.
-    pub fn measure(machine: &StateMachine, pattern: Pattern) -> GainRow {
-        let optimized = optimize_model(machine);
-        GainRow {
-            before: assembly_size(machine, pattern, OptLevel::Os).total(),
-            after: assembly_size(&optimized, pattern, OptLevel::Os).total(),
-        }
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BenchError`] naming the failing cell.
+    pub fn measure(machine: &StateMachine, pattern: Pattern) -> Result<GainRow, BenchError> {
+        let optimized = optimize_model(machine)?;
+        Ok(GainRow {
+            before: assembly_size(machine, pattern, OptLevel::Os)?.total(),
+            after: assembly_size(&optimized, pattern, OptLevel::Os)?.total(),
+        })
     }
 
     /// The optimization rate in percent.
@@ -102,13 +228,13 @@ mod tests {
         // the inline-style patterns gain more because dead fire sites carry
         // copies of their targets' entry code.
         let m = samples::flat_unreachable();
-        let stt = GainRow::measure(&m, Pattern::StateTable);
+        let stt = GainRow::measure(&m, Pattern::StateTable).expect("measures");
         assert!(
             stt.gain() > 3.0 && stt.gain() < 25.0,
             "flat STT gain should be modest (paper: ~10%), got {:.1}%",
             stt.gain()
         );
-        let ns = GainRow::measure(&m, Pattern::NestedSwitch);
+        let ns = GainRow::measure(&m, Pattern::NestedSwitch).expect("measures");
         assert!(
             ns.gain() > stt.gain() && ns.gain() < 60.0,
             "flat NestedSwitch gain out of band: {:.1}%",
@@ -119,7 +245,7 @@ mod tests {
     #[test]
     fn hierarchical_machine_gains_heavily() {
         let m = samples::hierarchical_never_active();
-        let row = GainRow::measure(&m, Pattern::NestedSwitch);
+        let row = GainRow::measure(&m, Pattern::NestedSwitch).expect("measures");
         assert!(
             row.gain() > 30.0,
             "hierarchical gain should be large (paper: >45%), got {:.1}%",
@@ -131,7 +257,7 @@ mod tests {
     fn all_patterns_gain_on_hierarchical_machine() {
         let m = samples::hierarchical_never_active();
         for p in Pattern::all() {
-            let row = GainRow::measure(&m, p);
+            let row = GainRow::measure(&m, p).expect("measures");
             assert!(
                 row.gain() > 10.0,
                 "{p}: expected a significant gain, got {:.1}%",
@@ -148,9 +274,15 @@ mod tests {
         // the paper's single C++ engine did not, putting it between the
         // other two — recorded as a deviation in EXPERIMENTS.md.)
         let flat = samples::flat_unreachable();
-        let stt = assembly_size(&flat, Pattern::StateTable, OptLevel::Os).total();
-        let ns = assembly_size(&flat, Pattern::NestedSwitch, OptLevel::Os).total();
-        let sp = assembly_size(&flat, Pattern::StatePattern, OptLevel::Os).total();
+        let stt = assembly_size(&flat, Pattern::StateTable, OptLevel::Os)
+            .expect("compiles")
+            .total();
+        let ns = assembly_size(&flat, Pattern::NestedSwitch, OptLevel::Os)
+            .expect("compiles")
+            .total();
+        let sp = assembly_size(&flat, Pattern::StatePattern, OptLevel::Os)
+            .expect("compiles")
+            .total();
         assert!(
             stt < ns,
             "STT ({stt}) should be smaller than NestedSwitch ({ns})"
@@ -160,8 +292,12 @@ mod tests {
             "STT ({stt}) should be smaller than StatePattern ({sp})"
         );
         let hier = samples::hierarchical_never_active();
-        let ns_h = assembly_size(&hier, Pattern::NestedSwitch, OptLevel::Os).total();
-        let sp_h = assembly_size(&hier, Pattern::StatePattern, OptLevel::Os).total();
+        let ns_h = assembly_size(&hier, Pattern::NestedSwitch, OptLevel::Os)
+            .expect("compiles")
+            .total();
+        let sp_h = assembly_size(&hier, Pattern::StatePattern, OptLevel::Os)
+            .expect("compiles")
+            .total();
         assert!(
             sp_h > ns_h,
             "State Pattern must be the largest (paper Table I)"
@@ -173,9 +309,15 @@ mod tests {
         // Paper Table I rates: State Pattern 52.54% > Nested Switch 45.90%
         // > STT 30.81%.
         let m = samples::hierarchical_never_active();
-        let stt = GainRow::measure(&m, Pattern::StateTable).gain();
-        let ns = GainRow::measure(&m, Pattern::NestedSwitch).gain();
-        let sp = GainRow::measure(&m, Pattern::StatePattern).gain();
+        let stt = GainRow::measure(&m, Pattern::StateTable)
+            .expect("measures")
+            .gain();
+        let ns = GainRow::measure(&m, Pattern::NestedSwitch)
+            .expect("measures")
+            .gain();
+        let sp = GainRow::measure(&m, Pattern::StatePattern)
+            .expect("measures")
+            .gain();
         assert!(
             sp > ns && ns > stt,
             "gain order SP({sp:.1}) > NS({ns:.1}) > STT({stt:.1})"

@@ -90,6 +90,21 @@ pub fn dominators(f: &MirFunction) -> BTreeMap<BlockId, BlockId> {
     idom
 }
 
+/// Children lists of the dominator tree described by `idom` (the entry's
+/// self-edge is not a child). Shared by SSA renaming and dominator-scoped
+/// value numbering.
+pub fn dominator_tree_children(
+    idom: &BTreeMap<BlockId, BlockId>,
+) -> BTreeMap<BlockId, Vec<BlockId>> {
+    let mut children: BTreeMap<BlockId, Vec<BlockId>> = BTreeMap::new();
+    for (b, d) in idom {
+        if *b != BlockId(0) {
+            children.entry(*d).or_default().push(*b);
+        }
+    }
+    children
+}
+
 fn intersect(
     mut a: BlockId,
     mut b: BlockId,

@@ -6,11 +6,14 @@
 //! * **Front end**: [`lower`] translates a checked [`tlang::Module`] into a
 //!   three-address control-flow-graph IR ([`mir`]).
 //! * **Mid end**: SSA construction (Cytron-style dominance frontiers,
-//!   [`ssa`]), then the optimization passes of [`opt`] — constant
+//!   [`ssa`]), then the fixed-point [`PassManager`] of [`opt`] — constant
 //!   propagation and folding, dead-code elimination, copy propagation,
-//!   jump threading / CFG simplification, bottom-up inlining of small
-//!   functions, and call-graph dead-function elimination. The pass set per
-//!   level mirrors GCC's `-O0/-O1/-O2/-Os` philosophy ([`OptLevel`]).
+//!   global value numbering / CSE, terminator folding and jump threading,
+//!   CFG simplification, bottom-up inlining of small functions, and
+//!   call-graph dead-function elimination. The pass set per level mirrors
+//!   GCC's `-O0/-O1/-O2/-Os` philosophy ([`OptLevel`]); every pass
+//!   reports effect counters ([`PassStats`]) on the compiled
+//!   [`Artifact`].
 //! * **Back end**: instruction selection to the synthetic EM32 RISC ISA,
 //!   linear-scan register allocation, peephole cleanup, `-Os`-aware switch
 //!   lowering (branch chain vs jump table), and byte-accurate encoding
@@ -62,6 +65,7 @@ pub mod vm;
 use std::fmt;
 
 pub use backend::{Assembly, SizeReport};
+pub use opt::{PassManager, PassStats, PipelineStats};
 
 /// Optimization level, mirroring GCC's user-facing levels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -136,7 +140,7 @@ impl std::error::Error for CompileError {}
 #[derive(Debug, Clone)]
 pub struct Artifact {
     asm: Assembly,
-    pass_log: Vec<String>,
+    pass_stats: PipelineStats,
     surviving_functions: Vec<String>,
     level: OptLevel,
 }
@@ -152,12 +156,18 @@ impl Artifact {
         self.asm.sizes()
     }
 
-    /// What each mid-end pass did — the analogue of GCC's per-pass dump
-    /// files the paper inspected ("in the dead code elimination file, we
-    /// have found that code related to the unreachable state still
-    /// exists").
-    pub fn pass_log(&self) -> &[String] {
-        &self.pass_log
+    /// Per-pass effect statistics from the mid-end pass manager — the
+    /// analogue of GCC's per-pass dump files the paper inspected ("in the
+    /// dead code elimination file, we have found that code related to the
+    /// unreachable state still exists").
+    pub fn pass_stats(&self) -> &PipelineStats {
+        &self.pass_stats
+    }
+
+    /// One human-readable line per executed pass, rendered from
+    /// [`Artifact::pass_stats`].
+    pub fn pass_log(&self) -> Vec<String> {
+        self.pass_stats.render()
     }
 
     /// Names of the functions present in the final program — the direct
@@ -183,13 +193,12 @@ pub fn compile(module: &tlang::Module, level: OptLevel) -> Result<Artifact, Comp
         .check()
         .map_err(|e| CompileError::Check(e.to_string()))?;
     let mut program = lower::lower_module(module)?;
-    let mut pass_log = Vec::new();
-    opt::run_pipeline(&mut program, level, &mut pass_log);
+    let pass_stats = opt::run_pipeline(&mut program, level);
     let asm = backend::compile_program(&program, level)?;
     let surviving_functions = program.functions.iter().map(|f| f.name.clone()).collect();
     Ok(Artifact {
         asm,
-        pass_log,
+        pass_stats,
         surviving_functions,
         level,
     })

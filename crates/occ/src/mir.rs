@@ -30,7 +30,7 @@ impl fmt::Display for BlockId {
 }
 
 /// Binary ALU operations (comparisons produce 0/1 words).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[allow(missing_docs)]
 pub enum BinOp {
     Add,
@@ -95,7 +95,7 @@ impl BinOp {
 }
 
 /// Unary operations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[allow(missing_docs)]
 pub enum UnOp {
     Neg,
@@ -231,6 +231,26 @@ impl Inst {
             | Inst::Phi { dst, .. } => Some(*dst),
             Inst::Call { dst, .. } | Inst::CallExtern { dst, .. } | Inst::CallInd { dst, .. } => {
                 *dst
+            }
+            Inst::Store { .. } => None,
+        }
+    }
+
+    /// Mutable access to the defined register, if any. For calls this is
+    /// the inner register of an existing `Some` destination; a void call
+    /// has no definition to rewrite.
+    pub fn def_mut(&mut self) -> Option<&mut VReg> {
+        match self {
+            Inst::Const { dst, .. }
+            | Inst::Copy { dst, .. }
+            | Inst::Un { dst, .. }
+            | Inst::Bin { dst, .. }
+            | Inst::Load { dst, .. }
+            | Inst::Addr { dst, .. }
+            | Inst::FnAddr { dst, .. }
+            | Inst::Phi { dst, .. } => Some(dst),
+            Inst::Call { dst, .. } | Inst::CallExtern { dst, .. } | Inst::CallInd { dst, .. } => {
+                dst.as_mut()
             }
             Inst::Store { .. } => None,
         }

@@ -1,73 +1,326 @@
-//! Mid-end optimization passes and the per-level pipelines.
+//! The mid-end: a fixed-point pass manager over SSA passes, plus the
+//! program-level passes (inlining, dead-function elimination) that frame
+//! it.
 //!
-//! The pass set mirrors the paper's description of GCC: "more than 100"
-//! passes distilled to the ones that matter for the experiments — constant
-//! propagation/folding with branch folding, dead-code elimination, copy
-//! propagation, CFG simplification, bottom-up inlining of small functions,
-//! and call-graph **dead-function elimination**. The latter is the pass the
-//! paper's §III.C probes: it roots at exported and address-taken functions,
-//! so an unreachable state's handlers (address-taken through dispatch
-//! tables or reachable through switch cases over a runtime value) are never
-//! removed — the model-level fact "no incoming transition" does not survive
-//! code generation.
+//! # Architecture
+//!
+//! [`run_pipeline`] is the entry point. For `-O1` and above it builds a
+//! [`PassManager`] with the SSA passes registered for the level and runs
+//! every function through it. The pass manager drives each function
+//! through bounded **outer rounds** of
+//!
+//! ```text
+//! simplify_cfg  →  ssa::construct  →  [SSA passes to a fixed point]  →  ssa::destruct
+//! ```
+//!
+//! and iterates the registered SSA passes inside each round until a full
+//! sweep changes nothing (or [`PassManager::MAX_SSA_ROUNDS`] is hit). The
+//! outer rounds matter because φ-free CFG simplification exposes work the
+//! SSA passes could not see — threading two empty arms of a `Br` onto the
+//! same join block, for example, creates the equal-target branch that
+//! [`fold_terminators`] collapses in the next round.
+//!
+//! Every pass records a [`PassStats`] entry — `runs`, `changes` (runs
+//! that rewrote something) and `insts_removed` — collected into the
+//! [`PipelineStats`] that [`crate::compile`] exposes on the artifact.
+//! This is the analogue of GCC's per-pass dump files the paper inspected
+//! ("in the dead code elimination file, we have found that code related
+//! to the unreachable state still exists"), made machine-readable so the
+//! bench harness can report per-pass effect counts next to the size
+//! tables.
+//!
+//! # The pass set
+//!
+//! SSA passes (function-local, registered per level):
+//!
+//! * [`constant_fold`] — constant propagation/folding with branch folding,
+//! * [`copy_propagate`] — transitive copy propagation (`-O2`+),
+//! * [`gvn_cse`] — dominator-scoped global value numbering / common
+//!   subexpression elimination (`-O2`+),
+//! * [`fold_terminators`] — terminator folding and SSA jump threading,
+//! * [`dead_code_elim`] — removal of unused pure instructions.
+//!
+//! Program passes (`-O2`+, run once before the per-function loop):
+//!
+//! * [`inline_small_functions`] — bottom-up inlining of single-block
+//!   callees,
+//! * [`dead_function_elimination`] — call-graph reachability rooted at
+//!   exported and **address-taken** functions. This is the pass the
+//!   paper's §III.C probes: an unreachable state's handlers stay
+//!   address-reachable (dispatch tables, switch cases over a runtime
+//!   value), so the model-level fact "no incoming transition" does not
+//!   survive code generation and the compiler must keep the code.
 
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
-use crate::mir::{BlockId, Inst, MirFunction, Program, Term, VReg, Word};
+use crate::cfg;
+use crate::mir::{BinOp, BlockId, Inst, MirFunction, Program, Term, UnOp, VReg, Word};
 use crate::ssa;
 use crate::OptLevel;
 
-/// Runs the pipeline for `level`, logging pass effects.
-pub fn run_pipeline(program: &mut Program, level: OptLevel, log: &mut Vec<String>) {
-    match level {
-        OptLevel::O0 => {
-            log.push("O0: no mid-end passes".to_string());
+// ---------------------------------------------------------------------
+// Pass statistics
+// ---------------------------------------------------------------------
+
+/// Effect counters for one named pass, aggregated over every function and
+/// round it ran on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PassStats {
+    /// Canonical pass name (see the [`pass`] constants).
+    pub name: &'static str,
+    /// How many times the pass executed.
+    pub runs: usize,
+    /// Rewrites reported: for the SSA fixed-point passes, the number of
+    /// executions that changed something (`changes <= runs`); the
+    /// program-level passes report item counts instead — call sites
+    /// inlined, functions removed — which can exceed `runs`.
+    pub changes: usize,
+    /// Net instructions removed across all executions (terminators count
+    /// one instruction each; growth in a single run saturates to zero).
+    pub insts_removed: usize,
+}
+
+/// Canonical pass names as they appear in [`PassStats::name`].
+pub mod pass {
+    /// Constant propagation/folding with branch folding.
+    pub const CONST_FOLD: &str = "const-fold";
+    /// Transitive copy propagation.
+    pub const COPY_PROP: &str = "copy-prop";
+    /// Global value numbering / common-subexpression elimination.
+    pub const GVN_CSE: &str = "gvn-cse";
+    /// Terminator folding and SSA jump threading.
+    pub const TERM_FOLD: &str = "term-fold";
+    /// Dead-code elimination.
+    pub const DCE: &str = "dce";
+    /// φ-free CFG simplification.
+    pub const SIMPLIFY_CFG: &str = "simplify-cfg";
+    /// Bottom-up inlining of small functions.
+    pub const INLINE: &str = "inline";
+    /// Call-graph dead-function elimination.
+    pub const DEAD_FN_ELIM: &str = "dead-fn-elim";
+}
+
+/// Per-pass statistics for one whole [`run_pipeline`] invocation, in
+/// first-execution order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    passes: Vec<PassStats>,
+}
+
+impl PipelineStats {
+    /// All recorded passes in first-execution order.
+    pub fn passes(&self) -> &[PassStats] {
+        &self.passes
+    }
+
+    /// Looks up one pass by canonical name.
+    pub fn get(&self, name: &str) -> Option<&PassStats> {
+        self.passes.iter().find(|p| p.name == name)
+    }
+
+    /// Total instructions removed by all passes.
+    pub fn total_insts_removed(&self) -> usize {
+        self.passes.iter().map(|p| p.insts_removed).sum()
+    }
+
+    /// Renders one human-readable, column-aligned line per executed pass.
+    pub fn render(&self) -> Vec<String> {
+        self.passes
+            .iter()
+            .filter(|p| p.runs > 0)
+            .map(|p| {
+                format!(
+                    "{:<14} runs {:>3}  changes {:>3}  insts removed {:>4}",
+                    p.name, p.runs, p.changes, p.insts_removed
+                )
+            })
+            .collect()
+    }
+
+    fn entry(&mut self, name: &'static str) -> &mut PassStats {
+        if let Some(i) = self.passes.iter().position(|p| p.name == name) {
+            return &mut self.passes[i];
         }
-        OptLevel::O1 => {
-            per_function(program, level, log);
+        self.passes.push(PassStats {
+            name,
+            ..PassStats::default()
+        });
+        self.passes.last_mut().expect("just pushed")
+    }
+
+    fn record(&mut self, name: &'static str, changed: bool, insts_removed: usize) {
+        let st = self.entry(name);
+        st.runs += 1;
+        if changed {
+            st.changes += 1;
         }
-        OptLevel::O2 | OptLevel::Os => {
-            let threshold = if level == OptLevel::Os { 10 } else { 24 };
-            let inlined = inline_small_functions(program, threshold);
-            log.push(format!(
-                "inline: {inlined} call sites (threshold {threshold})"
-            ));
-            let removed = dead_function_elimination(program);
-            log.push(format!(
-                "dead-function-elimination: removed [{}]",
-                removed.join(", ")
-            ));
-            per_function(program, level, log);
-        }
+        st.insts_removed += insts_removed;
     }
 }
 
-fn per_function(program: &mut Program, level: OptLevel, log: &mut Vec<String>) {
-    for f in &mut program.functions {
-        let before = f.inst_count();
-        simplify_cfg(f);
-        ssa::construct(f);
-        let mut rounds = 0;
-        loop {
-            rounds += 1;
-            let mut changed = constant_fold(f);
-            if level >= OptLevel::O2 {
-                changed |= copy_propagate(f);
+// ---------------------------------------------------------------------
+// The pass manager
+// ---------------------------------------------------------------------
+
+/// A function-local SSA pass: rewrites the function, returns `true` if
+/// anything changed.
+pub type SsaPass = fn(&mut MirFunction) -> bool;
+
+/// Runs registered SSA passes over functions to a bounded fixed point and
+/// records per-pass [`PassStats`].
+#[derive(Debug, Default)]
+pub struct PassManager {
+    ssa_passes: Vec<(&'static str, SsaPass)>,
+    outer_rounds: usize,
+    stats: PipelineStats,
+}
+
+impl PassManager {
+    /// Bound on SSA-pass sweeps inside one outer round; a sweep that
+    /// changes nothing ends the fixed-point loop early, so this only
+    /// caps pathological ping-ponging between passes.
+    pub const MAX_SSA_ROUNDS: usize = 8;
+
+    /// An empty manager running a single outer round.
+    pub fn new() -> PassManager {
+        PassManager {
+            ssa_passes: Vec::new(),
+            outer_rounds: 1,
+            stats: PipelineStats::default(),
+        }
+    }
+
+    /// The standard pass roster for `level`.
+    pub fn for_level(level: OptLevel) -> PassManager {
+        let mut pm = PassManager::new();
+        match level {
+            OptLevel::O0 => {}
+            OptLevel::O1 => {
+                pm.register(pass::CONST_FOLD, constant_fold);
+                pm.register(pass::TERM_FOLD, fold_terminators);
+                pm.register(pass::DCE, dead_code_elim);
             }
-            changed |= dead_code_elim(f);
-            if !changed || rounds >= 4 {
+            OptLevel::O2 | OptLevel::Os => {
+                // Extra outer rounds let φ-free CFG cleanup and the SSA
+                // passes feed each other; copy propagation erases the
+                // copies each construct/destruct round introduces.
+                pm.outer_rounds = 3;
+                pm.register(pass::CONST_FOLD, constant_fold);
+                pm.register(pass::COPY_PROP, copy_propagate);
+                pm.register(pass::GVN_CSE, gvn_cse);
+                pm.register(pass::TERM_FOLD, fold_terminators);
+                pm.register(pass::DCE, dead_code_elim);
+            }
+        }
+        pm
+    }
+
+    /// Registers an SSA pass under its reporting name.
+    pub fn register(&mut self, name: &'static str, p: SsaPass) -> &mut PassManager {
+        self.ssa_passes.push((name, p));
+        self
+    }
+
+    /// Overrides the number of outer rounds (φ-free simplify + SSA
+    /// fixed point) per function.
+    pub fn with_outer_rounds(mut self, rounds: usize) -> PassManager {
+        self.outer_rounds = rounds.max(1);
+        self
+    }
+
+    /// Runs every function of `program` through [`PassManager::run_function`].
+    pub fn run_program(&mut self, program: &mut Program) {
+        for f in &mut program.functions {
+            self.run_function(f);
+        }
+    }
+
+    /// Optimizes one function: bounded outer rounds of φ-free CFG
+    /// simplification around an SSA fixed point, then a final cleanup.
+    /// Returns `true` if anything changed.
+    pub fn run_function(&mut self, f: &mut MirFunction) -> bool {
+        let mut any = false;
+        for _ in 0..self.outer_rounds {
+            any |= self.simplify(f);
+            if self.ssa_passes.is_empty() {
+                break;
+            }
+            ssa::construct(f);
+            let ssa_changed = self.ssa_fixpoint(f);
+            ssa::destruct(f);
+            any |= ssa_changed;
+            if !ssa_changed {
                 break;
             }
         }
-        ssa::destruct(f);
-        simplify_cfg(f);
-        let after = f.inst_count();
-        log.push(format!(
-            "{}: {} -> {} instructions ({} SSA rounds)",
-            f.name, before, after, rounds
-        ));
+        any |= self.simplify(f);
+        any
     }
+
+    /// The collected statistics so far.
+    pub fn stats(&self) -> &PipelineStats {
+        &self.stats
+    }
+
+    /// Consumes the manager, returning its statistics.
+    pub fn into_stats(self) -> PipelineStats {
+        self.stats
+    }
+
+    fn simplify(&mut self, f: &mut MirFunction) -> bool {
+        let before = f.inst_count();
+        let changed = simplify_cfg(f);
+        let removed = before.saturating_sub(f.inst_count());
+        self.stats.record(pass::SIMPLIFY_CFG, changed, removed);
+        changed
+    }
+
+    fn ssa_fixpoint(&mut self, f: &mut MirFunction) -> bool {
+        let mut any = false;
+        for _ in 0..Self::MAX_SSA_ROUNDS {
+            let mut round_changed = false;
+            for i in 0..self.ssa_passes.len() {
+                let (name, p) = self.ssa_passes[i];
+                let before = f.inst_count();
+                let changed = p(f);
+                let removed = before.saturating_sub(f.inst_count());
+                self.stats.record(name, changed, removed);
+                round_changed |= changed;
+            }
+            if !round_changed {
+                break;
+            }
+            any = true;
+        }
+        any
+    }
+}
+
+/// Runs the pipeline for `level`, returning per-pass statistics.
+pub fn run_pipeline(program: &mut Program, level: OptLevel) -> PipelineStats {
+    let mut pm = PassManager::for_level(level);
+    if level >= OptLevel::O2 {
+        let threshold = if level == OptLevel::Os { 10 } else { 24 };
+        let inlined = inline_small_functions(program, threshold);
+        let st = pm.stats.entry(pass::INLINE);
+        st.runs += 1;
+        st.changes += inlined;
+        let before: usize = program.functions.iter().map(MirFunction::inst_count).sum();
+        let removed_fns = dead_function_elimination(program);
+        let after: usize = program.functions.iter().map(MirFunction::inst_count).sum();
+        pm.stats.record(
+            pass::DEAD_FN_ELIM,
+            !removed_fns.is_empty(),
+            before.saturating_sub(after),
+        );
+        let st = pm.stats.entry(pass::DEAD_FN_ELIM);
+        st.changes = st.changes.max(removed_fns.len());
+    }
+    if level > OptLevel::O0 {
+        pm.run_program(program);
+    }
+    pm.into_stats()
 }
 
 // ---------------------------------------------------------------------
@@ -220,6 +473,240 @@ pub fn copy_propagate(f: &mut MirFunction) -> bool {
 }
 
 // ---------------------------------------------------------------------
+// Global value numbering / common-subexpression elimination (on SSA)
+// ---------------------------------------------------------------------
+
+/// A value-number key for a pure, memory-free computation. `Const` is
+/// deliberately absent: re-materializing an immediate is as cheap as a
+/// copy, and CSE-ing constants would ping-pong with [`constant_fold`]
+/// (which rewrites known-value copies back into constants).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum GvnKey {
+    Un(UnOp, VReg),
+    Bin(BinOp, VReg, VReg),
+    Addr(usize, i32),
+    FnAddr(usize),
+}
+
+/// Dominator-scoped global value numbering / common-subexpression
+/// elimination. A pure, memory-free instruction recomputing a value
+/// already available from a dominating definition is replaced by a
+/// `Copy` from that definition; copy propagation and DCE then erase the
+/// leftovers. Operands are canonicalized through already-discovered
+/// value leaders (and by operand order for commutative operators), so
+/// second-order redundancies fall in one sweep. Returns `true` if
+/// anything changed.
+pub fn gvn_cse(f: &mut MirFunction) -> bool {
+    let idom = cfg::dominators(f);
+    let children = cfg::dominator_tree_children(&idom);
+    let mut table: BTreeMap<GvnKey, VReg> = BTreeMap::new();
+    let mut leader: BTreeMap<VReg, VReg> = BTreeMap::new();
+    let mut changed = false;
+    gvn_walk(
+        f,
+        BlockId(0),
+        &children,
+        &mut table,
+        &mut leader,
+        &mut changed,
+    );
+    changed
+}
+
+fn gvn_leader(leader: &BTreeMap<VReg, VReg>, v: VReg) -> VReg {
+    leader.get(&v).copied().unwrap_or(v)
+}
+
+fn gvn_walk(
+    f: &mut MirFunction,
+    b: BlockId,
+    children: &BTreeMap<BlockId, Vec<BlockId>>,
+    table: &mut BTreeMap<GvnKey, VReg>,
+    leader: &mut BTreeMap<VReg, VReg>,
+    changed: &mut bool,
+) {
+    // Keys this block introduced; they go out of scope (become
+    // non-dominating) when the walk leaves the block's subtree.
+    let mut added: Vec<GvnKey> = Vec::new();
+    for i in 0..f.block(b).insts.len() {
+        let inst = f.block(b).insts[i].clone();
+        let key = match &inst {
+            Inst::Copy { dst, src } => {
+                let l = gvn_leader(leader, *src);
+                leader.insert(*dst, l);
+                continue;
+            }
+            Inst::Un { op, src, .. } => Some(GvnKey::Un(*op, gvn_leader(leader, *src))),
+            Inst::Bin { op, lhs, rhs, .. } => {
+                let (mut a, mut c) = (gvn_leader(leader, *lhs), gvn_leader(leader, *rhs));
+                if op.commutative() && c < a {
+                    std::mem::swap(&mut a, &mut c);
+                }
+                Some(GvnKey::Bin(*op, a, c))
+            }
+            Inst::Addr { global, offset, .. } => Some(GvnKey::Addr(*global, *offset)),
+            Inst::FnAddr { func, .. } => Some(GvnKey::FnAddr(*func)),
+            _ => None,
+        };
+        let (Some(key), Some(dst)) = (key, inst.def()) else {
+            continue;
+        };
+        if let Some(&rep) = table.get(&key) {
+            f.block_mut(b).insts[i] = Inst::Copy { dst, src: rep };
+            leader.insert(dst, gvn_leader(leader, rep));
+            *changed = true;
+        } else {
+            table.insert(key.clone(), dst);
+            added.push(key);
+        }
+    }
+    if let Some(kids) = children.get(&b) {
+        for &k in kids {
+            gvn_walk(f, k, children, table, leader, changed);
+        }
+    }
+    for k in added {
+        table.remove(&k);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Terminator folding + SSA jump threading
+// ---------------------------------------------------------------------
+
+/// Folds redundant terminators and threads jumps, on SSA form:
+///
+/// * a `Br` whose arms share a target becomes a `Goto`,
+/// * `Switch` cases targeting the default block are dropped; a `Switch`
+///   whose every arm agrees becomes a `Goto`,
+/// * edges through an empty block ending in `Goto` are retargeted to its
+///   destination when every φ in the destination agrees on the merged
+///   value (SSA-safe jump threading).
+///
+/// φ-arguments of blocks that lose duplicate incoming edges are
+/// deduplicated, and blocks made unreachable are removed. Returns `true`
+/// if anything changed.
+pub fn fold_terminators(f: &mut MirFunction) -> bool {
+    let mut changed = false;
+
+    // 1. Collapse redundant multi-way terminators.
+    for b in f.block_ids().collect::<Vec<_>>() {
+        let blk = f.block_mut(b);
+        let folded = match &mut blk.term {
+            Term::Br {
+                then_block,
+                else_block,
+                ..
+            } if then_block == else_block => Some(*then_block),
+            Term::Switch { cases, default, .. } => {
+                let d = *default;
+                let before = cases.len();
+                cases.retain(|(_, t)| *t != d);
+                if cases.len() != before {
+                    changed = true;
+                }
+                if cases.is_empty() {
+                    Some(d)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        if let Some(t) = folded {
+            blk.term = Term::Goto(t);
+            changed = true;
+        }
+    }
+
+    // 2. Thread edges through empty forwarding blocks. One retarget per
+    // search so predecessor lists stay fresh; chains converge within the
+    // loop.
+    loop {
+        let preds = cfg::predecessors(f);
+        let mut acted = false;
+        'search: for s in f.block_ids().collect::<Vec<_>>() {
+            if s == BlockId(0) || !f.block(s).insts.is_empty() {
+                continue;
+            }
+            let Term::Goto(t) = f.block(s).term else {
+                continue;
+            };
+            if t == s {
+                continue;
+            }
+            let sp = preds[s.0 as usize].clone();
+            if sp.is_empty() {
+                continue; // already unreachable; removed below
+            }
+            // φ-safety: the value joining `t` via `s` must agree with any
+            // existing entry for a predecessor about to be merged in.
+            for inst in &f.block(t).insts {
+                let Inst::Phi { args, .. } = inst else {
+                    continue;
+                };
+                let Some(via_s) = args.iter().find(|(p, _)| *p == s).map(|(_, v)| *v) else {
+                    continue 'search;
+                };
+                for p in &sp {
+                    if args.iter().any(|(q, w)| q == p && *w != via_s) {
+                        continue 'search;
+                    }
+                }
+            }
+            // Rewrite φs in `t`: the `s` entry becomes one entry per
+            // incoming predecessor (skipping those already present).
+            for inst in &mut f.block_mut(t).insts {
+                let Inst::Phi { args, .. } = inst else {
+                    continue;
+                };
+                let Some(pos) = args.iter().position(|(p, _)| *p == s) else {
+                    continue;
+                };
+                let (_, via_s) = args.remove(pos);
+                for p in &sp {
+                    if !args.iter().any(|(q, _)| q == p) {
+                        args.push((*p, via_s));
+                    }
+                }
+            }
+            acted = true;
+            changed = true;
+            for p in &sp {
+                f.block_mut(*p)
+                    .term
+                    .map_succs(&mut |x| if x == s { t } else { x });
+            }
+            break;
+        }
+        if !acted {
+            break;
+        }
+    }
+
+    if changed {
+        dedup_phi_args(f);
+        ssa::remove_unreachable_blocks(f);
+    }
+    changed
+}
+
+/// Removes duplicate φ-arguments for the same predecessor. Duplicate
+/// entries only arise from collapsed duplicate edges (a folded
+/// equal-target `Br`, dropped `Switch` arms), where both slots carry the
+/// same renamed value, so keeping the first is sound.
+fn dedup_phi_args(f: &mut MirFunction) {
+    for b in f.block_ids().collect::<Vec<_>>() {
+        for inst in &mut f.block_mut(b).insts {
+            if let Inst::Phi { args, .. } = inst {
+                let mut seen: BTreeSet<BlockId> = BTreeSet::new();
+                args.retain(|(p, _)| seen.insert(*p));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Dead code elimination (on SSA)
 // ---------------------------------------------------------------------
 
@@ -267,11 +754,14 @@ pub fn dead_code_elim(f: &mut MirFunction) -> bool {
 // ---------------------------------------------------------------------
 
 /// Removes unreachable blocks, threads empty forwarding blocks and merges
-/// straight-line chains. Must run on φ-free functions.
-pub fn simplify_cfg(f: &mut MirFunction) {
+/// every eligible straight-line chain in one sweep. Must run on φ-free
+/// functions. Returns `true` if anything changed.
+pub fn simplify_cfg(f: &mut MirFunction) -> bool {
+    let mut any = false;
     loop {
+        let blocks_before = f.blocks.len();
         ssa::remove_unreachable_blocks(f);
-        let mut changed = false;
+        let mut changed = f.blocks.len() != blocks_before;
 
         // Thread jumps through empty forwarding blocks.
         let mut forward: BTreeMap<BlockId, BlockId> = BTreeMap::new();
@@ -313,33 +803,41 @@ pub fn simplify_cfg(f: &mut MirFunction) {
             }
         }
 
-        // Merge b -> c when c is b's unique successor and b its unique
-        // predecessor.
-        let preds = crate::cfg::predecessors(f);
-        let mut merged = false;
+        // Merge b <- c when c is b's unique successor and b its unique
+        // predecessor — following each chain to its end, every chain in
+        // one sweep. Consumed blocks become unreachable and are dropped
+        // at the top of the next round; predecessor *counts* stay valid
+        // throughout the sweep because merging only moves an edge's
+        // origin, never adds or removes edges.
+        let preds = cfg::predecessors(f);
+        let mut consumed: BTreeSet<BlockId> = BTreeSet::new();
         for b in f.block_ids().collect::<Vec<_>>() {
-            let Term::Goto(c) = f.block(b).term else {
-                continue;
-            };
-            if c == b || preds[c.0 as usize].len() != 1 {
+            if consumed.contains(&b) {
                 continue;
             }
-            let mut tail = f.block(c).insts.clone();
-            let tail_term = f.block(c).term.clone();
-            let blk = f.block_mut(b);
-            blk.insts.append(&mut tail);
-            blk.term = tail_term;
-            // c becomes unreachable and is dropped next round.
-            merged = true;
-            changed = true;
-            break;
+            while let Term::Goto(c) = f.block(b).term {
+                if c == b
+                    || c == BlockId(0)
+                    || consumed.contains(&c)
+                    || preds[c.0 as usize].len() != 1
+                {
+                    break;
+                }
+                let mut tail = std::mem::take(&mut f.block_mut(c).insts);
+                let tail_term = f.block(c).term.clone();
+                let blk = f.block_mut(b);
+                blk.insts.append(&mut tail);
+                blk.term = tail_term;
+                consumed.insert(c);
+                changed = true;
+            }
         }
-        let _ = merged;
 
         if !changed {
             ssa::remove_unreachable_blocks(f);
-            return;
+            return any;
         }
+        any = true;
     }
 }
 
@@ -391,37 +889,25 @@ pub fn inline_small_functions(program: &mut Program, max_insts: usize) -> usize 
                     new_insts.push(inst);
                     continue;
                 }
-                // Map callee registers into the caller's space.
+                // Map callee registers into the caller's space: parameters
+                // become the argument registers, every other callee
+                // register gets a compact fresh slot (`next_vreg` grows by
+                // exactly the callee's non-parameter register count).
                 let base = program.functions[ci].next_vreg;
-                program.functions[ci].next_vreg += *callee_vregs;
+                let extra = callee_vregs.saturating_sub(*params as u32);
+                program.functions[ci].next_vreg += extra;
                 let map = |v: VReg| {
                     if (v.0 as usize) < *params {
                         args[v.0 as usize]
                     } else {
-                        VReg(base + v.0)
+                        VReg(base + (v.0 - *params as u32))
                     }
                 };
                 for callee_inst in body {
                     let mut copy = callee_inst.clone();
                     copy.map_uses(&mut |v| map(v));
-                    // Remap the definition too.
-                    match &mut copy {
-                        Inst::Const { dst, .. }
-                        | Inst::Copy { dst, .. }
-                        | Inst::Un { dst, .. }
-                        | Inst::Bin { dst, .. }
-                        | Inst::Load { dst, .. }
-                        | Inst::Addr { dst, .. }
-                        | Inst::FnAddr { dst, .. }
-                        | Inst::Phi { dst, .. } => *dst = map(*dst),
-                        Inst::Call { dst, .. }
-                        | Inst::CallExtern { dst, .. }
-                        | Inst::CallInd { dst, .. } => {
-                            if let Some(d) = dst {
-                                *d = map(*d);
-                            }
-                        }
-                        Inst::Store { .. } => {}
+                    if let Some(d) = copy.def_mut() {
+                        *d = map(*d);
                     }
                     new_insts.push(copy);
                 }
@@ -715,9 +1201,8 @@ mod tests {
         assert_eq!(p.functions.len(), 2);
     }
 
-    #[test]
-    fn inline_splices_single_block_callee() {
-        let mut p = Program {
+    fn inline_program() -> Program {
+        Program {
             functions: vec![
                 MirFunction {
                     name: "caller".into(),
@@ -759,7 +1244,12 @@ mod tests {
             ],
             globals: vec![],
             externs: vec![],
-        };
+        }
+    }
+
+    #[test]
+    fn inline_splices_single_block_callee() {
+        let mut p = inline_program();
         assert_eq!(inline_small_functions(&mut p, 8), 1);
         let caller = &p.functions[0];
         assert!(
@@ -772,6 +1262,33 @@ mod tests {
         // And the callee is now removable.
         let removed = dead_function_elimination(&mut p);
         assert_eq!(removed, vec!["double".to_string()]);
+    }
+
+    #[test]
+    fn inline_remaps_vregs_compactly() {
+        // Regression: the callee has 1 param and 1 local register, so the
+        // caller's register space must grow by exactly 1 per call site —
+        // not by the callee's full register count keyed off raw ids.
+        let mut p = inline_program();
+        let before = p.functions[0].next_vreg;
+        assert_eq!(inline_small_functions(&mut p, 8), 1);
+        let caller = &p.functions[0];
+        assert_eq!(
+            caller.next_vreg,
+            before + 1,
+            "non-param callee registers must be remapped compactly: {caller}"
+        );
+        // Every register referenced by the caller is inside its space.
+        for b in &caller.blocks {
+            for inst in &b.insts {
+                for u in inst.uses() {
+                    assert!(u.0 < caller.next_vreg, "{u} out of range: {caller}");
+                }
+                if let Some(d) = inst.def() {
+                    assert!(d.0 < caller.next_vreg, "{d} out of range: {caller}");
+                }
+            }
+        }
     }
 
     #[test]
@@ -797,7 +1314,271 @@ mod tests {
             ],
             next_vreg: 0,
         };
-        simplify_cfg(&mut f);
+        assert!(simplify_cfg(&mut f));
         assert_eq!(f.blocks.len(), 1, "{f}");
+    }
+
+    #[test]
+    fn simplify_cfg_merges_long_chain_in_one_sweep() {
+        // Regression: the merge step used to stop after the first merged
+        // pair per round; a long straight-line chain must collapse fully,
+        // preserving instruction order.
+        let n = 12u32;
+        let mut blocks: Vec<Block> = (0..n)
+            .map(|i| Block {
+                insts: vec![Inst::Const {
+                    dst: VReg(i),
+                    value: i as i32,
+                }],
+                term: Term::Goto(BlockId(i + 1)),
+            })
+            .collect();
+        blocks.push(Block {
+            insts: vec![],
+            term: Term::Ret(None),
+        });
+        let mut f = MirFunction {
+            name: "chain".into(),
+            params: 0,
+            returns_value: false,
+            exported: true,
+            blocks,
+            next_vreg: n,
+        };
+        assert!(simplify_cfg(&mut f));
+        assert_eq!(f.blocks.len(), 1, "{f}");
+        let values: Vec<i32> = f.blocks[0]
+            .insts
+            .iter()
+            .filter_map(|i| match i {
+                Inst::Const { value, .. } => Some(*value),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(values, (0..n as i32).collect::<Vec<_>>(), "{f}");
+    }
+
+    #[test]
+    fn gvn_cse_replaces_redundant_expressions() {
+        // v2 = v0 + v1 ; v3 = v1 + v0 (commutative dup) ; v4 = v2 * v3.
+        let mut f = MirFunction {
+            name: "cse".into(),
+            params: 2,
+            returns_value: true,
+            exported: true,
+            blocks: vec![Block {
+                insts: vec![
+                    Inst::Bin {
+                        op: BinOp::Add,
+                        dst: VReg(2),
+                        lhs: VReg(0),
+                        rhs: VReg(1),
+                    },
+                    Inst::Bin {
+                        op: BinOp::Add,
+                        dst: VReg(3),
+                        lhs: VReg(1),
+                        rhs: VReg(0),
+                    },
+                    Inst::Bin {
+                        op: BinOp::Mul,
+                        dst: VReg(4),
+                        lhs: VReg(2),
+                        rhs: VReg(3),
+                    },
+                ],
+                term: Term::Ret(Some(VReg(4))),
+            }],
+            next_vreg: 5,
+        };
+        ssa::construct(&mut f);
+        assert!(gvn_cse(&mut f));
+        let adds = f.blocks[0]
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Bin { op: BinOp::Add, .. }))
+            .count();
+        assert_eq!(adds, 1, "commutative duplicate must become a copy: {f}");
+        // After copy propagation + DCE the copy disappears entirely.
+        copy_propagate(&mut f);
+        dead_code_elim(&mut f);
+        assert_eq!(f.blocks[0].insts.len(), 2, "{f}");
+    }
+
+    #[test]
+    fn gvn_cse_respects_dominance() {
+        // The same expression computed in two sibling branches must NOT be
+        // CSE'd (neither def dominates the other).
+        let mut f = MirFunction {
+            name: "sib".into(),
+            params: 2,
+            returns_value: true,
+            exported: true,
+            blocks: vec![
+                Block {
+                    insts: vec![],
+                    term: Term::Br {
+                        cond: VReg(0),
+                        then_block: BlockId(1),
+                        else_block: BlockId(2),
+                    },
+                },
+                Block {
+                    insts: vec![Inst::Bin {
+                        op: BinOp::Mul,
+                        dst: VReg(2),
+                        lhs: VReg(1),
+                        rhs: VReg(1),
+                    }],
+                    term: Term::Ret(Some(VReg(2))),
+                },
+                Block {
+                    insts: vec![Inst::Bin {
+                        op: BinOp::Mul,
+                        dst: VReg(3),
+                        lhs: VReg(1),
+                        rhs: VReg(1),
+                    }],
+                    term: Term::Ret(Some(VReg(3))),
+                },
+            ],
+            next_vreg: 4,
+        };
+        ssa::construct(&mut f);
+        assert!(!gvn_cse(&mut f), "sibling defs must not be merged: {f}");
+    }
+
+    #[test]
+    fn fold_terminators_collapses_equal_targets() {
+        let mut f = MirFunction {
+            name: "eq".into(),
+            params: 1,
+            returns_value: false,
+            exported: true,
+            blocks: vec![
+                Block {
+                    insts: vec![],
+                    term: Term::Br {
+                        cond: VReg(0),
+                        then_block: BlockId(1),
+                        else_block: BlockId(1),
+                    },
+                },
+                Block {
+                    insts: vec![],
+                    term: Term::Switch {
+                        val: VReg(0),
+                        cases: vec![(1, BlockId(2)), (2, BlockId(2))],
+                        default: BlockId(2),
+                    },
+                },
+                Block {
+                    insts: vec![],
+                    term: Term::Ret(None),
+                },
+            ],
+            next_vreg: 1,
+        };
+        assert!(fold_terminators(&mut f));
+        for b in f.block_ids() {
+            assert!(
+                matches!(f.block(b).term, Term::Goto(_) | Term::Ret(_)),
+                "all conditional terminators fold away: {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn fold_terminators_threads_empty_blocks_through_phis() {
+        // bb0 -Br-> bb1 (empty, Goto bb3) / bb2 (v=2, Goto bb3); bb3 has a
+        // φ. Threading bb0->bb1->bb3 must keep the φ consistent.
+        let mut f = MirFunction {
+            name: "thread".into(),
+            params: 1,
+            returns_value: true,
+            exported: true,
+            blocks: vec![
+                Block {
+                    insts: vec![Inst::Const {
+                        dst: VReg(1),
+                        value: 1,
+                    }],
+                    term: Term::Br {
+                        cond: VReg(0),
+                        then_block: BlockId(1),
+                        else_block: BlockId(2),
+                    },
+                },
+                Block {
+                    insts: vec![],
+                    term: Term::Goto(BlockId(3)),
+                },
+                Block {
+                    insts: vec![Inst::Const {
+                        dst: VReg(1),
+                        value: 2,
+                    }],
+                    term: Term::Goto(BlockId(3)),
+                },
+                Block {
+                    insts: vec![],
+                    term: Term::Ret(Some(VReg(1))),
+                },
+            ],
+            next_vreg: 2,
+        };
+        ssa::construct(&mut f);
+        assert!(fold_terminators(&mut f));
+        // The empty forwarding block is gone; the φ still has one argument
+        // per incoming edge.
+        let preds = cfg::predecessors(&f);
+        for b in f.block_ids() {
+            for inst in &f.block(b).insts {
+                if let Inst::Phi { args, .. } = inst {
+                    let mut expect: Vec<BlockId> = preds[b.0 as usize].clone();
+                    expect.sort();
+                    expect.dedup();
+                    let mut got: Vec<BlockId> = args.iter().map(|(p, _)| *p).collect();
+                    got.sort();
+                    assert_eq!(got, expect, "{f}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pass_manager_reaches_fixed_point_and_records_stats() {
+        let mut pm = PassManager::for_level(OptLevel::O2);
+        let mut f = const_add_fn();
+        assert!(pm.run_function(&mut f));
+        let stats = pm.stats();
+        let cf = stats.get(pass::CONST_FOLD).expect("const-fold ran");
+        assert!(cf.runs > 0 && cf.changes > 0, "{stats:?}");
+        let dce = stats.get(pass::DCE).expect("dce ran");
+        assert!(dce.insts_removed > 0, "{stats:?}");
+        // Idempotence: a second run over the optimized function reports no
+        // change and keeps the structure (SSA reconstruction renumbers
+        // registers, so compare shape, not names).
+        let (blocks, insts) = (f.blocks.len(), f.inst_count());
+        let mut pm2 = PassManager::for_level(OptLevel::O2);
+        assert!(!pm2.run_function(&mut f));
+        assert_eq!(
+            (f.blocks.len(), f.inst_count()),
+            (blocks, insts),
+            "fixed point must be structurally stable: {f}"
+        );
+    }
+
+    #[test]
+    fn run_pipeline_records_program_passes() {
+        let mut p = inline_program();
+        let stats = run_pipeline(&mut p, OptLevel::O2);
+        assert_eq!(stats.get(pass::INLINE).map(|s| s.changes), Some(1));
+        assert_eq!(stats.get(pass::DEAD_FN_ELIM).map(|s| s.changes), Some(1));
+        assert!(stats.get(pass::SIMPLIFY_CFG).is_some());
+        assert!(!run_pipeline(&mut p.clone(), OptLevel::O0)
+            .passes()
+            .iter()
+            .any(|s| s.runs > 0));
     }
 }

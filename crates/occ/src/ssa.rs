@@ -79,12 +79,7 @@ pub fn construct(f: &mut MirFunction) {
     }
 
     // Renaming: dominator-tree walk with version stacks.
-    let mut children: BTreeMap<BlockId, Vec<BlockId>> = BTreeMap::new();
-    for (b, d) in &idom {
-        if *b != BlockId(0) {
-            children.entry(*d).or_default().push(*b);
-        }
-    }
+    let children = cfg::dominator_tree_children(&idom);
     let mut stacks: BTreeMap<VReg, Vec<VReg>> = BTreeMap::new();
     for p in 0..f.params {
         stacks.insert(VReg(p as u32), vec![VReg(p as u32)]);
@@ -118,19 +113,8 @@ fn rename(
         // Redefine the destination with a fresh version.
         if let Some(d) = f.block(b).insts[i].def() {
             let fresh = f.fresh();
-            match &mut f.block_mut(b).insts[i] {
-                Inst::Const { dst, .. }
-                | Inst::Copy { dst, .. }
-                | Inst::Un { dst, .. }
-                | Inst::Bin { dst, .. }
-                | Inst::Load { dst, .. }
-                | Inst::Addr { dst, .. }
-                | Inst::FnAddr { dst, .. }
-                | Inst::Phi { dst, .. } => *dst = fresh,
-                Inst::Call { dst, .. }
-                | Inst::CallExtern { dst, .. }
-                | Inst::CallInd { dst, .. } => *dst = Some(fresh),
-                Inst::Store { .. } => {}
+            if let Some(dst) = f.block_mut(b).insts[i].def_mut() {
+                *dst = fresh;
             }
             stacks.entry(d).or_default().push(fresh);
             pushed.push(d);
@@ -142,28 +126,39 @@ fn rename(
         f.block_mut(b).term = term;
     }
 
-    // Fill φ arguments of successors.
+    // Fill φ arguments of successors. A block can appear several times in
+    // a successor's predecessor list (e.g. a `Br` whose arms share a
+    // target), so every matching slot must be filled — filling only the
+    // first would leave stale pre-SSA registers in the later slots.
     for s in f.block(b).term.succs() {
-        let pred_index = preds[s.0 as usize]
+        let pred_indices: Vec<usize> = preds[s.0 as usize]
             .iter()
-            .position(|p| *p == b)
-            .expect("b is a predecessor of its successor");
+            .enumerate()
+            .filter(|(_, p)| **p == b)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(
+            !pred_indices.is_empty(),
+            "b is a predecessor of its successor"
+        );
         let insts_len = f.block(s).insts.len();
         for i in 0..insts_len {
-            let Inst::Phi { args, .. } = &f.block(s).insts[i] else {
-                continue;
-            };
-            let original = args[pred_index].1;
-            let renamed = top(stacks, original);
-            if let Inst::Phi { args, .. } = &mut f.block_mut(s).insts[i] {
-                args[pred_index] = (b, renamed);
+            for &pred_index in &pred_indices {
+                let Inst::Phi { args, .. } = &f.block(s).insts[i] else {
+                    continue;
+                };
+                let original = args[pred_index].1;
+                let renamed = top(stacks, original);
+                if let Inst::Phi { args, .. } = &mut f.block_mut(s).insts[i] {
+                    args[pred_index] = (b, renamed);
+                }
             }
         }
     }
 
     // Recurse into dominator-tree children.
     if let Some(kids) = children.get(&b) {
-        for &k in kids.clone().iter() {
+        for &k in kids {
             rename(f, k, children, stacks, preds);
         }
     }

@@ -202,3 +202,49 @@ fn model_optimization_shrinks_every_pattern() {
         );
     }
 }
+
+#[test]
+fn new_passes_fire_on_sample_machines_at_o2() {
+    // Acceptance: GVN/CSE and terminator folding must each rewrite
+    // something on at least one sample machine at -O2 — and the full
+    // machine × pattern × level matrix above proves the rewrites preserve
+    // the reference trace.
+    let machines = [
+        samples::flat_unreachable(),
+        samples::hierarchical_never_active(),
+        samples::cruise_control(),
+        samples::protocol_handler(),
+    ];
+    let mut gvn_fired = false;
+    let mut term_fold_fired = false;
+    for machine in &machines {
+        for pattern in Pattern::all() {
+            let generated = cgen::generate(machine, pattern).expect("generates");
+            let artifact = occ::compile(&generated.module, OptLevel::O2).expect("compiles");
+            let stats = artifact.pass_stats();
+            for name in ["const-fold", "copy-prop", "gvn-cse", "term-fold", "dce"] {
+                let st = stats.get(name).unwrap_or_else(|| panic!("{name} missing"));
+                assert!(st.runs > 0, "{name} never ran on {}", machine.name());
+            }
+            gvn_fired |= stats.get("gvn-cse").is_some_and(|s| s.changes > 0);
+            term_fold_fired |= stats.get("term-fold").is_some_and(|s| s.changes > 0);
+        }
+    }
+    assert!(gvn_fired, "GVN/CSE fired on no sample machine at -O2");
+    assert!(
+        term_fold_fired,
+        "terminator folding fired on no sample machine at -O2"
+    );
+}
+
+#[test]
+fn pass_stats_absent_at_o0() {
+    let generated =
+        cgen::generate(&samples::flat_unreachable(), Pattern::NestedSwitch).expect("generates");
+    let artifact = occ::compile(&generated.module, OptLevel::O0).expect("compiles");
+    assert!(
+        artifact.pass_stats().passes().iter().all(|s| s.runs == 0),
+        "-O0 must run no mid-end passes"
+    );
+    assert!(artifact.pass_log().is_empty());
+}

@@ -1,0 +1,265 @@
+//! Differential tests of the mid-end at the MIR level: randomly built MIR
+//! programs — duplicated pure expressions (GVN/CSE fodder), branches and
+//! switches with shared or all-equal targets (terminator-folding fodder) —
+//! must produce the same EM32 extern-call trace at `-O1`/`-O2`/`-Os` as at
+//! `-O0`, and under each new pass applied in isolation.
+
+use proptest::prelude::*;
+
+use occ::mir::{BinOp, Block, Inst, MirFunction, Program, Term, VReg};
+use occ::vm::Vm;
+use occ::{opt, ssa, OptLevel};
+use tlang::RecordingEnv;
+
+const BIN_OPS: [BinOp; 14] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Div,
+    BinOp::Rem,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::Eq,
+    BinOp::Ne,
+    BinOp::Lt,
+    BinOp::Le,
+    BinOp::Gt,
+    BinOp::Ge,
+];
+
+/// Builds a terminating single-function program.
+///
+/// * Block 0 defines constants, then every op of `ops` **twice** — the
+///   duplicates are exactly what GVN/CSE must collapse without changing
+///   the trace.
+/// * Every block emits its id and a computed value through the `emit`
+///   extern, so both the path taken and the values computed are
+///   observable.
+/// * Non-final terminators cycle through `Goto`, an ordinary `Br`, a
+///   `Br` with equal arms, a `Switch` (sometimes with all-equal
+///   targets) — the terminator-folding pass must collapse the redundant
+///   ones without changing the trace — and a **latch**: a back edge
+///   guarded by a shared countdown register, so loops (headers with φs,
+///   back edges into the GVN scope, threadable latches) are exercised
+///   too. Every cycle passes through a latch and every latch decrements
+///   the countdown, so all programs terminate.
+fn build_program(consts: &[i32], ops: &[(u8, u8, u8)], blocks: &[(u8, u8, u8)]) -> Program {
+    let nb = blocks.len().max(1);
+    let mut defined: Vec<VReg> = Vec::new();
+    let mut next = 0u32;
+    let mut fresh = || {
+        let v = VReg(next);
+        next += 1;
+        v
+    };
+
+    // Block 0: loop budget + constants + duplicated expression chain.
+    let mut entry = Vec::new();
+    let counter = fresh();
+    let zero = fresh();
+    let one = fresh();
+    entry.push(Inst::Const {
+        dst: counter,
+        value: 1 + (consts.len() as i32 % 5),
+    });
+    entry.push(Inst::Const {
+        dst: zero,
+        value: 0,
+    });
+    entry.push(Inst::Const { dst: one, value: 1 });
+    for &c in consts {
+        let dst = fresh();
+        entry.push(Inst::Const { dst, value: c });
+        defined.push(dst);
+    }
+    for &(op, a, b) in ops {
+        let op = BIN_OPS[op as usize % BIN_OPS.len()];
+        let lhs = defined[a as usize % defined.len()];
+        let rhs = defined[b as usize % defined.len()];
+        for _ in 0..2 {
+            let dst = fresh();
+            entry.push(Inst::Bin { op, dst, lhs, rhs });
+            defined.push(dst);
+        }
+    }
+
+    let mut mir_blocks: Vec<Block> = Vec::new();
+    for (i, &(kind, x, y)) in blocks.iter().enumerate() {
+        let mut insts = if i == 0 {
+            std::mem::take(&mut entry)
+        } else {
+            Vec::new()
+        };
+        // Observable: emit(block id, some computed value).
+        let marker = fresh();
+        insts.push(Inst::Const {
+            dst: marker,
+            value: i as i32,
+        });
+        let value = defined[x as usize % defined.len()];
+        insts.push(Inst::CallExtern {
+            dst: None,
+            ext: 0,
+            args: vec![marker, value],
+        });
+        let term = if i + 1 >= nb {
+            Term::Ret(None)
+        } else {
+            let pick = |sel: u8| occ::mir::BlockId((i + 1 + (sel as usize) % (nb - 1 - i)) as u32);
+            match kind % 5 {
+                0 => Term::Goto(pick(x)),
+                1 => Term::Br {
+                    cond: defined[y as usize % defined.len()],
+                    then_block: pick(x),
+                    else_block: pick(y),
+                },
+                2 => Term::Br {
+                    cond: defined[y as usize % defined.len()],
+                    then_block: pick(x),
+                    else_block: pick(x),
+                },
+                3 => {
+                    let d = pick(y);
+                    let all_equal = x % 2 == 0;
+                    let case_target = |sel: u8| if all_equal { d } else { pick(sel) };
+                    Term::Switch {
+                        val: defined[x as usize % defined.len()],
+                        cases: vec![
+                            (0, case_target(x)),
+                            (1, case_target(y)),
+                            (2, case_target(x.wrapping_add(y))),
+                        ],
+                        default: d,
+                    }
+                }
+                _ if i == 0 => Term::Goto(pick(x)),
+                _ => {
+                    // Latch: counter -= 1; if counter > 0 jump back. Back
+                    // targets start at block 1 — jumping back into the
+                    // entry would re-initialize the countdown and loop
+                    // forever.
+                    insts.push(Inst::Bin {
+                        op: BinOp::Sub,
+                        dst: counter,
+                        lhs: counter,
+                        rhs: one,
+                    });
+                    let again = fresh();
+                    insts.push(Inst::Bin {
+                        op: BinOp::Gt,
+                        dst: again,
+                        lhs: counter,
+                        rhs: zero,
+                    });
+                    Term::Br {
+                        cond: again,
+                        then_block: occ::mir::BlockId((1 + x as usize % i) as u32),
+                        else_block: pick(y),
+                    }
+                }
+            }
+        };
+        mir_blocks.push(Block { insts, term });
+    }
+
+    Program {
+        functions: vec![MirFunction {
+            name: "main".into(),
+            params: 0,
+            returns_value: false,
+            exported: true,
+            blocks: mir_blocks,
+            next_vreg: next,
+        }],
+        globals: vec![],
+        externs: vec!["emit".into()],
+    }
+}
+
+/// Runs `program` through the mid-end at `level`, compiles it, executes it
+/// on the EM32 VM and returns the extern-call trace.
+fn trace_at(program: &Program, level: OptLevel) -> Vec<(String, Vec<i32>)> {
+    let mut p = program.clone();
+    opt::run_pipeline(&mut p, level);
+    let asm = occ::backend::compile_program(&p, level).expect("compiles");
+    let mut vm = Vm::new(&asm, RecordingEnv::new());
+    vm.run("main", &[]).expect("runs");
+    vm.into_env().calls
+}
+
+/// Applies exactly the given SSA passes (plus the SSA round trip) and
+/// returns the resulting trace at `-O0` code generation.
+fn trace_with_passes(program: &Program, passes: &[opt::SsaPass]) -> Vec<(String, Vec<i32>)> {
+    let mut p = program.clone();
+    for f in &mut p.functions {
+        opt::simplify_cfg(f);
+        ssa::construct(f);
+        for pass in passes {
+            pass(f);
+        }
+        ssa::destruct(f);
+        opt::simplify_cfg(f);
+    }
+    let asm = occ::backend::compile_program(&p, OptLevel::O0).expect("compiles");
+    let mut vm = Vm::new(&asm, RecordingEnv::new());
+    vm.run("main", &[]).expect("runs");
+    vm.into_env().calls
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The whole pipeline preserves the trace at every level.
+    #[test]
+    fn pipeline_preserves_em32_trace(
+        consts in prop::collection::vec(-8i32..8, 2..5),
+        ops in prop::collection::vec((0u8..14, any::<u8>(), any::<u8>()), 1..6),
+        blocks in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..6),
+    ) {
+        let program = build_program(&consts, &ops, &blocks);
+        let oracle = trace_at(&program, OptLevel::O0);
+        prop_assert!(!oracle.is_empty(), "every program emits at least once");
+        for level in [OptLevel::O1, OptLevel::O2, OptLevel::Os] {
+            let got = trace_at(&program, level);
+            prop_assert_eq!(&got, &oracle, "{} diverges from -O0", level);
+        }
+    }
+
+    /// GVN/CSE alone preserves the trace.
+    #[test]
+    fn gvn_cse_preserves_em32_trace(
+        consts in prop::collection::vec(-8i32..8, 2..5),
+        ops in prop::collection::vec((0u8..14, any::<u8>(), any::<u8>()), 1..6),
+        blocks in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..4),
+    ) {
+        let program = build_program(&consts, &ops, &blocks);
+        let oracle = trace_at(&program, OptLevel::O0);
+        let got = trace_with_passes(&program, &[opt::gvn_cse]);
+        prop_assert_eq!(&got, &oracle, "gvn_cse diverges");
+        // With cleanup passes stacked on top it still agrees.
+        let cleaned = trace_with_passes(
+            &program,
+            &[opt::gvn_cse, opt::copy_propagate, opt::dead_code_elim],
+        );
+        prop_assert_eq!(&cleaned, &oracle, "gvn_cse + cleanup diverges");
+    }
+
+    /// Terminator folding / jump threading alone preserves the trace.
+    #[test]
+    fn fold_terminators_preserves_em32_trace(
+        consts in prop::collection::vec(-8i32..8, 2..5),
+        ops in prop::collection::vec((0u8..14, any::<u8>(), any::<u8>()), 1..4),
+        blocks in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 2..6),
+    ) {
+        let program = build_program(&consts, &ops, &blocks);
+        let oracle = trace_at(&program, OptLevel::O0);
+        let got = trace_with_passes(&program, &[opt::fold_terminators]);
+        prop_assert_eq!(&got, &oracle, "fold_terminators diverges");
+        let cleaned = trace_with_passes(
+            &program,
+            &[opt::fold_terminators, opt::dead_code_elim],
+        );
+        prop_assert_eq!(&cleaned, &oracle, "fold_terminators + dce diverges");
+    }
+}
