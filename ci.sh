@@ -1,39 +1,79 @@
 #!/usr/bin/env bash
 # CI gate for the mbot workspace. Run from the repository root:
 #
-#   ./ci.sh            # full gate: fmt, clippy, build, tests
-#   ./ci.sh --fast     # skip the release build (dev-profile tests only)
+#   ./ci.sh            # full gate: fmt, clippy, build, deep tests, bench
+#                      # smoke, bench-regression gate
+#   ./ci.sh --fast     # quick gate: fmt, clippy, dev-profile tests
 #
-# Mirrors the tier-1 verify command of ROADMAP.md plus style gates.
+# Mirrors the tier-1 verify command of ROADMAP.md plus style gates, the
+# bench-binary smoke loop and the size-regression gate against the
+# committed bench_baseline.json. Every stage's wall-clock time is
+# reported at the end so slow stages are visible in CI logs.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 fast=0
 [[ "${1:-}" == "--fast" ]] && fast=1
 
-echo "==> cargo fmt --check"
-cargo fmt --all -- --check
+# The full gate runs the MIR differential property net deeper than the
+# local default (96 cases per property).
+full_gate_diff_cases=256
+
+stage_names=()
+stage_secs=()
+
+# run_stage <name> <command...> — echoes, times, and records one stage.
+run_stage() {
+    local name="$1"
+    shift
+    echo "==> $name"
+    local t0=$SECONDS
+    "$@"
+    stage_names+=("$name")
+    stage_secs+=($((SECONDS - t0)))
+}
+
+bench_smoke() {
+    # Smoke-run every bench binary: a mid-end regression that only breaks
+    # artifact generation (a panic, a failed shape check, an incomplete
+    # table) must fail CI, not wait for the next manual regeneration.
+    # BENCH_SMOKE=1 shortens the scaling sweep.
+    local bin
+    for bin in figure1 table1 table2 scaling deadcode twostep; do
+        echo "    bench smoke: $bin"
+        BENCH_SMOKE=1 cargo run --release -q -p bench --bin "$bin" > /dev/null
+    done
+}
+
+run_stage "cargo fmt --check" cargo fmt --all -- --check
 
 # The whole workspace is clippy-clean; keep it that way. (The issue floor
 # was umlsm + mbo only, but every crate currently passes -D warnings.)
-echo "==> cargo clippy --workspace -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+run_stage "cargo clippy --workspace -D warnings" \
+    cargo clippy --workspace --all-targets -- -D warnings
 
-if [[ $fast -eq 0 ]]; then
-    echo "==> cargo build --release --workspace --all-targets"
-    cargo build --release --workspace --all-targets
+if [[ $fast -eq 1 ]]; then
+    run_stage "cargo test --workspace (dev)" cargo test --workspace -q
+else
+    run_stage "cargo build --release" \
+        cargo build --release --workspace --all-targets
+    run_stage "cargo test --workspace (MIR_DIFF_CASES=$full_gate_diff_cases)" \
+        env MIR_DIFF_CASES=$full_gate_diff_cases cargo test --workspace -q
+    run_stage "bench smoke (6 binaries)" bench_smoke
+    # Size-regression gate: snapshot the current toolchain, then compare
+    # against the committed baseline. Any machine×pattern×level cell
+    # growing beyond the tolerance fails the gate; refresh the baseline
+    # deliberately with:
+    #   cargo run --release -p bench --bin snapshot -- bench_baseline.json
+    run_stage "bench snapshot (BENCH_PR3.json)" \
+        cargo run --release -q -p bench --bin snapshot
+    run_stage "bench regression gate" \
+        cargo run --release -q -p bench --bin regress
 fi
 
-echo "==> cargo test --workspace"
-cargo test --workspace -q
-
-# Smoke-run every bench binary: a mid-end regression that only breaks
-# artifact generation (a panic, a failed shape check, an incomplete
-# table) must fail CI, not wait for the next manual regeneration.
-# BENCH_SMOKE=1 shortens the scaling sweep.
-for bin in figure1 table1 table2 scaling deadcode twostep; do
-    echo "==> bench smoke: $bin"
-    BENCH_SMOKE=1 cargo run --release -q -p bench --bin "$bin" > /dev/null
+echo
+echo "stage timings:"
+for i in "${!stage_names[@]}"; do
+    printf '  %3ss  %s\n' "${stage_secs[$i]}" "${stage_names[$i]}"
 done
-
 echo "CI gate passed."

@@ -1,0 +1,86 @@
+//! The bench-regression gate: compares the current toolchain's snapshot
+//! against the committed `bench_baseline.json` and exits nonzero on any
+//! per-cell size regression beyond the tolerance — so a mid-end change
+//! that silently erodes the paper's size numbers fails CI instead of
+//! waiting for the next manual table regeneration.
+//!
+//! Run with `cargo run -p bench --bin regress [-- <baseline> [current]]`.
+//! If a current-snapshot path is given (or `BENCH_PR3.json` exists, as
+//! written by `bench --bin snapshot`), it is compared as-is; otherwise a
+//! fresh snapshot is measured in-process.
+
+use bench::snapshot::{compare, Snapshot};
+
+fn load(path: &str) -> Snapshot {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match Snapshot::from_json(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let baseline_path = args
+        .next()
+        .unwrap_or_else(|| "bench_baseline.json".to_string());
+    let current_path = args.next();
+
+    let baseline = load(&baseline_path);
+    let current = match &current_path {
+        Some(p) => load(p),
+        None if std::path::Path::new("BENCH_PR3.json").exists() => load("BENCH_PR3.json"),
+        None => match Snapshot::measure() {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("measuring current snapshot failed: {e}");
+                std::process::exit(1);
+            }
+        },
+    };
+
+    println!(
+        "=== bench regression gate: {} vs {} ===",
+        current_path.as_deref().unwrap_or_else(|| {
+            if std::path::Path::new("BENCH_PR3.json").exists() {
+                "BENCH_PR3.json"
+            } else {
+                "<fresh measurement>"
+            }
+        }),
+        baseline_path
+    );
+    let verdicts = compare(&baseline, &current);
+    let mut regressions = 0usize;
+    let mut shown = 0usize;
+    for v in &verdicts {
+        if v.is_regression() {
+            regressions += 1;
+            println!("{}", v.render());
+        } else if !matches!(v, bench::snapshot::Verdict::Ok { .. }) {
+            println!("{}", v.render());
+            shown += 1;
+        }
+    }
+    let ok = verdicts.len() - regressions - shown;
+    println!(
+        "{} cells: {ok} ok, {shown} tolerated, {regressions} regressed",
+        verdicts.len()
+    );
+    if regressions > 0 {
+        eprintln!("bench regression gate FAILED ({regressions} cell(s))");
+        eprintln!("(if the growth is intended, refresh the baseline:");
+        eprintln!("  cargo run --release -p bench --bin snapshot -- bench_baseline.json)");
+        std::process::exit(1);
+    }
+    println!("bench regression gate passed.");
+}

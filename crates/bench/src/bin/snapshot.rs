@@ -1,0 +1,35 @@
+//! Emits the machine-readable bench snapshot (`BENCH_PR3.json`): code
+//! size and per-pass mid-end statistics for every sample machine ×
+//! implementation pattern × optimization level.
+//!
+//! Run with `cargo run -p bench --bin snapshot [-- <output-path>]`.
+//! Refresh the committed CI baseline with:
+//!
+//! ```sh
+//! cargo run --release -p bench --bin snapshot -- bench_baseline.json
+//! ```
+
+use bench::snapshot::Snapshot;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_PR3.json".to_string());
+    let snap = match Snapshot::measure() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("snapshot failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = std::fs::write(&path, snap.to_json()) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {} cells to {path}", snap.cells.len());
+    for cell in &snap.cells {
+        if cell.level == "-Os" {
+            println!("  {:<40} {:>7} bytes", cell.key(), cell.total);
+        }
+    }
+}

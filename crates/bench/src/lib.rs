@@ -12,12 +12,20 @@
 //! | `deadcode` | §III.C: compiler DCE keeps the unreachable state  |
 //! | `twostep`  | §VI: two-step (model + compiler) optimization     |
 //!
+//! Two further binaries feed the CI size gate rather than a paper
+//! artifact: `snapshot` writes the machine-readable `BENCH_PR3.json`
+//! (sizes + per-pass stats for every sample machine × pattern × level)
+//! and `regress` compares it against the committed `bench_baseline.json`
+//! (see [`snapshot`]).
+//!
 //! Absolute byte counts differ from the paper's (GCC/x86 vs our EM32
 //! backend); the *shape* — who wins, by roughly what factor, where the
 //! crossovers are — is what the harness checks and prints.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod snapshot;
 
 use std::fmt;
 

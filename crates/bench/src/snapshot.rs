@@ -1,0 +1,680 @@
+//! Machine-readable size/pass-effect snapshots and the CI regression gate.
+//!
+//! [`Snapshot::measure`] compiles every sample machine × implementation
+//! pattern × optimization level cell and records the section sizes plus
+//! the per-pass [`occ::PassStats`] of the mid-end run. The `snapshot`
+//! binary serializes one to `BENCH_PR3.json`; the `regress` binary
+//! compares a fresh (or freshly written) snapshot against the committed
+//! `bench_baseline.json` and fails on any size regression beyond
+//! [`TOLERANCE_PCT`]/[`TOLERANCE_BYTES`] — the bench-trajectory lock the
+//! ROADMAP's Meliora-style pass-effect measurement calls for.
+//!
+//! The JSON is hand-rolled (serialize *and* parse) because this
+//! environment has no crates.io access; the format is a single object
+//! `{"cells": [...]}` of flat cell objects, stable under pretty-printing.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use cgen::Pattern;
+use occ::OptLevel;
+use umlsm::{samples, StateMachine};
+
+use crate::{compile_artifact, BenchError};
+
+/// Relative growth tolerated per cell before `regress` fails, in percent.
+pub const TOLERANCE_PCT: f64 = 1.0;
+
+/// Absolute growth tolerated per cell before `regress` fails, in bytes.
+/// A cell passes if it is within *either* tolerance, so tiny cells are
+/// not failed over word-sized alignment noise.
+pub const TOLERANCE_BYTES: usize = 8;
+
+/// Per-pass effect counters of one snapshot cell (mirrors
+/// [`occ::PassStats`], but owned and serializable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassCell {
+    /// Canonical pass name.
+    pub name: String,
+    /// Executions.
+    pub runs: usize,
+    /// Executions (or items) that changed something.
+    pub changes: usize,
+    /// Net instructions removed.
+    pub insts_removed: usize,
+}
+
+/// One machine × pattern × level measurement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell {
+    /// Sample-machine name.
+    pub machine: String,
+    /// Implementation-pattern label.
+    pub pattern: String,
+    /// Optimization-level flag (`-O0`…`-Os`).
+    pub level: String,
+    /// Machine-code bytes.
+    pub text: usize,
+    /// Read-only data bytes.
+    pub rodata: usize,
+    /// Mutable data bytes.
+    pub data: usize,
+    /// Total image bytes (the regression-gated number).
+    pub total: usize,
+    /// Mid-end per-pass effects for this cell.
+    pub passes: Vec<PassCell>,
+}
+
+impl Cell {
+    /// The `machine/pattern/level` key identifying this cell.
+    pub fn key(&self) -> String {
+        format!("{}/{}/{}", self.machine, self.pattern, self.level)
+    }
+}
+
+/// A full measurement: every sample machine × pattern × level.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// All measured cells.
+    pub cells: Vec<Cell>,
+}
+
+/// The sample machines the snapshot measures, with stable short names.
+pub fn sample_machines() -> Vec<(&'static str, StateMachine)> {
+    vec![
+        ("flat", samples::flat_unreachable()),
+        ("hierarchical", samples::hierarchical_never_active()),
+        ("cruise", samples::cruise_control()),
+        ("protocol", samples::protocol_handler()),
+    ]
+}
+
+impl Snapshot {
+    /// Measures every machine × pattern × level cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`BenchError`] naming a failing cell.
+    pub fn measure() -> Result<Snapshot, BenchError> {
+        let mut cells = Vec::new();
+        for (name, machine) in sample_machines() {
+            for pattern in Pattern::all() {
+                for level in OptLevel::all() {
+                    let artifact = compile_artifact(&machine, pattern, level)?;
+                    let sizes = artifact.sizes();
+                    let passes = artifact
+                        .pass_stats()
+                        .passes()
+                        .iter()
+                        .filter(|p| p.runs > 0)
+                        .map(|p| PassCell {
+                            name: p.name.to_string(),
+                            runs: p.runs,
+                            changes: p.changes,
+                            insts_removed: p.insts_removed,
+                        })
+                        .collect();
+                    cells.push(Cell {
+                        machine: name.to_string(),
+                        pattern: pattern.label().to_string(),
+                        level: level.flag().to_string(),
+                        text: sizes.text,
+                        rodata: sizes.rodata,
+                        data: sizes.data,
+                        total: sizes.total(),
+                        passes,
+                    });
+                }
+            }
+        }
+        Ok(Snapshot { cells })
+    }
+
+    /// Looks up one cell by its `machine/pattern/level` key.
+    pub fn get(&self, key: &str) -> Option<&Cell> {
+        self.cells.iter().find(|c| c.key() == key)
+    }
+
+    /// Serializes to the snapshot JSON format.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"machine\": {}, \"pattern\": {}, \"level\": {}, \
+                 \"text\": {}, \"rodata\": {}, \"data\": {}, \"total\": {}, \"passes\": [",
+                json_string(&c.machine),
+                json_string(&c.pattern),
+                json_string(&c.level),
+                c.text,
+                c.rodata,
+                c.data,
+                c.total
+            );
+            for (j, p) in c.passes.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "{}{{\"name\": {}, \"runs\": {}, \"changes\": {}, \"insts_removed\": {}}}",
+                    if j == 0 { "" } else { ", " },
+                    json_string(&p.name),
+                    p.runs,
+                    p.changes,
+                    p.insts_removed
+                );
+            }
+            out.push_str("]}");
+            out.push_str(if i + 1 == self.cells.len() {
+                "\n"
+            } else {
+                ",\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses the snapshot JSON format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax or shape problem.
+    pub fn from_json(text: &str) -> Result<Snapshot, String> {
+        let value = Json::parse(text)?;
+        let cells_value = value
+            .field("cells")
+            .ok_or_else(|| "missing top-level \"cells\" array".to_string())?;
+        let Json::Array(items) = cells_value else {
+            return Err("\"cells\" is not an array".to_string());
+        };
+        let mut cells = Vec::new();
+        for item in items {
+            let mut passes = Vec::new();
+            if let Some(Json::Array(ps)) = item.field("passes") {
+                for p in ps {
+                    passes.push(PassCell {
+                        name: p.string_field("name")?,
+                        runs: p.usize_field("runs")?,
+                        changes: p.usize_field("changes")?,
+                        insts_removed: p.usize_field("insts_removed")?,
+                    });
+                }
+            }
+            cells.push(Cell {
+                machine: item.string_field("machine")?,
+                pattern: item.string_field("pattern")?,
+                level: item.string_field("level")?,
+                text: item.usize_field("text")?,
+                rodata: item.usize_field("rodata")?,
+                data: item.usize_field("data")?,
+                total: item.usize_field("total")?,
+                passes,
+            });
+        }
+        Ok(Snapshot { cells })
+    }
+}
+
+/// One cell-level comparison verdict from [`compare`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Cell shrank or stayed equal.
+    Ok {
+        /// Cell key.
+        key: String,
+        /// Baseline total bytes.
+        baseline: usize,
+        /// Current total bytes.
+        current: usize,
+    },
+    /// Cell grew, but within tolerance.
+    Tolerated {
+        /// Cell key.
+        key: String,
+        /// Baseline total bytes.
+        baseline: usize,
+        /// Current total bytes.
+        current: usize,
+    },
+    /// Cell grew beyond tolerance — a regression.
+    Regressed {
+        /// Cell key.
+        key: String,
+        /// Baseline total bytes.
+        baseline: usize,
+        /// Current total bytes.
+        current: usize,
+    },
+    /// Cell present in the baseline but missing from the current
+    /// snapshot — lost coverage counts as a regression.
+    Missing {
+        /// Cell key.
+        key: String,
+    },
+}
+
+impl Verdict {
+    /// `true` for verdicts that must fail the gate.
+    pub fn is_regression(&self) -> bool {
+        matches!(self, Verdict::Regressed { .. } | Verdict::Missing { .. })
+    }
+
+    /// One aligned report line.
+    pub fn render(&self) -> String {
+        match self {
+            Verdict::Ok {
+                key,
+                baseline,
+                current,
+            } => format!("  ok        {key:<40} {baseline:>7} -> {current:>7}"),
+            Verdict::Tolerated {
+                key,
+                baseline,
+                current,
+            } => format!("  tolerated {key:<40} {baseline:>7} -> {current:>7}"),
+            Verdict::Regressed {
+                key,
+                baseline,
+                current,
+            } => format!(
+                "  REGRESSED {key:<40} {baseline:>7} -> {current:>7} (+{})",
+                current.saturating_sub(*baseline)
+            ),
+            Verdict::Missing { key } => format!("  MISSING   {key:<40} (cell lost)"),
+        }
+    }
+}
+
+/// Compares `current` against `baseline` cell by cell, gating on total
+/// image size. Growth within `max(TOLERANCE_PCT, TOLERANCE_BYTES)` is
+/// tolerated; anything larger — or a baseline cell the current snapshot
+/// no longer measures — is a regression. Cells new in `current` are
+/// ignored (they will be gated once the baseline is refreshed).
+pub fn compare(baseline: &Snapshot, current: &Snapshot) -> Vec<Verdict> {
+    let current_by_key: BTreeMap<String, &Cell> =
+        current.cells.iter().map(|c| (c.key(), c)).collect();
+    let mut verdicts = Vec::new();
+    for base in &baseline.cells {
+        let key = base.key();
+        let Some(cur) = current_by_key.get(&key) else {
+            verdicts.push(Verdict::Missing { key });
+            continue;
+        };
+        let allowed_growth = std::cmp::max(
+            (base.total as f64 * TOLERANCE_PCT / 100.0).floor() as usize,
+            TOLERANCE_BYTES,
+        );
+        verdicts.push(if cur.total <= base.total {
+            Verdict::Ok {
+                key,
+                baseline: base.total,
+                current: cur.total,
+            }
+        } else if cur.total <= base.total + allowed_growth {
+            Verdict::Tolerated {
+                key,
+                baseline: base.total,
+                current: cur.total,
+            }
+        } else {
+            Verdict::Regressed {
+                key,
+                baseline: base.total,
+                current: cur.total,
+            }
+        });
+    }
+    verdicts
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON value + recursive-descent parser (offline stand-in for a
+// crates.io JSON crate; supports exactly what the snapshot format uses).
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    fn field(&self, name: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn string_field(&self, name: &str) -> Result<String, String> {
+        match self.field(name) {
+            Some(Json::String(s)) => Ok(s.clone()),
+            _ => Err(format!("missing or non-string field \"{name}\"")),
+        }
+    }
+
+    fn usize_field(&self, name: &str) -> Result<usize, String> {
+        match self.field(name) {
+            Some(Json::Number(n)) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as usize),
+            _ => Err(format!("missing or non-integer field \"{name}\"")),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let v = self.value()?;
+            fields.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape '\\{}'", other as char)),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is valid UTF-8:
+                    // it came in as &str).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E' || c == b'+' || c == b'-')
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Number)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> Snapshot {
+        Snapshot {
+            cells: vec![
+                Cell {
+                    machine: "flat".into(),
+                    pattern: "STT".into(),
+                    level: "-O2".into(),
+                    text: 1000,
+                    rodata: 200,
+                    data: 40,
+                    total: 1240,
+                    passes: vec![PassCell {
+                        name: "sccp".into(),
+                        runs: 3,
+                        changes: 1,
+                        insts_removed: 7,
+                    }],
+                },
+                Cell {
+                    machine: "flat".into(),
+                    pattern: "STT".into(),
+                    level: "-Os".into(),
+                    text: 900,
+                    rodata: 200,
+                    data: 40,
+                    total: 1140,
+                    passes: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let snap = sample_snapshot();
+        let parsed = Snapshot::from_json(&snap.to_json()).expect("parses");
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn parser_survives_whitespace_and_escapes() {
+        let text = "{ \"cells\" : [ {\"machine\": \"a\\\"b\", \"pattern\": \"p\",\n
+            \"level\": \"-O0\", \"text\": 1, \"rodata\": 2, \"data\": 3,
+            \"total\": 6, \"passes\": []} ] }";
+        let snap = Snapshot::from_json(text).expect("parses");
+        assert_eq!(snap.cells[0].machine, "a\"b");
+        assert_eq!(snap.cells[0].total, 6);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(Snapshot::from_json("not json").is_err());
+        assert!(Snapshot::from_json("{}").is_err(), "missing cells");
+        assert!(Snapshot::from_json("{\"cells\": 3}").is_err());
+    }
+
+    #[test]
+    fn compare_flags_regressions_only_beyond_tolerance() {
+        let base = sample_snapshot();
+        let mut cur = sample_snapshot();
+        // Equal → ok.
+        assert!(compare(&base, &cur).iter().all(|v| !v.is_regression()));
+        // Small growth → tolerated.
+        cur.cells[0].total = base.cells[0].total + TOLERANCE_BYTES;
+        let verdicts = compare(&base, &cur);
+        assert!(matches!(verdicts[0], Verdict::Tolerated { .. }));
+        assert!(!verdicts[0].is_regression());
+        // Big growth → regression.
+        cur.cells[0].total = base.cells[0].total + 100;
+        let verdicts = compare(&base, &cur);
+        assert!(matches!(verdicts[0], Verdict::Regressed { .. }));
+        assert!(verdicts[0].is_regression());
+    }
+
+    #[test]
+    fn compare_flags_missing_cells() {
+        let base = sample_snapshot();
+        let mut cur = sample_snapshot();
+        cur.cells.pop();
+        let verdicts = compare(&base, &cur);
+        assert!(verdicts
+            .iter()
+            .any(|v| matches!(v, Verdict::Missing { .. })));
+    }
+
+    #[test]
+    fn measure_covers_the_full_matrix() {
+        let snap = Snapshot::measure().expect("measures");
+        let machines = sample_machines().len();
+        assert_eq!(snap.cells.len(), machines * 3 * 4);
+        // -O2/-Os cells carry pass stats; -O0 cells do not.
+        for cell in &snap.cells {
+            if cell.level == "-O2" {
+                assert!(!cell.passes.is_empty(), "{} has no pass stats", cell.key());
+            }
+            if cell.level == "-O0" {
+                assert!(cell.passes.is_empty(), "{} ran passes at -O0", cell.key());
+            }
+        }
+    }
+}

@@ -1,8 +1,11 @@
 //! Control-flow-graph analyses: predecessors, reverse postorder,
-//! dominators, dominance frontiers, liveness.
+//! dominators, dominance frontiers, natural loops, liveness.
 //!
 //! Dominators use the iterative algorithm of Cooper, Harvey & Kennedy;
 //! frontiers follow Cytron et al., feeding φ-placement in [`crate::ssa`].
+//! Natural loops are discovered from back edges (an edge `n → h` where
+//! `h` dominates `n`), feeding loop-invariant code motion in
+//! [`crate::opt`].
 
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
@@ -103,6 +106,94 @@ pub fn dominator_tree_children(
         }
     }
     children
+}
+
+/// `true` if `a` dominates `b` under the `idom` map of [`dominators`]
+/// (every block dominates itself; unreachable blocks dominate nothing
+/// and are dominated by nothing).
+pub fn dominates(idom: &BTreeMap<BlockId, BlockId>, a: BlockId, b: BlockId) -> bool {
+    if !idom.contains_key(&a) {
+        return false;
+    }
+    let mut x = b;
+    loop {
+        if x == a {
+            return true;
+        }
+        match idom.get(&x) {
+            Some(&d) if d != x => x = d,
+            _ => return false, // reached the entry (self-idom) or unreachable
+        }
+    }
+}
+
+/// One natural loop: the set of blocks that can reach a back edge's
+/// source without passing through the loop header. Loops sharing a
+/// header are merged into a single [`NaturalLoop`] with several latches
+/// (the classic treatment of `continue`-style multi-latch loops).
+///
+/// Irreducible ("multi-entry") cycles have no back edge by dominance —
+/// neither entry dominates the other — so they are *not* reported;
+/// [`natural_loops`] rejecting them is exactly the safety condition
+/// loop-invariant code motion needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// The loop header: dominates every block of the loop.
+    pub header: BlockId,
+    /// Sources of the back edges into the header, in discovery order.
+    pub latches: Vec<BlockId>,
+    /// All loop blocks, header and latches included.
+    pub body: BTreeSet<BlockId>,
+}
+
+impl NaturalLoop {
+    /// `true` if `b` belongs to this loop.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.body.contains(&b)
+    }
+}
+
+/// Finds every natural loop of `f` from the back edges of its dominator
+/// tree, merging loops that share a header. Returned innermost-first
+/// (ascending body size), which is the order loop transforms want.
+pub fn natural_loops(f: &MirFunction) -> Vec<NaturalLoop> {
+    let idom = dominators(f);
+    let preds = predecessors(f);
+    let mut by_header: BTreeMap<BlockId, NaturalLoop> = BTreeMap::new();
+    for n in f.block_ids() {
+        if !idom.contains_key(&n) {
+            continue; // unreachable
+        }
+        for h in f.block(n).term.succs() {
+            if !dominates(&idom, h, n) {
+                continue; // not a back edge
+            }
+            let lp = by_header.entry(h).or_insert_with(|| NaturalLoop {
+                header: h,
+                latches: Vec::new(),
+                body: BTreeSet::from([h]),
+            });
+            if !lp.latches.contains(&n) {
+                lp.latches.push(n);
+            }
+            // Body: everything reaching the latch backwards without
+            // passing the header.
+            let mut stack = vec![n];
+            while let Some(x) = stack.pop() {
+                if !lp.body.insert(x) {
+                    continue;
+                }
+                for &p in &preds[x.0 as usize] {
+                    if idom.contains_key(&p) {
+                        stack.push(p);
+                    }
+                }
+            }
+        }
+    }
+    let mut loops: Vec<NaturalLoop> = by_header.into_values().collect();
+    loops.sort_by_key(|l| (l.body.len(), l.header));
+    loops
 }
 
 fn intersect(
@@ -293,6 +384,171 @@ mod tests {
         assert!(lv.live_in[0].contains(&VReg(0)));
         assert!(lv.live_in[1].contains(&VReg(0)));
         assert!(lv.live_out[0].contains(&VReg(0)));
+    }
+
+    fn block(term: Term) -> Block {
+        Block {
+            insts: vec![],
+            term,
+        }
+    }
+
+    fn func(blocks: Vec<Block>) -> MirFunction {
+        MirFunction {
+            name: "l".into(),
+            params: 1,
+            returns_value: false,
+            exported: true,
+            blocks,
+            next_vreg: 1,
+        }
+    }
+
+    #[test]
+    fn self_loop_is_its_own_header_and_latch() {
+        // bb0 -> bb1; bb1 -> bb1 | bb2.
+        let f = func(vec![
+            block(Term::Goto(BlockId(1))),
+            block(Term::Br {
+                cond: VReg(0),
+                then_block: BlockId(1),
+                else_block: BlockId(2),
+            }),
+            block(Term::Ret(None)),
+        ]);
+        let loops = natural_loops(&f);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].header, BlockId(1));
+        assert_eq!(loops[0].latches, vec![BlockId(1)]);
+        assert_eq!(loops[0].body, BTreeSet::from([BlockId(1)]));
+    }
+
+    #[test]
+    fn nested_loops_report_inner_first_with_nested_bodies() {
+        // bb0 -> bb1 (outer header) -> bb2 (inner header) -> bb3
+        // bb3 -> bb2 (inner latch) | bb4; bb4 -> bb1 (outer latch) | bb5.
+        let f = func(vec![
+            block(Term::Goto(BlockId(1))),
+            block(Term::Goto(BlockId(2))),
+            block(Term::Goto(BlockId(3))),
+            block(Term::Br {
+                cond: VReg(0),
+                then_block: BlockId(2),
+                else_block: BlockId(4),
+            }),
+            block(Term::Br {
+                cond: VReg(0),
+                then_block: BlockId(1),
+                else_block: BlockId(5),
+            }),
+            block(Term::Ret(None)),
+        ]);
+        let loops = natural_loops(&f);
+        assert_eq!(loops.len(), 2, "{loops:?}");
+        let inner = &loops[0];
+        let outer = &loops[1];
+        assert_eq!(inner.header, BlockId(2));
+        assert_eq!(inner.body, BTreeSet::from([BlockId(2), BlockId(3)]));
+        assert_eq!(outer.header, BlockId(1));
+        assert_eq!(
+            outer.body,
+            BTreeSet::from([BlockId(1), BlockId(2), BlockId(3), BlockId(4)])
+        );
+        assert!(
+            inner.body.is_subset(&outer.body),
+            "inner loop nests inside outer"
+        );
+    }
+
+    #[test]
+    fn switch_back_edge_forms_a_loop() {
+        // bb1 dispatches through a Switch; one case is the back edge.
+        let f = func(vec![
+            block(Term::Goto(BlockId(1))),
+            block(Term::Goto(BlockId(2))),
+            block(Term::Switch {
+                val: VReg(0),
+                cases: vec![(0, BlockId(1)), (1, BlockId(3))],
+                default: BlockId(3),
+            }),
+            block(Term::Ret(None)),
+        ]);
+        let loops = natural_loops(&f);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].header, BlockId(1));
+        assert_eq!(loops[0].latches, vec![BlockId(2)]);
+        assert_eq!(loops[0].body, BTreeSet::from([BlockId(1), BlockId(2)]));
+    }
+
+    #[test]
+    fn multi_latch_loops_merge_by_header() {
+        // Two back edges into bb1 (a `continue`): one NaturalLoop, two
+        // latches.
+        let f = func(vec![
+            block(Term::Goto(BlockId(1))),
+            block(Term::Br {
+                cond: VReg(0),
+                then_block: BlockId(2),
+                else_block: BlockId(3),
+            }),
+            block(Term::Br {
+                cond: VReg(0),
+                then_block: BlockId(1), // continue
+                else_block: BlockId(3),
+            }),
+            block(Term::Br {
+                cond: VReg(0),
+                then_block: BlockId(1), // latch
+                else_block: BlockId(4),
+            }),
+            block(Term::Ret(None)),
+        ]);
+        let loops = natural_loops(&f);
+        assert_eq!(loops.len(), 1, "{loops:?}");
+        assert_eq!(loops[0].latches, vec![BlockId(2), BlockId(3)]);
+        assert_eq!(
+            loops[0].body,
+            BTreeSet::from([BlockId(1), BlockId(2), BlockId(3)])
+        );
+    }
+
+    #[test]
+    fn irreducible_multi_entry_cycle_is_rejected() {
+        // bb0 branches into *both* bb1 and bb2, which form a cycle:
+        // neither dominates the other, so there is no back edge and no
+        // natural loop — exactly the shape LICM must refuse to touch.
+        let f = func(vec![
+            block(Term::Br {
+                cond: VReg(0),
+                then_block: BlockId(1),
+                else_block: BlockId(2),
+            }),
+            block(Term::Br {
+                cond: VReg(0),
+                then_block: BlockId(2),
+                else_block: BlockId(3),
+            }),
+            block(Term::Br {
+                cond: VReg(0),
+                then_block: BlockId(1),
+                else_block: BlockId(3),
+            }),
+            block(Term::Ret(None)),
+        ]);
+        assert!(
+            natural_loops(&f).is_empty(),
+            "irreducible cycles have no natural loop"
+        );
+    }
+
+    #[test]
+    fn dominates_is_reflexive_and_respects_tree() {
+        let f = diamond();
+        let idom = dominators(&f);
+        assert!(dominates(&idom, BlockId(0), BlockId(3)));
+        assert!(dominates(&idom, BlockId(1), BlockId(1)));
+        assert!(!dominates(&idom, BlockId(1), BlockId(3)));
+        assert!(!dominates(&idom, BlockId(3), BlockId(0)));
     }
 
     #[test]

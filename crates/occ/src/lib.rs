@@ -6,9 +6,12 @@
 //! * **Front end**: [`lower`] translates a checked [`tlang::Module`] into a
 //!   three-address control-flow-graph IR ([`mir`]).
 //! * **Mid end**: SSA construction (Cytron-style dominance frontiers,
-//!   [`ssa`]), then the fixed-point [`PassManager`] of [`opt`] — constant
-//!   propagation and folding, dead-code elimination, copy propagation,
-//!   global value numbering / CSE, terminator folding and jump threading,
+//!   [`ssa`]), then the fixed-point [`PassManager`] of [`opt`] — sparse
+//!   conditional constant propagation (Wegman-Zadeck), dense constant
+//!   folding, dead-code elimination, copy propagation, global value
+//!   numbering / CSE, loop-invariant code motion out of natural loops
+//!   ([`cfg::natural_loops`]), terminator folding and jump threading,
+//!   copy coalescing and return-block tail merging on the φ-free form,
 //!   CFG simplification, bottom-up inlining of small functions, and
 //!   call-graph dead-function elimination. The pass set per level mirrors
 //!   GCC's `-O0/-O1/-O2/-Os` philosophy ([`OptLevel`]); every pass

@@ -205,36 +205,66 @@ fn model_optimization_shrinks_every_pattern() {
 
 #[test]
 fn new_passes_fire_on_sample_machines_at_o2() {
-    // Acceptance: GVN/CSE and terminator folding must each rewrite
-    // something on at least one sample machine at -O2 — and the full
-    // machine × pattern × level matrix above proves the rewrites preserve
-    // the reference trace.
+    // Acceptance: SCCP, LICM, GVN/CSE and terminator folding must each
+    // rewrite something on at least one sample machine at -O2 — and the
+    // full machine × pattern × level matrix above proves the rewrites
+    // preserve the reference trace. SCCP and LICM firing on the sample
+    // machines is PR 3's acceptance criterion; the STT dispatch loops are
+    // LICM's designed target.
     let machines = [
         samples::flat_unreachable(),
         samples::hierarchical_never_active(),
         samples::cruise_control(),
         samples::protocol_handler(),
     ];
-    let mut gvn_fired = false;
-    let mut term_fold_fired = false;
+    let mut fired: std::collections::BTreeMap<&str, bool> = std::collections::BTreeMap::new();
     for machine in &machines {
         for pattern in Pattern::all() {
             let generated = cgen::generate(machine, pattern).expect("generates");
             let artifact = occ::compile(&generated.module, OptLevel::O2).expect("compiles");
             let stats = artifact.pass_stats();
-            for name in ["const-fold", "copy-prop", "gvn-cse", "term-fold", "dce"] {
+            for name in [
+                "sccp",
+                "const-fold",
+                "copy-prop",
+                "gvn-cse",
+                "licm",
+                "term-fold",
+                "dce",
+                "copy-coalesce",
+                "tail-merge",
+            ] {
                 let st = stats.get(name).unwrap_or_else(|| panic!("{name} missing"));
                 assert!(st.runs > 0, "{name} never ran on {}", machine.name());
+                *fired.entry(name).or_default() |= st.changes > 0;
             }
-            gvn_fired |= stats.get("gvn-cse").is_some_and(|s| s.changes > 0);
-            term_fold_fired |= stats.get("term-fold").is_some_and(|s| s.changes > 0);
         }
     }
-    assert!(gvn_fired, "GVN/CSE fired on no sample machine at -O2");
-    assert!(
-        term_fold_fired,
-        "terminator folding fired on no sample machine at -O2"
-    );
+    for name in ["sccp", "licm", "gvn-cse", "term-fold", "copy-coalesce"] {
+        assert!(fired[name], "{name} fired on no sample machine at -O2");
+    }
+}
+
+#[test]
+fn licm_fires_on_every_stt_dispatch_loop_at_o2() {
+    // The state-transition-table engine is the pattern whose dispatch
+    // loop LICM targets: invariant table-address arithmetic recomputed
+    // per iteration. It must fire on *every* sample machine's STT build.
+    for machine in [
+        samples::flat_unreachable(),
+        samples::hierarchical_never_active(),
+        samples::cruise_control(),
+        samples::protocol_handler(),
+    ] {
+        let generated = cgen::generate(&machine, Pattern::StateTable).expect("generates");
+        let artifact = occ::compile(&generated.module, OptLevel::O2).expect("compiles");
+        let licm = artifact.pass_stats().get("licm").expect("licm ran");
+        assert!(
+            licm.changes > 0,
+            "licm must hoist out of {}'s STT dispatch loop",
+            machine.name()
+        );
+    }
 }
 
 #[test]

@@ -1,8 +1,14 @@
 //! Differential tests of the mid-end at the MIR level: randomly built MIR
 //! programs — duplicated pure expressions (GVN/CSE fodder), branches and
-//! switches with shared or all-equal targets (terminator-folding fodder) —
-//! must produce the same EM32 extern-call trace at `-O1`/`-O2`/`-Os` as at
-//! `-O0`, and under each new pass applied in isolation.
+//! switches with shared or all-equal targets (terminator-folding fodder),
+//! latch-guarded back edges (loop fodder for SCCP's executable-edge
+//! analysis and LICM's preheader insertion) — must produce the same EM32
+//! extern-call trace at `-O1`/`-O2`/`-Os` as at `-O0`, and under each new
+//! pass applied in isolation.
+//!
+//! The property depth is CI-tunable: `MIR_DIFF_CASES=<n>` overrides the
+//! per-property case count (default 96), so the full `ci.sh` gate runs
+//! the net deeper than a local `--fast` iteration.
 
 use proptest::prelude::*;
 
@@ -10,6 +16,15 @@ use occ::mir::{BinOp, Block, Inst, MirFunction, Program, Term, VReg};
 use occ::vm::Vm;
 use occ::{opt, ssa, OptLevel};
 use tlang::RecordingEnv;
+
+/// Per-property case count: `MIR_DIFF_CASES` when set (CI's full gate
+/// raises it), 96 otherwise.
+fn cases() -> u32 {
+    std::env::var("MIR_DIFF_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(96)
+}
 
 const BIN_OPS: [BinOp; 14] = [
     BinOp::Add,
@@ -208,7 +223,7 @@ fn trace_with_passes(program: &Program, passes: &[opt::SsaPass]) -> Vec<(String,
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
 
     /// The whole pipeline preserves the trace at every level.
     #[test]
@@ -261,5 +276,74 @@ proptest! {
             &[opt::fold_terminators, opt::dead_code_elim],
         );
         prop_assert_eq!(&cleaned, &oracle, "fold_terminators + dce diverges");
+    }
+
+    /// SCCP alone preserves the trace — the generated programs fold
+    /// entirely to constants (all leaves are `Const`s), so this drives
+    /// the executable-edge analysis through every terminator shape,
+    /// including back edges.
+    #[test]
+    fn sccp_preserves_em32_trace(
+        consts in prop::collection::vec(-8i32..8, 2..5),
+        ops in prop::collection::vec((0u8..14, any::<u8>(), any::<u8>()), 1..6),
+        blocks in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..6),
+    ) {
+        let program = build_program(&consts, &ops, &blocks);
+        let oracle = trace_at(&program, OptLevel::O0);
+        let got = trace_with_passes(&program, &[opt::sccp]);
+        prop_assert_eq!(&got, &oracle, "sccp diverges");
+        let cleaned = trace_with_passes(
+            &program,
+            &[opt::sccp, opt::dead_code_elim],
+        );
+        prop_assert_eq!(&cleaned, &oracle, "sccp + dce diverges");
+    }
+
+    /// LICM alone preserves the trace — the latch-guarded back edges of
+    /// `build_program` give it headers with φs, multi-entry headers after
+    /// branchy prefixes, and loop bodies full of movable pure ops.
+    #[test]
+    fn licm_preserves_em32_trace(
+        consts in prop::collection::vec(-8i32..8, 2..5),
+        ops in prop::collection::vec((0u8..14, any::<u8>(), any::<u8>()), 1..6),
+        blocks in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 2..6),
+    ) {
+        let program = build_program(&consts, &ops, &blocks);
+        let oracle = trace_at(&program, OptLevel::O0);
+        let got = trace_with_passes(&program, &[opt::licm]);
+        prop_assert_eq!(&got, &oracle, "licm diverges");
+        let cleaned = trace_with_passes(
+            &program,
+            &[opt::licm, opt::gvn_cse, opt::copy_propagate, opt::dead_code_elim],
+        );
+        prop_assert_eq!(&cleaned, &oracle, "licm + cleanup diverges");
+    }
+
+    /// The φ-free copy coalescer and return-block merger preserve the
+    /// trace when stacked on the SSA round trip (they run post-destruct
+    /// in the real pipeline; `trace_with_passes` destructs afterwards,
+    /// which also proves they tolerate SSA form).
+    #[test]
+    fn phi_free_cleanups_preserve_em32_trace(
+        consts in prop::collection::vec(-8i32..8, 2..5),
+        ops in prop::collection::vec((0u8..14, any::<u8>(), any::<u8>()), 1..4),
+        blocks in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 2..6),
+    ) {
+        let program = build_program(&consts, &ops, &blocks);
+        let oracle = trace_at(&program, OptLevel::O0);
+        let got = trace_with_passes(&program, &[opt::coalesce_copies]);
+        prop_assert_eq!(&got, &oracle, "coalesce_copies diverges");
+        let merged = trace_with_passes(&program, &[opt::merge_return_blocks]);
+        prop_assert_eq!(&merged, &oracle, "merge_return_blocks diverges");
+    }
+}
+
+/// The env knob parses and has the documented default.
+#[test]
+fn mir_diff_cases_env_default() {
+    if std::env::var("MIR_DIFF_CASES").is_err() {
+        assert_eq!(cases(), 96);
+    } else {
+        assert!(cases() > 0, "MIR_DIFF_CASES must parse to a positive count");
     }
 }
