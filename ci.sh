@@ -62,8 +62,10 @@ else
     run_stage "bench smoke (6 binaries)" bench_smoke
     # Size-regression gate: snapshot the current toolchain, then compare
     # against the committed baseline. Any machine×pattern×level cell
-    # growing beyond the tolerance fails the gate; refresh the baseline
-    # deliberately with:
+    # (total or text/rodata section) growing beyond the tolerance fails
+    # the gate, as does cell-set drift in either direction or a pass
+    # whose insts_removed drops to zero matrix-wide (silently inert);
+    # refresh the baseline deliberately with:
     #   cargo run --release -p bench --bin snapshot -- bench_baseline.json
     run_stage "bench snapshot (BENCH_PR3.json)" \
         cargo run --release -q -p bench --bin snapshot

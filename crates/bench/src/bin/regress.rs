@@ -1,8 +1,12 @@
 //! The bench-regression gate: compares the current toolchain's snapshot
 //! against the committed `bench_baseline.json` and exits nonzero on any
-//! per-cell size regression beyond the tolerance — so a mid-end change
-//! that silently erodes the paper's size numbers fails CI instead of
-//! waiting for the next manual table regeneration.
+//! per-cell size regression beyond the tolerance — totals and the
+//! `text`/`rodata` sections individually — on cell-set drift in either
+//! direction (a lost baseline cell or an unbaselined new cell), and on
+//! any pass whose `insts_removed` silently dropped to zero across the
+//! whole matrix. A mid-end change that erodes the paper's size numbers,
+//! drops coverage or quietly disables a pass fails CI instead of waiting
+//! for the next manual table regeneration.
 //!
 //! Run with `cargo run -p bench --bin regress [-- <baseline> [current]]`.
 //! If a current-snapshot path is given (or `BENCH_PR3.json` exists, as
@@ -73,7 +77,7 @@ fn main() {
     }
     let ok = verdicts.len() - regressions - shown;
     println!(
-        "{} cells: {ok} ok, {shown} tolerated, {regressions} regressed",
+        "{} checks: {ok} ok, {shown} tolerated, {regressions} regressed",
         verdicts.len()
     );
     if regressions > 0 {

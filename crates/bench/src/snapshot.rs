@@ -250,12 +250,51 @@ pub enum Verdict {
         /// Cell key.
         key: String,
     },
+    /// Cell present in the current snapshot but absent from the
+    /// baseline — cell-set drift in the other direction. Silently
+    /// skipping it would let a new (or renamed) machine × pattern ×
+    /// level cell slip the gate until someone notices; the baseline must
+    /// be refreshed deliberately instead.
+    Unbaselined {
+        /// Cell key.
+        key: String,
+    },
+    /// A per-section (`text`/`rodata`) size grew beyond tolerance even
+    /// if the cell's total passed — one section's growth papered over by
+    /// another's shrink is still a regression.
+    SectionRegressed {
+        /// Cell key.
+        key: String,
+        /// Section name (`text` or `rodata`).
+        section: &'static str,
+        /// Baseline section bytes.
+        baseline: usize,
+        /// Current section bytes.
+        current: usize,
+    },
+    /// A pass that removed instructions somewhere in the baseline now
+    /// removes zero instructions across *all* cells — it has silently
+    /// gone inert (unregistered, reordered into impotence, or broken)
+    /// even if another pass papers over the bytes.
+    PassInert {
+        /// Canonical pass name.
+        name: String,
+        /// Total instructions the pass removed across the baseline.
+        baseline_removed: usize,
+    },
 }
 
 impl Verdict {
     /// `true` for verdicts that must fail the gate.
     pub fn is_regression(&self) -> bool {
-        matches!(self, Verdict::Regressed { .. } | Verdict::Missing { .. })
+        matches!(
+            self,
+            Verdict::Regressed { .. }
+                | Verdict::Missing { .. }
+                | Verdict::Unbaselined { .. }
+                | Verdict::SectionRegressed { .. }
+                | Verdict::PassInert { .. }
+        )
     }
 
     /// One aligned report line.
@@ -280,18 +319,51 @@ impl Verdict {
                 current.saturating_sub(*baseline)
             ),
             Verdict::Missing { key } => format!("  MISSING   {key:<40} (cell lost)"),
+            Verdict::Unbaselined { key } => {
+                format!("  UNBASELINED {key:<38} (cell not in baseline; refresh it deliberately)")
+            }
+            Verdict::SectionRegressed {
+                key,
+                section,
+                baseline,
+                current,
+            } => format!(
+                "  REGRESSED {key:<40} {section} {baseline:>7} -> {current:>7} (+{})",
+                current.saturating_sub(*baseline)
+            ),
+            Verdict::PassInert {
+                name,
+                baseline_removed,
+            } => format!(
+                "  INERT     pass `{name}` removed {baseline_removed} insts in the baseline, 0 now"
+            ),
         }
     }
 }
 
+/// Growth a size may show before it counts as a regression: within
+/// `max(TOLERANCE_PCT, TOLERANCE_BYTES)` of the baseline value.
+fn allowed_growth(baseline: usize) -> usize {
+    std::cmp::max(
+        (baseline as f64 * TOLERANCE_PCT / 100.0).floor() as usize,
+        TOLERANCE_BYTES,
+    )
+}
+
 /// Compares `current` against `baseline` cell by cell, gating on total
-/// image size. Growth within `max(TOLERANCE_PCT, TOLERANCE_BYTES)` is
-/// tolerated; anything larger — or a baseline cell the current snapshot
-/// no longer measures — is a regression. Cells new in `current` are
-/// ignored (they will be gated once the baseline is refreshed).
+/// image size *and* on the `text`/`rodata` sections individually (one
+/// section's growth hidden by another's shrink is still flagged). Growth
+/// within `max(TOLERANCE_PCT, TOLERANCE_BYTES)` is tolerated; anything
+/// larger is a regression, as is any cell-set drift — a baseline cell
+/// the current snapshot no longer measures, or a current cell the
+/// baseline does not know (refresh the baseline deliberately). Finally,
+/// any pass that removed instructions somewhere in the baseline but
+/// removes zero across every current cell is flagged as silently inert.
 pub fn compare(baseline: &Snapshot, current: &Snapshot) -> Vec<Verdict> {
     let current_by_key: BTreeMap<String, &Cell> =
         current.cells.iter().map(|c| (c.key(), c)).collect();
+    let baseline_keys: std::collections::BTreeSet<String> =
+        baseline.cells.iter().map(Cell::key).collect();
     let mut verdicts = Vec::new();
     for base in &baseline.cells {
         let key = base.key();
@@ -299,29 +371,63 @@ pub fn compare(baseline: &Snapshot, current: &Snapshot) -> Vec<Verdict> {
             verdicts.push(Verdict::Missing { key });
             continue;
         };
-        let allowed_growth = std::cmp::max(
-            (base.total as f64 * TOLERANCE_PCT / 100.0).floor() as usize,
-            TOLERANCE_BYTES,
-        );
         verdicts.push(if cur.total <= base.total {
             Verdict::Ok {
-                key,
+                key: key.clone(),
                 baseline: base.total,
                 current: cur.total,
             }
-        } else if cur.total <= base.total + allowed_growth {
+        } else if cur.total <= base.total + allowed_growth(base.total) {
             Verdict::Tolerated {
-                key,
+                key: key.clone(),
                 baseline: base.total,
                 current: cur.total,
             }
         } else {
             Verdict::Regressed {
-                key,
+                key: key.clone(),
                 baseline: base.total,
                 current: cur.total,
             }
         });
+        for (section, b, c) in [
+            ("text", base.text, cur.text),
+            ("rodata", base.rodata, cur.rodata),
+        ] {
+            if c > b + allowed_growth(b) {
+                verdicts.push(Verdict::SectionRegressed {
+                    key: key.clone(),
+                    section,
+                    baseline: b,
+                    current: c,
+                });
+            }
+        }
+    }
+    for cur in &current.cells {
+        if !baseline_keys.contains(&cur.key()) {
+            verdicts.push(Verdict::Unbaselined { key: cur.key() });
+        }
+    }
+    // Pass-inert sweep: compare per-pass `insts_removed` totals across
+    // the whole matrix.
+    let removed_by_pass = |snap: &Snapshot| {
+        let mut totals: BTreeMap<String, usize> = BTreeMap::new();
+        for cell in &snap.cells {
+            for p in &cell.passes {
+                *totals.entry(p.name.clone()).or_default() += p.insts_removed;
+            }
+        }
+        totals
+    };
+    let current_removed = removed_by_pass(current);
+    for (name, baseline_removed) in removed_by_pass(baseline) {
+        if baseline_removed > 0 && current_removed.get(&name).copied().unwrap_or(0) == 0 {
+            verdicts.push(Verdict::PassInert {
+                name,
+                baseline_removed,
+            });
+        }
     }
     verdicts
 }
@@ -660,6 +766,73 @@ mod tests {
         assert!(verdicts
             .iter()
             .any(|v| matches!(v, Verdict::Missing { .. })));
+    }
+
+    #[test]
+    fn compare_flags_unbaselined_cells() {
+        // Cell-set drift in the other direction: a cell the baseline
+        // does not know must fail the gate, not slip through silently.
+        let base = sample_snapshot();
+        let mut cur = sample_snapshot();
+        let mut extra = cur.cells[0].clone();
+        extra.machine = "brand-new".into();
+        cur.cells.push(extra);
+        let verdicts = compare(&base, &cur);
+        let unb: Vec<_> = verdicts
+            .iter()
+            .filter(|v| matches!(v, Verdict::Unbaselined { .. }))
+            .collect();
+        assert_eq!(unb.len(), 1, "{verdicts:?}");
+        assert!(unb[0].is_regression());
+    }
+
+    #[test]
+    fn compare_flags_section_regressions_behind_stable_totals() {
+        let base = sample_snapshot();
+        let mut cur = sample_snapshot();
+        // text grows by 100, rodata shrinks by 100: total is unchanged,
+        // but the text section alone regressed.
+        cur.cells[0].text = base.cells[0].text + 100;
+        cur.cells[0].rodata = base.cells[0].rodata - 100;
+        let verdicts = compare(&base, &cur);
+        assert!(
+            verdicts.iter().any(|v| matches!(
+                v,
+                Verdict::SectionRegressed {
+                    section: "text",
+                    ..
+                }
+            )),
+            "{verdicts:?}"
+        );
+        // Section growth within tolerance is not flagged.
+        let mut small = sample_snapshot();
+        small.cells[0].text = base.cells[0].text + TOLERANCE_BYTES;
+        assert!(!compare(&base, &small)
+            .iter()
+            .any(|v| matches!(v, Verdict::SectionRegressed { .. })));
+    }
+
+    #[test]
+    fn compare_flags_passes_gone_inert() {
+        let base = sample_snapshot();
+        let mut cur = sample_snapshot();
+        // The baseline's sccp removed 7 instructions; the current run
+        // still executes it but it no longer removes anything anywhere.
+        cur.cells[0].passes[0].insts_removed = 0;
+        let verdicts = compare(&base, &cur);
+        let inert: Vec<_> = verdicts
+            .iter()
+            .filter(|v| matches!(v, Verdict::PassInert { .. }))
+            .collect();
+        assert_eq!(inert.len(), 1, "{verdicts:?}");
+        assert!(inert[0].is_regression());
+        assert!(inert[0].render().contains("sccp"), "{:?}", inert[0]);
+        // A pass that never removed anything in the baseline is not
+        // gated (movement passes like licm report zero by design).
+        assert!(!compare(&base, &base.clone())
+            .iter()
+            .any(|v| v.is_regression()));
     }
 
     #[test]

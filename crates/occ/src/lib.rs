@@ -8,15 +8,18 @@
 //! * **Mid end**: SSA construction (Cytron-style dominance frontiers,
 //!   [`ssa`]), then the fixed-point [`PassManager`] of [`opt`] — sparse
 //!   conditional constant propagation (Wegman-Zadeck), dense constant
-//!   folding, dead-code elimination, copy propagation, global value
-//!   numbering / CSE, loop-invariant code motion out of natural loops
-//!   ([`cfg::natural_loops`]), terminator folding and jump threading,
-//!   copy coalescing and return-block tail merging on the φ-free form,
-//!   CFG simplification, bottom-up inlining of small functions, and
-//!   call-graph dead-function elimination. The pass set per level mirrors
-//!   GCC's `-O0/-O1/-O2/-Os` philosophy ([`OptLevel`]); every pass
-//!   reports effect counters ([`PassStats`]) on the compiled
-//!   [`Artifact`].
+//!   folding, root-based dead-code elimination, copy propagation, global
+//!   value numbering / CSE, store-to-load forwarding and dead-store
+//!   elimination over the memory-dependence layer of [`mem`]
+//!   (flat-image alias model: `Addr` roots plus constant offsets),
+//!   loop-invariant code motion out of natural loops
+//!   ([`cfg::natural_loops`]) including clobber-free loads, terminator
+//!   folding and jump threading, copy coalescing and return-block tail
+//!   merging on the φ-free form, CFG simplification, bottom-up inlining
+//!   of small functions, and call-graph dead-function elimination. The
+//!   pass set per level mirrors GCC's `-O0/-O1/-O2/-Os` philosophy
+//!   ([`OptLevel`]); every pass reports effect counters ([`PassStats`])
+//!   on the compiled [`Artifact`].
 //! * **Back end**: instruction selection to the synthetic EM32 RISC ISA,
 //!   linear-scan register allocation, peephole cleanup, `-Os`-aware switch
 //!   lowering (branch chain vs jump table), and byte-accurate encoding
@@ -60,6 +63,7 @@
 pub mod backend;
 pub mod cfg;
 pub mod lower;
+pub mod mem;
 pub mod mir;
 pub mod opt;
 pub mod ssa;

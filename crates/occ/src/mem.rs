@@ -1,0 +1,687 @@
+//! The memory-dependence layer: symbolic addresses over the flat EM32
+//! global image, the alias queries the memory passes of [`crate::opt`]
+//! build on, and loop clobber summaries for load-hoisting LICM.
+//!
+//! # The alias model
+//!
+//! EM32 global data is a flat image of byte-addressed words; every
+//! address a program can form is rooted at an [`Inst::Addr`] (a global's
+//! base plus a constant byte offset) and extended by address arithmetic.
+//! [`FnAddrs`] resolves each virtual register to one of three shapes:
+//!
+//! * [`AddrInfo::Exact`] — global root plus a compile-time-constant
+//!   offset: one known cell,
+//! * [`AddrInfo::Base`] — a known global root with a run-time offset
+//!   (array indexing),
+//! * [`AddrInfo::Unknown`] — no traceable root.
+//!
+//! Two addresses alias iff their roots and constant offsets can
+//! coincide ([`alias`]). Every access moves a whole
+//! [`ACCESS_BYTES`]-byte word but addresses have *byte* granularity, so
+//! nearby offsets partially overlap:
+//!
+//! * same root, equal offsets — the same cell ([`Alias::Must`]);
+//! * same root, offsets less than a word apart — partially overlapping
+//!   accesses ([`Alias::May`]);
+//! * same root, offsets at least [`ACCESS_BYTES`] apart — disjoint
+//!   byte ranges ([`Alias::No`]): base + o₁ and base + o₂ stay a fixed
+//!   distance apart even under wrapping arithmetic;
+//! * different roots — disjoint objects ([`Alias::No`]). This is the C
+//!   object model: address arithmetic rooted at one global is assumed to
+//!   stay inside that global, which the front end guarantees (field
+//!   offsets are in-bounds by construction and `tlang` array indexing is
+//!   in-bounds by contract, exactly as in the paper's generated C++);
+//! * anything involving an untraceable address — [`Alias::May`].
+//!
+//! # Effect assumptions
+//!
+//! * **Externs are memory-transparent.** The EM32 `Ecall` passes
+//!   arguments and results in registers only; a host extern can neither
+//!   read nor write the data image (see [`crate::vm`]), so
+//!   [`Inst::CallExtern`] never clobbers a tracked cell.
+//! * **Calls clobber mutable globals only.** `tlang` rejects assignments
+//!   to `const` globals at type-check time, so no callee can store into
+//!   rodata: a cell in a non-`mutable` global survives [`Inst::Call`]
+//!   and [`Inst::CallInd`] ([`MemoryModel::is_rodata`]). A function-local
+//!   store whose address *may* alias a rodata cell still clobbers it —
+//!   only the indirect (callee) channel is excluded.
+//! * **Rooted loads never fault.** In-object addresses always fall
+//!   inside the VM's data image, so a load from an [`AddrInfo::Exact`]
+//!   or [`AddrInfo::Base`] address can be executed speculatively (the
+//!   license load-hoisting LICM relies on).
+//!
+//! [`Inst::Addr`]: crate::mir::Inst::Addr
+//! [`Inst::CallExtern`]: crate::mir::Inst::CallExtern
+//! [`Inst::Call`]: crate::mir::Inst::Call
+//! [`Inst::CallInd`]: crate::mir::Inst::CallInd
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use crate::mir::{BinOp, BlockId, Inst, MirFunction, Program, VReg};
+
+/// Program-wide memory facts the function-local passes consult: today,
+/// which globals are immutable (rodata).
+///
+/// The [`Default`] model knows no globals and treats every index as
+/// mutable — the conservative choice for unit tests driving a pass on a
+/// bare [`MirFunction`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemoryModel {
+    mutability: Vec<bool>,
+}
+
+impl MemoryModel {
+    /// Extracts the model from a program's global table.
+    pub fn of(program: &Program) -> MemoryModel {
+        MemoryModel {
+            mutability: program.globals.iter().map(|g| g.mutable).collect(),
+        }
+    }
+
+    /// `true` if `global` is known to be immutable. No callee can store
+    /// into a rodata global (the type checker rejects assignments to
+    /// `const`), so rodata cells survive calls. Unknown indices report
+    /// `false` (treated as mutable).
+    pub fn is_rodata(&self, global: usize) -> bool {
+        self.mutability.get(global).is_some_and(|m| !*m)
+    }
+}
+
+/// What is known about the address held in a virtual register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AddrInfo {
+    /// Global root plus a compile-time-constant byte offset: one cell.
+    Exact {
+        /// Global index (the `Addr` root).
+        global: usize,
+        /// Constant byte offset from the global's base.
+        offset: i32,
+    },
+    /// A known global root with a run-time offset (array indexing).
+    Base {
+        /// Global index (the `Addr` root).
+        global: usize,
+    },
+    /// No traceable root; may point anywhere.
+    Unknown,
+}
+
+/// An alias verdict between two addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Alias {
+    /// Provably the same cell.
+    Must,
+    /// Provably distinct cells.
+    No,
+    /// Cannot tell; assume overlap.
+    May,
+}
+
+/// Every EM32 memory access moves this many bytes (one word).
+pub const ACCESS_BYTES: i32 = 4;
+
+/// `true` if word accesses at constant offsets `o1` and `o2` from the
+/// same root touch at least one common byte: each access covers
+/// `[o, o + ACCESS_BYTES)`, and addresses have byte granularity, so
+/// offsets less than a word apart partially overlap. Wrapping-safe: the
+/// byte distance is a fixed `o1 - o2` modulo 2³², checked in both
+/// directions.
+pub fn overlaps(o1: i32, o2: i32) -> bool {
+    // `unsigned_abs` of the wrapped i32 difference is exactly the
+    // circular byte distance min(d, 2³² − d).
+    o1.wrapping_sub(o2).unsigned_abs() < ACCESS_BYTES as u32
+}
+
+/// The alias relation of the flat-image model (see the module docs for
+/// the underlying assumptions).
+pub fn alias(a: AddrInfo, b: AddrInfo) -> Alias {
+    match (a, b) {
+        (
+            AddrInfo::Exact {
+                global: g1,
+                offset: o1,
+            },
+            AddrInfo::Exact {
+                global: g2,
+                offset: o2,
+            },
+        ) => {
+            if g1 != g2 {
+                Alias::No
+            } else if o1 == o2 {
+                Alias::Must
+            } else if overlaps(o1, o2) {
+                Alias::May
+            } else {
+                Alias::No
+            }
+        }
+        (AddrInfo::Exact { global: g1, .. }, AddrInfo::Base { global: g2 })
+        | (AddrInfo::Base { global: g1 }, AddrInfo::Exact { global: g2, .. })
+        | (AddrInfo::Base { global: g1 }, AddrInfo::Base { global: g2 }) => {
+            if g1 == g2 {
+                Alias::May
+            } else {
+                Alias::No
+            }
+        }
+        (AddrInfo::Unknown, _) | (_, AddrInfo::Unknown) => Alias::May,
+    }
+}
+
+/// Internal resolution value: richer than [`AddrInfo`] because constant
+/// operands must be tracked to fold `Addr + Const` chains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Sym {
+    Const(i32),
+    Exact(usize, i32),
+    Base(usize),
+    Other,
+}
+
+impl Sym {
+    fn info(self) -> AddrInfo {
+        match self {
+            Sym::Exact(global, offset) => AddrInfo::Exact { global, offset },
+            Sym::Base(global) => AddrInfo::Base { global },
+            // A bare constant used as an address is an absolute pointer
+            // into who-knows-what: untraceable.
+            Sym::Const(_) | Sym::Other => AddrInfo::Unknown,
+        }
+    }
+}
+
+/// Per-function address resolution: maps every virtual register to the
+/// [`AddrInfo`] describing the address it may hold.
+///
+/// Registers with several definitions (non-SSA form) resolve to
+/// [`AddrInfo::Unknown`], so the result is conservative — and therefore
+/// sound — on any input, SSA or not.
+#[derive(Debug, Clone, Default)]
+pub struct FnAddrs {
+    sym: BTreeMap<VReg, Sym>,
+}
+
+impl FnAddrs {
+    /// Resolves every register of `f`.
+    pub fn analyze(f: &MirFunction) -> FnAddrs {
+        let mut defs: BTreeMap<VReg, &Inst> = BTreeMap::new();
+        let mut multi: BTreeSet<VReg> = BTreeSet::new();
+        for b in f.block_ids() {
+            for inst in &f.block(b).insts {
+                if let Some(d) = inst.def() {
+                    if defs.insert(d, inst).is_some() {
+                        multi.insert(d);
+                    }
+                }
+            }
+        }
+        let mut out = FnAddrs {
+            sym: BTreeMap::new(),
+        };
+        let mut visiting: BTreeSet<VReg> = BTreeSet::new();
+        for &v in defs.keys() {
+            resolve(v, &defs, &multi, &mut visiting, &mut out.sym);
+        }
+        out
+    }
+
+    /// What the register is known to address.
+    pub fn info(&self, v: VReg) -> AddrInfo {
+        self.sym.get(&v).copied().unwrap_or(Sym::Other).info()
+    }
+}
+
+fn resolve(
+    v: VReg,
+    defs: &BTreeMap<VReg, &Inst>,
+    multi: &BTreeSet<VReg>,
+    visiting: &mut BTreeSet<VReg>,
+    memo: &mut BTreeMap<VReg, Sym>,
+) -> Sym {
+    if let Some(&s) = memo.get(&v) {
+        return s;
+    }
+    // Parameters and undefined registers have no traceable definition;
+    // multiply-defined registers (non-SSA form) and cyclic chains are
+    // given up on rather than reasoned about.
+    let Some(inst) = defs.get(&v) else {
+        memo.insert(v, Sym::Other);
+        return Sym::Other;
+    };
+    if multi.contains(&v) || !visiting.insert(v) {
+        memo.insert(v, Sym::Other);
+        return Sym::Other;
+    }
+    let s = match inst {
+        Inst::Const { value, .. } => Sym::Const(*value),
+        Inst::Addr { global, offset, .. } => Sym::Exact(*global, *offset),
+        Inst::Copy { src, .. } => resolve(*src, defs, multi, visiting, memo),
+        Inst::Bin { op, lhs, rhs, .. } if matches!(op, BinOp::Add | BinOp::Sub) => {
+            let l = resolve(*lhs, defs, multi, visiting, memo);
+            let r = resolve(*rhs, defs, multi, visiting, memo);
+            combine(*op, l, r)
+        }
+        Inst::Phi { args, .. } => {
+            let mut acc: Option<Sym> = None;
+            for (_, a) in args {
+                let s = resolve(*a, defs, multi, visiting, memo);
+                acc = Some(match acc {
+                    None => s,
+                    Some(prev) => meet(prev, s),
+                });
+                if acc == Some(Sym::Other) {
+                    break;
+                }
+            }
+            acc.unwrap_or(Sym::Other)
+        }
+        _ => Sym::Other,
+    };
+    visiting.remove(&v);
+    memo.insert(v, s);
+    s
+}
+
+/// Folds `Add`/`Sub` over resolution values. Anything that leaves the
+/// "one root plus an offset" shape — summing two addresses, negating one
+/// — degrades to [`Sym::Other`].
+fn combine(op: BinOp, l: Sym, r: Sym) -> Sym {
+    let sub = op == BinOp::Sub;
+    match (l, r) {
+        (Sym::Const(a), Sym::Const(b)) => Sym::Const(if sub {
+            a.wrapping_sub(b)
+        } else {
+            a.wrapping_add(b)
+        }),
+        (Sym::Exact(g, o), Sym::Const(c)) => Sym::Exact(
+            g,
+            if sub {
+                o.wrapping_sub(c)
+            } else {
+                o.wrapping_add(c)
+            },
+        ),
+        // `Const + Addr` commutes; `Const - Addr` is a negated address.
+        (Sym::Const(c), Sym::Exact(g, o)) if !sub => Sym::Exact(g, o.wrapping_add(c)),
+        // A run-time term added to (or subtracted from) a rooted address
+        // keeps the root; two roots, or a root on the right of a `Sub`,
+        // do not.
+        (Sym::Exact(g, _) | Sym::Base(g), Sym::Const(_) | Sym::Other) => Sym::Base(g),
+        (Sym::Const(_) | Sym::Other, Sym::Exact(g, _) | Sym::Base(g)) if !sub => Sym::Base(g),
+        _ => Sym::Other,
+    }
+}
+
+/// The φ-meet of two resolution values: equal values survive, same-root
+/// addresses degrade to the root, everything else to [`Sym::Other`].
+fn meet(a: Sym, b: Sym) -> Sym {
+    if a == b {
+        return a;
+    }
+    match (a, b) {
+        (Sym::Exact(g1, _) | Sym::Base(g1), Sym::Exact(g2, _) | Sym::Base(g2)) if g1 == g2 => {
+            Sym::Base(g1)
+        }
+        _ => Sym::Other,
+    }
+}
+
+/// What a loop body can do to memory: the clobber summary load-hoisting
+/// LICM checks a candidate load against.
+#[derive(Debug, Clone, Default)]
+pub struct LoopClobbers {
+    /// A store through an untraceable address exists: everything may be
+    /// written.
+    pub unknown_store: bool,
+    /// A `Call`/`CallInd` exists: every *mutable* global may be written
+    /// (externs are memory-transparent, see the module docs).
+    pub has_call: bool,
+    /// Cells written through exact addresses.
+    pub stored_exact: BTreeSet<(usize, i32)>,
+    /// Globals written through rooted run-time addresses.
+    pub stored_bases: BTreeSet<usize>,
+}
+
+impl LoopClobbers {
+    /// Summarizes the stores and calls of the given blocks.
+    pub fn summarize(f: &MirFunction, body: &BTreeSet<BlockId>, addrs: &FnAddrs) -> LoopClobbers {
+        let mut c = LoopClobbers::default();
+        for &b in body {
+            for inst in &f.block(b).insts {
+                match inst {
+                    Inst::Store { addr, .. } => match addrs.info(*addr) {
+                        AddrInfo::Exact { global, offset } => {
+                            c.stored_exact.insert((global, offset));
+                        }
+                        AddrInfo::Base { global } => {
+                            c.stored_bases.insert(global);
+                        }
+                        AddrInfo::Unknown => c.unknown_store = true,
+                    },
+                    Inst::Call { .. } | Inst::CallInd { .. } => c.has_call = true,
+                    _ => {}
+                }
+            }
+        }
+        c
+    }
+
+    /// `true` if a load from `info` may observe a write performed inside
+    /// the summarized blocks.
+    pub fn clobbers(&self, info: AddrInfo, model: &MemoryModel) -> bool {
+        if self.unknown_store {
+            return true;
+        }
+        match info {
+            AddrInfo::Exact { global, offset } => {
+                (self.has_call && !model.is_rodata(global))
+                    || self.stored_bases.contains(&global)
+                    || self
+                        .stored_exact
+                        .iter()
+                        .any(|&(g, o)| g == global && overlaps(o, offset))
+            }
+            AddrInfo::Base { global } => {
+                (self.has_call && !model.is_rodata(global))
+                    || self.stored_bases.contains(&global)
+                    || self.stored_exact.iter().any(|(g, _)| *g == global)
+            }
+            AddrInfo::Unknown => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mir::{Block, GlobalData, Term, Word};
+
+    fn func(insts: Vec<Inst>) -> MirFunction {
+        MirFunction {
+            name: "m".into(),
+            params: 1,
+            returns_value: false,
+            exported: true,
+            blocks: vec![Block {
+                insts,
+                term: Term::Ret(None),
+            }],
+            next_vreg: 32,
+        }
+    }
+
+    #[test]
+    fn resolves_addr_const_chains_to_exact_cells() {
+        let f = func(vec![
+            Inst::Addr {
+                dst: VReg(1),
+                global: 0,
+                offset: 4,
+            },
+            Inst::Const {
+                dst: VReg(2),
+                value: 8,
+            },
+            Inst::Bin {
+                op: BinOp::Add,
+                dst: VReg(3),
+                lhs: VReg(1),
+                rhs: VReg(2),
+            },
+            Inst::Bin {
+                op: BinOp::Sub,
+                dst: VReg(4),
+                lhs: VReg(3),
+                rhs: VReg(2),
+            },
+            Inst::Copy {
+                dst: VReg(5),
+                src: VReg(4),
+            },
+        ]);
+        let a = FnAddrs::analyze(&f);
+        assert_eq!(
+            a.info(VReg(3)),
+            AddrInfo::Exact {
+                global: 0,
+                offset: 12
+            }
+        );
+        assert_eq!(
+            a.info(VReg(5)),
+            AddrInfo::Exact {
+                global: 0,
+                offset: 4
+            }
+        );
+    }
+
+    #[test]
+    fn runtime_index_keeps_the_root() {
+        // addr = &g1 + (v0 * 4): rooted at g1, offset unknown.
+        let f = func(vec![
+            Inst::Addr {
+                dst: VReg(1),
+                global: 1,
+                offset: 0,
+            },
+            Inst::Const {
+                dst: VReg(2),
+                value: 4,
+            },
+            Inst::Bin {
+                op: BinOp::Mul,
+                dst: VReg(3),
+                lhs: VReg(0),
+                rhs: VReg(2),
+            },
+            Inst::Bin {
+                op: BinOp::Add,
+                dst: VReg(4),
+                lhs: VReg(1),
+                rhs: VReg(3),
+            },
+        ]);
+        let a = FnAddrs::analyze(&f);
+        assert_eq!(a.info(VReg(4)), AddrInfo::Base { global: 1 });
+        // The scaled index itself has no root.
+        assert_eq!(a.info(VReg(3)), AddrInfo::Unknown);
+        // Parameters are untraceable.
+        assert_eq!(a.info(VReg(0)), AddrInfo::Unknown);
+    }
+
+    #[test]
+    fn multiply_defined_registers_resolve_unknown() {
+        let mut f = func(vec![
+            Inst::Addr {
+                dst: VReg(1),
+                global: 0,
+                offset: 0,
+            },
+            Inst::Addr {
+                dst: VReg(1),
+                global: 1,
+                offset: 0,
+            },
+        ]);
+        f.next_vreg = 2;
+        let a = FnAddrs::analyze(&f);
+        assert_eq!(a.info(VReg(1)), AddrInfo::Unknown);
+    }
+
+    #[test]
+    fn phi_meets_addresses() {
+        let f = func(vec![
+            Inst::Addr {
+                dst: VReg(1),
+                global: 0,
+                offset: 0,
+            },
+            Inst::Addr {
+                dst: VReg(2),
+                global: 0,
+                offset: 4,
+            },
+            Inst::Phi {
+                dst: VReg(3),
+                args: vec![(BlockId(0), VReg(1)), (BlockId(0), VReg(2))],
+            },
+            Inst::Phi {
+                dst: VReg(4),
+                args: vec![(BlockId(0), VReg(1)), (BlockId(0), VReg(1))],
+            },
+        ]);
+        let a = FnAddrs::analyze(&f);
+        assert_eq!(a.info(VReg(3)), AddrInfo::Base { global: 0 });
+        assert_eq!(
+            a.info(VReg(4)),
+            AddrInfo::Exact {
+                global: 0,
+                offset: 0
+            }
+        );
+    }
+
+    #[test]
+    fn alias_relation_matches_the_model() {
+        let e = |g, o| AddrInfo::Exact {
+            global: g,
+            offset: o,
+        };
+        let b = |g| AddrInfo::Base { global: g };
+        assert_eq!(alias(e(0, 4), e(0, 4)), Alias::Must);
+        assert_eq!(alias(e(0, 4), e(0, 8)), Alias::No);
+        assert_eq!(alias(e(0, 4), e(1, 4)), Alias::No);
+        assert_eq!(alias(e(0, 4), b(0)), Alias::May);
+        assert_eq!(alias(e(0, 4), b(1)), Alias::No);
+        assert_eq!(alias(b(0), b(0)), Alias::May);
+        assert_eq!(alias(b(0), AddrInfo::Unknown), Alias::May);
+        // Word accesses at byte granularity: offsets less than a word
+        // apart partially overlap in both directions.
+        assert_eq!(alias(e(0, 0), e(0, 2)), Alias::May);
+        assert_eq!(alias(e(0, 5), e(0, 2)), Alias::May);
+        assert_eq!(alias(e(0, 2), e(0, 6)), Alias::No);
+        assert_eq!(alias(e(0, i32::MAX), e(0, i32::MIN)), Alias::May);
+    }
+
+    #[test]
+    fn overlap_distance_is_wrapping_safe() {
+        assert!(overlaps(0, 0));
+        assert!(overlaps(0, 3) && overlaps(3, 0));
+        assert!(!overlaps(0, 4) && !overlaps(4, 0));
+        assert!(overlaps(i32::MAX, i32::MIN), "adjacent across the wrap");
+        assert!(!overlaps(i32::MIN, 4));
+    }
+
+    #[test]
+    fn memory_model_knows_rodata() {
+        let program = Program {
+            functions: vec![],
+            globals: vec![
+                GlobalData {
+                    name: "ctx".into(),
+                    size: 8,
+                    words: vec![Word::Int(0), Word::Int(0)],
+                    mutable: true,
+                },
+                GlobalData {
+                    name: "tbl".into(),
+                    size: 4,
+                    words: vec![Word::Int(1)],
+                    mutable: false,
+                },
+            ],
+            externs: vec![],
+        };
+        let m = MemoryModel::of(&program);
+        assert!(!m.is_rodata(0));
+        assert!(m.is_rodata(1));
+        assert!(!m.is_rodata(7), "unknown globals are treated as mutable");
+        assert!(!MemoryModel::default().is_rodata(0));
+    }
+
+    #[test]
+    fn loop_clobbers_distinguish_cells_and_roots() {
+        let f = func(vec![
+            Inst::Addr {
+                dst: VReg(1),
+                global: 0,
+                offset: 0,
+            },
+            Inst::Store {
+                addr: VReg(1),
+                src: VReg(0),
+            },
+        ]);
+        let addrs = FnAddrs::analyze(&f);
+        let body: BTreeSet<BlockId> = BTreeSet::from([BlockId(0)]);
+        let c = LoopClobbers::summarize(&f, &body, &addrs);
+        let model = MemoryModel::default();
+        assert!(c.clobbers(
+            AddrInfo::Exact {
+                global: 0,
+                offset: 0
+            },
+            &model
+        ));
+        assert!(
+            c.clobbers(
+                AddrInfo::Exact {
+                    global: 0,
+                    offset: 2
+                },
+                &model
+            ),
+            "sub-word overlap with the stored cell clobbers"
+        );
+        assert!(!c.clobbers(
+            AddrInfo::Exact {
+                global: 0,
+                offset: 4
+            },
+            &model
+        ));
+        assert!(!c.clobbers(AddrInfo::Base { global: 1 }, &model));
+        assert!(c.clobbers(AddrInfo::Base { global: 0 }, &model));
+        assert!(c.clobbers(AddrInfo::Unknown, &model));
+    }
+
+    #[test]
+    fn calls_clobber_mutable_globals_only() {
+        let f = func(vec![Inst::Call {
+            dst: None,
+            func: 0,
+            args: vec![],
+        }]);
+        let addrs = FnAddrs::analyze(&f);
+        let body: BTreeSet<BlockId> = BTreeSet::from([BlockId(0)]);
+        let c = LoopClobbers::summarize(&f, &body, &addrs);
+        let program = Program {
+            functions: vec![],
+            globals: vec![GlobalData {
+                name: "tbl".into(),
+                size: 4,
+                words: vec![Word::Int(1)],
+                mutable: false,
+            }],
+            externs: vec![],
+        };
+        let model = MemoryModel::of(&program);
+        assert!(!c.clobbers(
+            AddrInfo::Exact {
+                global: 0,
+                offset: 0
+            },
+            &model
+        ));
+        assert!(c.clobbers(
+            AddrInfo::Exact {
+                global: 1,
+                offset: 0
+            },
+            &model
+        ));
+    }
+}

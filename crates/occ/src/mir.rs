@@ -323,6 +323,35 @@ impl Inst {
                 | Inst::Phi { .. }
         )
     }
+
+    /// `true` if executing the instruction may read the global data
+    /// image: loads, and calls (the callee may load). Extern calls are
+    /// excluded: the EM32 `Ecall` passes arguments in registers only, so
+    /// a host extern cannot observe memory.
+    pub fn may_read_mem(&self) -> bool {
+        matches!(
+            self,
+            Inst::Load { .. } | Inst::Call { .. } | Inst::CallInd { .. }
+        )
+    }
+
+    /// `true` if executing the instruction may write the global data
+    /// image: stores, and calls (the callee may store). Extern calls are
+    /// excluded for the same reason as in [`Inst::may_read_mem`].
+    pub fn may_write_mem(&self) -> bool {
+        matches!(
+            self,
+            Inst::Store { .. } | Inst::Call { .. } | Inst::CallInd { .. }
+        )
+    }
+
+    /// The register holding the address a load or store accesses.
+    pub fn mem_addr(&self) -> Option<VReg> {
+        match self {
+            Inst::Load { addr, .. } | Inst::Store { addr, .. } => Some(*addr),
+            _ => None,
+        }
+    }
 }
 
 /// A block terminator.
@@ -574,6 +603,36 @@ mod tests {
             args: vec![]
         }
         .is_pure());
+    }
+
+    #[test]
+    fn memory_effect_queries() {
+        let load = Inst::Load {
+            dst: VReg(1),
+            addr: VReg(0),
+        };
+        assert!(load.may_read_mem() && !load.may_write_mem());
+        assert_eq!(load.mem_addr(), Some(VReg(0)));
+        let store = Inst::Store {
+            addr: VReg(2),
+            src: VReg(3),
+        };
+        assert!(store.may_write_mem() && !store.may_read_mem());
+        assert_eq!(store.mem_addr(), Some(VReg(2)));
+        let call = Inst::Call {
+            dst: None,
+            func: 0,
+            args: vec![],
+        };
+        assert!(call.may_read_mem() && call.may_write_mem());
+        assert_eq!(call.mem_addr(), None);
+        // Externs pass registers only (EM32 `Ecall`): memory-transparent.
+        let ext = Inst::CallExtern {
+            dst: None,
+            ext: 0,
+            args: vec![],
+        };
+        assert!(!ext.may_read_mem() && !ext.may_write_mem());
     }
 
     #[test]

@@ -39,11 +39,23 @@
 //!   through branches the dense fold must leave,
 //! * [`copy_propagate`] — transitive copy propagation (`-O2`+),
 //! * [`gvn_cse`] — dominator-scoped global value numbering / common
-//!   subexpression elimination (`-O2`+),
+//!   subexpression elimination (`-O2`+; loads are left to the memory
+//!   passes below),
+//! * [`store_load_forward`] — block-local store-to-load forwarding and
+//!   redundant-load elimination over the tracked memory state of
+//!   [`crate::mem`],
+//! * [`dead_store_elim`] — block-local dead-store elimination (a store
+//!   overwritten before any possible read is dropped),
 //! * [`licm`] — loop-invariant code motion out of natural loops, with
-//!   φ-safe preheader insertion (`-O2`+),
+//!   φ-safe preheader insertion; hoists loads whose address is invariant
+//!   and whose cell the loop body provably leaves alone (`-O2`+),
 //! * [`fold_terminators`] — terminator folding and SSA jump threading,
-//! * [`dead_code_elim`] — removal of unused pure instructions.
+//! * [`dead_code_elim`] — mark-and-sweep removal of pure instructions
+//!   unreachable from the impure/terminator roots.
+//!
+//! Every SSA pass receives the [`mem::MemoryModel`] of the program it
+//! runs inside — the memory passes consult it for rodata facts; the
+//! others ignore it.
 //!
 //! φ-free post passes (run after `ssa::destruct` each outer round):
 //!
@@ -65,6 +77,7 @@ use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
 use crate::cfg;
+use crate::mem;
 use crate::mir::{BinOp, Block, BlockId, Inst, MirFunction, Program, Term, UnOp, VReg, Word};
 use crate::ssa;
 use crate::OptLevel;
@@ -107,6 +120,10 @@ pub mod pass {
     pub const TAIL_MERGE: &str = "tail-merge";
     /// Global value numbering / common-subexpression elimination.
     pub const GVN_CSE: &str = "gvn-cse";
+    /// Store-to-load forwarding and redundant-load elimination.
+    pub const STORE_LOAD_FWD: &str = "store-load-fwd";
+    /// Dead-store elimination.
+    pub const DSE: &str = "dse";
     /// Terminator folding and SSA jump threading.
     pub const TERM_FOLD: &str = "term-fold";
     /// Dead-code elimination.
@@ -182,8 +199,10 @@ impl PipelineStats {
 // ---------------------------------------------------------------------
 
 /// A function-local SSA pass: rewrites the function, returns `true` if
-/// anything changed.
-pub type SsaPass = fn(&mut MirFunction) -> bool;
+/// anything changed. The [`mem::MemoryModel`] carries the program-wide
+/// facts (global mutability) the memory passes consult; passes that do
+/// not reason about memory ignore it.
+pub type SsaPass = fn(&mut MirFunction, &mem::MemoryModel) -> bool;
 
 /// Runs registered SSA passes over functions to a bounded fixed point and
 /// records per-pass [`PassStats`].
@@ -222,9 +241,13 @@ impl PassManager {
             OptLevel::O1 => {
                 // Copy coalescing cleans the construct/destruct φ-copy
                 // round trip without the O2 roster, so O1 can afford a
-                // second outer round.
+                // second outer round. The block-local memory passes are
+                // cheap enough for O1 and directly shrink the
+                // context-variable traffic every generated handler emits.
                 pm.outer_rounds = 2;
                 pm.register(pass::CONST_FOLD, constant_fold);
+                pm.register(pass::STORE_LOAD_FWD, store_load_forward);
+                pm.register(pass::DSE, dead_store_elim);
                 pm.register(pass::TERM_FOLD, fold_terminators);
                 pm.register(pass::DCE, dead_code_elim);
                 pm.register_post(pass::COPY_COALESCE, coalesce_copies);
@@ -236,13 +259,17 @@ impl PassManager {
                 // copies each construct/destruct round introduces. SCCP
                 // leads: it subsumes the dense fold and folds through
                 // branches it must leave, so the dense pass after it is
-                // cheap residue cleanup. LICM runs after GVN so hoisted
-                // values are already canonical.
+                // cheap residue cleanup. The memory passes run after
+                // GVN/CSE (addresses are canonical by then) and before
+                // LICM, so forwarding eats block-local load redundancy
+                // first and LICM hoists only the loads that survive.
                 pm.outer_rounds = 3;
                 pm.register(pass::SCCP, sccp);
                 pm.register(pass::CONST_FOLD, constant_fold);
                 pm.register(pass::COPY_PROP, copy_propagate);
                 pm.register(pass::GVN_CSE, gvn_cse);
+                pm.register(pass::STORE_LOAD_FWD, store_load_forward);
+                pm.register(pass::DSE, dead_store_elim);
                 pm.register(pass::LICM, licm);
                 pm.register(pass::TERM_FOLD, fold_terminators);
                 pm.register(pass::DCE, dead_code_elim);
@@ -273,17 +300,22 @@ impl PassManager {
         self
     }
 
-    /// Runs every function of `program` through [`PassManager::run_function`].
+    /// Runs every function of `program` through
+    /// [`PassManager::run_function`], under the program's
+    /// [`mem::MemoryModel`].
     pub fn run_program(&mut self, program: &mut Program) {
+        let model = mem::MemoryModel::of(program);
         for f in &mut program.functions {
-            self.run_function(f);
+            self.run_function(f, &model);
         }
     }
 
     /// Optimizes one function: bounded outer rounds of φ-free CFG
     /// simplification around an SSA fixed point, then a final cleanup.
+    /// `model` carries the program-wide memory facts the memory passes
+    /// consult (pass [`mem::MemoryModel::default`] for a bare function).
     /// Returns `true` if anything changed.
-    pub fn run_function(&mut self, f: &mut MirFunction) -> bool {
+    pub fn run_function(&mut self, f: &mut MirFunction, model: &mem::MemoryModel) -> bool {
         let mut any = false;
         for _ in 0..self.outer_rounds {
             any |= self.simplify(f);
@@ -293,7 +325,7 @@ impl PassManager {
             let mut ssa_changed = false;
             if !self.ssa_passes.is_empty() {
                 ssa::construct(f);
-                ssa_changed = self.ssa_fixpoint(f);
+                ssa_changed = self.ssa_fixpoint(f, model);
                 ssa::destruct(f);
             }
             // φ-free post passes see destruct's copy residue; they are
@@ -302,7 +334,7 @@ impl PassManager {
             for i in 0..self.post_passes.len() {
                 let (name, p) = self.post_passes[i];
                 let before = f.inst_count();
-                let changed = p(f);
+                let changed = p(f, model);
                 let removed = before.saturating_sub(f.inst_count());
                 self.stats.record(name, changed, removed);
                 any |= changed;
@@ -334,14 +366,14 @@ impl PassManager {
         changed
     }
 
-    fn ssa_fixpoint(&mut self, f: &mut MirFunction) -> bool {
+    fn ssa_fixpoint(&mut self, f: &mut MirFunction, model: &mem::MemoryModel) -> bool {
         let mut any = false;
         for _ in 0..Self::MAX_SSA_ROUNDS {
             let mut round_changed = false;
             for i in 0..self.ssa_passes.len() {
                 let (name, p) = self.ssa_passes[i];
                 let before = f.inst_count();
-                let changed = p(f);
+                let changed = p(f, model);
                 let removed = before.saturating_sub(f.inst_count());
                 self.stats.record(name, changed, removed);
                 round_changed |= changed;
@@ -387,7 +419,7 @@ pub fn run_pipeline(program: &mut Program, level: OptLevel) -> PipelineStats {
 
 /// Propagates and folds constants; folds constant branches. Returns `true`
 /// if anything changed.
-pub fn constant_fold(f: &mut MirFunction) -> bool {
+pub fn constant_fold(f: &mut MirFunction, _model: &mem::MemoryModel) -> bool {
     let mut known: BTreeMap<VReg, i32> = BTreeMap::new();
     let mut changed = false;
     // SSA: each def has one value; iterate to a fixpoint to flow through
@@ -675,7 +707,7 @@ impl SccpState<'_> {
 /// [`fold_terminators`] would clean up afterwards), never-executable
 /// blocks are removed, and φ-arguments of dropped edges are pruned.
 /// Returns `true` if anything changed.
-pub fn sccp(f: &mut MirFunction) -> bool {
+pub fn sccp(f: &mut MirFunction, _model: &mem::MemoryModel) -> bool {
     // Use lists, so lattice drops re-queue exactly the affected users.
     let mut inst_users: BTreeMap<VReg, Vec<(BlockId, usize)>> = BTreeMap::new();
     let mut term_users: BTreeMap<VReg, Vec<BlockId>> = BTreeMap::new();
@@ -781,7 +813,7 @@ fn prune_phi_args(f: &mut MirFunction) {
 // ---------------------------------------------------------------------
 
 /// Replaces uses of copies with their (transitively resolved) sources.
-pub fn copy_propagate(f: &mut MirFunction) -> bool {
+pub fn copy_propagate(f: &mut MirFunction, _model: &mem::MemoryModel) -> bool {
     let mut alias: BTreeMap<VReg, VReg> = BTreeMap::new();
     for b in f.block_ids().collect::<Vec<_>>() {
         for inst in &f.block(b).insts {
@@ -849,9 +881,11 @@ enum GvnKey {
 /// `Copy` from that definition; copy propagation and DCE then erase the
 /// leftovers. Operands are canonicalized through already-discovered
 /// value leaders (and by operand order for commutative operators), so
-/// second-order redundancies fall in one sweep. Returns `true` if
-/// anything changed.
-pub fn gvn_cse(f: &mut MirFunction) -> bool {
+/// second-order redundancies fall in one sweep. Loads are deliberately
+/// not value-numbered — block-local load redundancy is
+/// [`store_load_forward`]'s job, which tracks clobbers. Returns `true`
+/// if anything changed.
+pub fn gvn_cse(f: &mut MirFunction, _model: &mem::MemoryModel) -> bool {
     let idom = cfg::dominators(f);
     let children = cfg::dominator_tree_children(&idom);
     let mut table: BTreeMap<GvnKey, VReg> = BTreeMap::new();
@@ -926,6 +960,135 @@ fn gvn_walk(
 }
 
 // ---------------------------------------------------------------------
+// Store-to-load forwarding / redundant-load elimination (block-local)
+// ---------------------------------------------------------------------
+
+/// Block-local store-to-load forwarding and redundant-load elimination
+/// over a tracked memory state. Walking each block forward, the pass
+/// remembers which register holds the current content of every exactly
+/// addressed cell ([`mem::AddrInfo::Exact`]) — from a store's source or
+/// a previous load's destination — and rewrites a later load of the same
+/// cell into a `Copy` (copy propagation and DCE then erase it). The
+/// aliasing discipline is [`mem::alias`]: an exact store invalidates
+/// its own cell and any tracked cell within a word of it (accesses are
+/// words at byte granularity, so near offsets partially overlap), a
+/// rooted run-time store invalidates its global, an untraceable store
+/// invalidates everything. `Call`/`CallInd` invalidate
+/// every mutable global's cells (rodata survives: no callee can store to
+/// a `const` global); `CallExtern` invalidates nothing (the EM32 `Ecall`
+/// passes registers only). This is the pass that shrinks the
+/// load-global → test → store-global context traffic every generated
+/// handler emits. Returns `true` if anything changed.
+///
+/// Sound on any form: multiply-defined registers resolve to
+/// [`mem::AddrInfo::Unknown`], and a redefinition of a tracked value
+/// register drops its cells, so non-SSA input merely loses precision.
+pub fn store_load_forward(f: &mut MirFunction, model: &mem::MemoryModel) -> bool {
+    let addrs = mem::FnAddrs::analyze(f);
+    let mut changed = false;
+    for b in f.block_ids().collect::<Vec<_>>() {
+        // (global, offset) -> register holding that cell's content here.
+        let mut cells: BTreeMap<(usize, i32), VReg> = BTreeMap::new();
+        for inst in &mut f.block_mut(b).insts {
+            // Forward first: the rewrite must see the state *before* this
+            // instruction's own definition invalidates anything.
+            if let Inst::Load { dst, addr } = *inst {
+                if let mem::AddrInfo::Exact { global, offset } = addrs.info(addr) {
+                    if let Some(&v) = cells.get(&(global, offset)) {
+                        *inst = Inst::Copy { dst, src: v };
+                        changed = true;
+                    }
+                }
+            }
+            // A redefinition of a tracked value register makes the
+            // remembered content stale (only possible off SSA form).
+            if let Some(d) = inst.def() {
+                cells.retain(|_, v| *v != d);
+            }
+            match inst {
+                Inst::Load { dst, addr } => {
+                    if let mem::AddrInfo::Exact { global, offset } = addrs.info(*addr) {
+                        cells.insert((global, offset), *dst);
+                    }
+                }
+                Inst::Store { addr, src } => match addrs.info(*addr) {
+                    mem::AddrInfo::Exact { global, offset } => {
+                        // Accesses are words at byte granularity: the
+                        // store also corrupts any tracked cell within a
+                        // word of its offset.
+                        cells.retain(|&(g, o), _| g != global || !mem::overlaps(o, offset));
+                        cells.insert((global, offset), *src);
+                    }
+                    mem::AddrInfo::Base { global } => {
+                        cells.retain(|(g, _), _| *g != global);
+                    }
+                    mem::AddrInfo::Unknown => cells.clear(),
+                },
+                i if i.may_write_mem() => {
+                    cells.retain(|(g, _), _| model.is_rodata(*g));
+                }
+                _ => {}
+            }
+        }
+    }
+    changed
+}
+
+// ---------------------------------------------------------------------
+// Dead-store elimination (block-local)
+// ---------------------------------------------------------------------
+
+/// Block-local dead-store elimination: a store to an exactly addressed
+/// cell that is overwritten by a later store to the same cell — with no
+/// possible read of the cell in between — is dropped. Walking each block
+/// backward, the pass carries the set of cells certain to be overwritten
+/// before any read: a store inserts its cell (or dies against it), a
+/// read removes what it may alias (a call may read everything; an extern
+/// cannot read memory at all), and the set starts empty at the block end
+/// because memory is live across blocks and calls. Returns `true` if
+/// anything changed.
+pub fn dead_store_elim(f: &mut MirFunction, _model: &mem::MemoryModel) -> bool {
+    let addrs = mem::FnAddrs::analyze(f);
+    let mut changed = false;
+    for b in f.block_ids().collect::<Vec<_>>() {
+        let blk = f.block_mut(b);
+        let mut overwritten: BTreeSet<(usize, i32)> = BTreeSet::new();
+        let mut kept_rev: Vec<Inst> = Vec::with_capacity(blk.insts.len());
+        for inst in std::mem::take(&mut blk.insts).into_iter().rev() {
+            match &inst {
+                Inst::Store { addr, .. } => {
+                    // Stores read no memory, so even an untraceable store
+                    // leaves the overwritten set intact.
+                    if let mem::AddrInfo::Exact { global, offset } = addrs.info(*addr) {
+                        if !overwritten.insert((global, offset)) {
+                            changed = true;
+                            continue; // dead: surely overwritten unread
+                        }
+                    }
+                }
+                Inst::Load { addr, .. } => match addrs.info(*addr) {
+                    mem::AddrInfo::Exact { global, offset } => {
+                        // The word read touches every cell within a word
+                        // of its offset (byte-granular addressing).
+                        overwritten.retain(|&(g, o)| g != global || !mem::overlaps(o, offset));
+                    }
+                    mem::AddrInfo::Base { global } => {
+                        overwritten.retain(|(g, _)| *g != global);
+                    }
+                    mem::AddrInfo::Unknown => overwritten.clear(),
+                },
+                i if i.may_read_mem() => overwritten.clear(),
+                _ => {}
+            }
+            kept_rev.push(inst);
+        }
+        kept_rev.reverse();
+        blk.insts = kept_rev;
+    }
+    changed
+}
+
+// ---------------------------------------------------------------------
 // Loop-invariant code motion (on SSA)
 // ---------------------------------------------------------------------
 
@@ -935,21 +1098,27 @@ fn gvn_walk(
 /// reusing an existing unique outside predecessor that already ends in a
 /// `Goto` to the header, otherwise inserting a fresh block and φ-safely
 /// collapsing the header φs' outside arguments through it — and every
-/// pure, memory-free instruction whose operands are defined outside the
-/// loop (or themselves hoisted) moves there. EM32 arithmetic never traps
+/// pure instruction whose operands are defined outside the loop (or
+/// themselves hoisted) moves there. EM32 arithmetic never traps
 /// (division by zero yields zero), so speculatively executing a hoisted
-/// instruction once in the preheader is always safe. The state-machine
-/// dispatch loops of the STT pattern — invariant table-address
-/// arithmetic recomputed every iteration — are the designed beneficiary.
-/// Returns `true` if anything changed.
-pub fn licm(f: &mut MirFunction) -> bool {
+/// instruction once in the preheader is always safe; a `Load` is
+/// additionally hoisted only when its address resolves to a rooted cell
+/// ([`mem::AddrInfo`], rooted loads never fault) that no store or call
+/// in the loop body can clobber ([`mem::LoopClobbers`]) — the
+/// memory-aware extension that lifts the state/context reads out of the
+/// STT dispatch loops, whose rodata rule tables survive even the guard
+/// and effect calls in the body. The state-machine dispatch loops of the
+/// STT pattern — invariant table-address arithmetic recomputed every
+/// iteration — are the designed beneficiary. Returns `true` if anything
+/// changed.
+pub fn licm(f: &mut MirFunction, model: &mem::MemoryModel) -> bool {
     let mut changed = false;
     // One loop is transformed per step and loops are re-discovered, so
     // body sets stay exact after each preheader insertion. Terminates
     // because every step moves ≥1 instruction strictly outward; the
     // bound is defensive.
     for _ in 0..1000 {
-        if !licm_step(f) {
+        if !licm_step(f, model) {
             break;
         }
         changed = true;
@@ -958,8 +1127,12 @@ pub fn licm(f: &mut MirFunction) -> bool {
 }
 
 /// Hoists out of the first (innermost) loop with invariant work.
-fn licm_step(f: &mut MirFunction) -> bool {
+fn licm_step(f: &mut MirFunction, model: &mem::MemoryModel) -> bool {
     let loops = cfg::natural_loops(f);
+    if loops.is_empty() {
+        return false; // loop-free: skip the address analysis entirely
+    }
+    let addrs = mem::FnAddrs::analyze(f);
     for lp in &loops {
         if lp.header == BlockId(0) {
             // A back edge onto the entry block has no spot for a
@@ -967,7 +1140,7 @@ fn licm_step(f: &mut MirFunction) -> bool {
             // this shape, random MIR can.
             continue;
         }
-        let hoist = invariant_defs(f, lp);
+        let hoist = invariant_defs(f, lp, model, &addrs);
         if hoist.is_empty() {
             continue;
         }
@@ -981,16 +1154,29 @@ fn licm_step(f: &mut MirFunction) -> bool {
 }
 
 /// The set of loop-defined registers whose defining instructions should
-/// be hoisted: pure, memory-free, not φs, with every operand defined
-/// outside the loop or by another hoistable instruction — *seeded from
-/// the instructions worth paying a register for*. Seeds are `Un`/`Bin`
-/// computations plus `Addr`/`FnAddr` address formation (EM32's 8-byte
-/// worst-case instruction, re-formed every iteration in the STT
-/// dispatch loops). A `Const` or `Copy` is as cheap to rematerialize as
-/// to read back, so hoisting one on its own only stretches a live range
-/// across the loop and invites spills (EM32 has seven allocatable
-/// registers); those move only as operands of a hoisted seed.
-fn invariant_defs(f: &MirFunction, lp: &cfg::NaturalLoop) -> BTreeSet<VReg> {
+/// be hoisted: pure, not φs, with every operand defined outside the loop
+/// or by another hoistable instruction — *seeded from the instructions
+/// worth paying a register for*. Seeds are `Un`/`Bin` computations,
+/// `Addr`/`FnAddr` address formation (EM32's 8-byte worst-case
+/// instruction, re-formed every iteration in the STT dispatch loops) and
+/// clobber-free `Load`s. A `Const` or `Copy` is as cheap to
+/// rematerialize as to read back, so hoisting one on its own only
+/// stretches a live range across the loop and invites spills (EM32 has
+/// seven allocatable registers); those move only as operands of a
+/// hoisted seed.
+///
+/// A `Load` qualifies only if its address resolves to a rooted cell the
+/// loop body provably leaves alone: no may-aliasing store, and no
+/// `Call`/`CallInd` when the root is mutable (rodata roots survive calls
+/// — `tlang` rejects stores to `const` globals, so no callee can write
+/// them; externs are memory-transparent). Rooted addresses stay inside
+/// the data image, so the speculative preheader execution cannot fault.
+fn invariant_defs(
+    f: &MirFunction,
+    lp: &cfg::NaturalLoop,
+    model: &mem::MemoryModel,
+    addrs: &mem::FnAddrs,
+) -> BTreeSet<VReg> {
     let mut loop_def: BTreeMap<VReg, &Inst> = BTreeMap::new();
     for &b in &lp.body {
         for inst in &f.block(b).insts {
@@ -999,14 +1185,20 @@ fn invariant_defs(f: &MirFunction, lp: &cfg::NaturalLoop) -> BTreeSet<VReg> {
             }
         }
     }
+    let clobbers = mem::LoopClobbers::summarize(f, &lp.body, addrs);
+    let load_movable = |inst: &Inst| match inst {
+        Inst::Load { addr, .. } => {
+            let info = addrs.info(*addr);
+            info != mem::AddrInfo::Unknown && !clobbers.clobbers(info, model)
+        }
+        _ => true,
+    };
     // Fixpoint: everything that *could* move.
     let mut hoistable: BTreeSet<VReg> = BTreeSet::new();
     loop {
         let mut grew = false;
         for inst in loop_def.values() {
-            // `Load`s are excluded even though `is_pure`: a store in the
-            // loop body may change what they read.
-            if matches!(inst, Inst::Phi { .. } | Inst::Load { .. }) || !inst.is_pure() {
+            if matches!(inst, Inst::Phi { .. }) || !inst.is_pure() || !load_movable(inst) {
                 continue;
             }
             let Some(d) = inst.def() else { continue };
@@ -1034,7 +1226,13 @@ fn invariant_defs(f: &MirFunction, lp: &cfg::NaturalLoop) -> BTreeSet<VReg> {
         .filter(|d| {
             matches!(
                 loop_def.get(d),
-                Some(Inst::Un { .. } | Inst::Bin { .. } | Inst::Addr { .. } | Inst::FnAddr { .. })
+                Some(
+                    Inst::Un { .. }
+                        | Inst::Bin { .. }
+                        | Inst::Addr { .. }
+                        | Inst::FnAddr { .. }
+                        | Inst::Load { .. }
+                )
             )
         })
         .collect();
@@ -1167,7 +1365,7 @@ fn hoist_insts(f: &mut MirFunction, lp: &cfg::NaturalLoop, pre: BlockId, hoist: 
 /// φ-arguments of blocks that lose duplicate incoming edges are
 /// deduplicated, and blocks made unreachable are removed. Returns `true`
 /// if anything changed.
-pub fn fold_terminators(f: &mut MirFunction) -> bool {
+pub fn fold_terminators(f: &mut MirFunction, _model: &mem::MemoryModel) -> bool {
     let mut changed = false;
 
     // 1. Collapse redundant multi-way terminators.
@@ -1291,41 +1489,46 @@ fn dedup_phi_args(f: &mut MirFunction) {
 // Dead code elimination (on SSA)
 // ---------------------------------------------------------------------
 
-/// Removes pure instructions whose results are never used. This is the
-/// per-function analogue of the paper's "dead code elimination" dump: it
-/// cannot remove state-machine handler bodies because they are reached
-/// through stores, calls and address-taken tables.
-pub fn dead_code_elim(f: &mut MirFunction) -> bool {
+/// Removes pure instructions whose results cannot reach an effect:
+/// mark-and-sweep from the roots (registers read by impure instructions
+/// and terminators), with liveness propagating through the operands of
+/// live pure definitions only. Counting uses *anywhere* — the previous
+/// formulation — kept self-sustaining dead φ-cycles alive: a loop-carried
+/// φ whose only users feed back into it uses itself, so no round of a
+/// use-count sweep could retire it; marking from roots sweeps the whole
+/// cycle at once. This is the per-function analogue of the paper's "dead
+/// code elimination" dump: it cannot remove state-machine handler bodies
+/// because they are reached through stores, calls and address-taken
+/// tables.
+pub fn dead_code_elim(f: &mut MirFunction, _model: &mem::MemoryModel) -> bool {
+    // Operand lists of pure definitions; everything read by an impure
+    // instruction or a terminator is a root.
+    let mut pure_uses: BTreeMap<VReg, Vec<VReg>> = BTreeMap::new();
+    let mut work: Vec<VReg> = Vec::new();
+    for b in f.block_ids() {
+        for inst in &f.block(b).insts {
+            match (inst.is_pure(), inst.def()) {
+                (true, Some(d)) => pure_uses.entry(d).or_default().extend(inst.uses()),
+                _ => work.extend(inst.uses()),
+            }
+        }
+        work.extend(f.block(b).term.uses());
+    }
+    let mut live: BTreeSet<VReg> = BTreeSet::new();
+    while let Some(v) = work.pop() {
+        if live.insert(v) {
+            if let Some(us) = pure_uses.get(&v) {
+                work.extend(us.iter().copied());
+            }
+        }
+    }
     let mut changed = false;
-    loop {
-        let mut used: BTreeSet<VReg> = BTreeSet::new();
-        for b in f.block_ids() {
-            for inst in &f.block(b).insts {
-                used.extend(inst.uses());
-            }
-            used.extend(f.block(b).term.uses());
-        }
-        let mut removed = false;
-        for b in f.block_ids().collect::<Vec<_>>() {
-            let blk = f.block_mut(b);
-            let before = blk.insts.len();
-            blk.insts.retain(|inst| {
-                if !inst.is_pure() {
-                    return true;
-                }
-                match inst.def() {
-                    Some(d) => used.contains(&d),
-                    None => true,
-                }
-            });
-            if blk.insts.len() != before {
-                removed = true;
-            }
-        }
-        if !removed {
-            break;
-        }
-        changed = true;
+    for b in f.block_ids().collect::<Vec<_>>() {
+        let blk = f.block_mut(b);
+        let before = blk.insts.len();
+        blk.insts
+            .retain(|inst| !inst.is_pure() || inst.def().is_none_or(|d| live.contains(&d)));
+        changed |= blk.insts.len() != before;
     }
     changed
 }
@@ -1348,7 +1551,7 @@ pub fn dead_code_elim(f: &mut MirFunction) -> bool {
 ///    across blocks.
 ///
 /// Returns `true` if anything changed.
-pub fn coalesce_copies(f: &mut MirFunction) -> bool {
+pub fn coalesce_copies(f: &mut MirFunction, _model: &mem::MemoryModel) -> bool {
     let mut changed = false;
     for b in f.block_ids().collect::<Vec<_>>() {
         let mut avail: BTreeMap<VReg, VReg> = BTreeMap::new();
@@ -1444,7 +1647,7 @@ pub fn coalesce_copies(f: &mut MirFunction) -> bool {
 /// This is what pays for [`licm`]'s register pressure in the size
 /// ledger: the STT dispatch functions all carry two `return false`
 /// blocks (loop exhausted / no transition fired) that merge here.
-pub fn merge_return_blocks(f: &mut MirFunction) -> bool {
+pub fn merge_return_blocks(f: &mut MirFunction, _model: &mem::MemoryModel) -> bool {
     let mut groups: BTreeMap<String, Vec<BlockId>> = BTreeMap::new();
     for b in f.block_ids() {
         if b == BlockId(0) {
@@ -1768,6 +1971,12 @@ mod tests {
     use super::*;
     use crate::mir::{BinOp, Block, GlobalData};
 
+    /// The conservative memory model unit tests drive bare functions
+    /// with: no globals known, everything treated as mutable.
+    fn md() -> mem::MemoryModel {
+        mem::MemoryModel::default()
+    }
+
     fn const_add_fn() -> MirFunction {
         MirFunction {
             name: "f".into(),
@@ -1801,8 +2010,8 @@ mod tests {
     fn constant_folding_collapses_math() {
         let mut f = const_add_fn();
         ssa::construct(&mut f);
-        assert!(constant_fold(&mut f));
-        dead_code_elim(&mut f);
+        assert!(constant_fold(&mut f, &md()));
+        dead_code_elim(&mut f, &md());
         ssa::destruct(&mut f);
         simplify_cfg(&mut f);
         // One Const remains, feeding the return.
@@ -1855,7 +2064,7 @@ mod tests {
             next_vreg: 3,
         };
         ssa::construct(&mut f);
-        constant_fold(&mut f);
+        constant_fold(&mut f, &md());
         ssa::destruct(&mut f);
         simplify_cfg(&mut f);
         assert!(f.blocks.len() <= 2, "constant branch leaves one path: {f}");
@@ -1892,7 +2101,7 @@ mod tests {
             }],
             next_vreg: 3,
         };
-        assert!(dead_code_elim(&mut f));
+        assert!(dead_code_elim(&mut f, &md()));
         assert_eq!(f.blocks[0].insts.len(), 3);
         assert!(f.blocks[0]
             .insts
@@ -2146,7 +2355,7 @@ mod tests {
             next_vreg: 5,
         };
         ssa::construct(&mut f);
-        assert!(gvn_cse(&mut f));
+        assert!(gvn_cse(&mut f, &md()));
         let adds = f.blocks[0]
             .insts
             .iter()
@@ -2154,8 +2363,8 @@ mod tests {
             .count();
         assert_eq!(adds, 1, "commutative duplicate must become a copy: {f}");
         // After copy propagation + DCE the copy disappears entirely.
-        copy_propagate(&mut f);
-        dead_code_elim(&mut f);
+        copy_propagate(&mut f, &md());
+        dead_code_elim(&mut f, &md());
         assert_eq!(f.blocks[0].insts.len(), 2, "{f}");
     }
 
@@ -2199,7 +2408,10 @@ mod tests {
             next_vreg: 4,
         };
         ssa::construct(&mut f);
-        assert!(!gvn_cse(&mut f), "sibling defs must not be merged: {f}");
+        assert!(
+            !gvn_cse(&mut f, &md()),
+            "sibling defs must not be merged: {f}"
+        );
     }
 
     #[test]
@@ -2233,7 +2445,7 @@ mod tests {
             ],
             next_vreg: 1,
         };
-        assert!(fold_terminators(&mut f));
+        assert!(fold_terminators(&mut f, &md()));
         for b in f.block_ids() {
             assert!(
                 matches!(f.block(b).term, Term::Goto(_) | Term::Ret(_)),
@@ -2282,7 +2494,7 @@ mod tests {
             next_vreg: 2,
         };
         ssa::construct(&mut f);
-        assert!(fold_terminators(&mut f));
+        assert!(fold_terminators(&mut f, &md()));
         // The empty forwarding block is gone; the φ still has one argument
         // per incoming edge.
         let preds = cfg::predecessors(&f);
@@ -2304,7 +2516,7 @@ mod tests {
     fn pass_manager_reaches_fixed_point_and_records_stats() {
         let mut pm = PassManager::for_level(OptLevel::O2);
         let mut f = const_add_fn();
-        assert!(pm.run_function(&mut f));
+        assert!(pm.run_function(&mut f, &md()));
         let stats = pm.stats();
         // SCCP leads the -O2 roster, so it (not the dense fold) reports
         // the constant-folding changes; const-fold still runs.
@@ -2319,7 +2531,7 @@ mod tests {
         // registers, so compare shape, not names).
         let (blocks, insts) = (f.blocks.len(), f.inst_count());
         let mut pm2 = PassManager::for_level(OptLevel::O2);
-        assert!(!pm2.run_function(&mut f));
+        assert!(!pm2.run_function(&mut f, &md()));
         assert_eq!(
             (f.blocks.len(), f.inst_count()),
             (blocks, insts),
@@ -2383,7 +2595,7 @@ mod tests {
             next_vreg: 4,
         };
         ssa::construct(&mut f);
-        assert!(sccp(&mut f));
+        assert!(sccp(&mut f, &md()));
         // The never-executable else block is gone; the φ collapsed.
         assert!(f.blocks.len() <= 3, "{f}");
         let folded: Vec<i32> = f
@@ -2403,7 +2615,7 @@ mod tests {
             );
         }
         // Idempotent: a second run reports no change.
-        assert!(!sccp(&mut f), "{f}");
+        assert!(!sccp(&mut f, &md()), "{f}");
     }
 
     #[test]
@@ -2445,7 +2657,7 @@ mod tests {
             next_vreg: 2,
         };
         ssa::construct(&mut f);
-        assert!(!sccp(&mut f), "nothing is provably constant: {f}");
+        assert!(!sccp(&mut f, &md()), "nothing is provably constant: {f}");
         assert_eq!(f.blocks.len(), 4, "no block may be removed: {f}");
     }
 
@@ -2495,7 +2707,7 @@ mod tests {
             next_vreg: 3,
         };
         ssa::construct(&mut f);
-        assert!(sccp(&mut f));
+        assert!(sccp(&mut f, &md()));
         let preds = cfg::predecessors(&f);
         for b in f.block_ids() {
             for inst in &f.block(b).insts {
@@ -2586,7 +2798,7 @@ mod tests {
     fn licm_hoists_invariant_computation_to_preheader() {
         let mut f = licm_example();
         ssa::construct(&mut f);
-        assert!(licm(&mut f));
+        assert!(licm(&mut f, &md()));
         let loops = cfg::natural_loops(&f);
         assert_eq!(loops.len(), 1, "{f}");
         // The multiplication left the loop body...
@@ -2614,7 +2826,7 @@ mod tests {
             "hoisted code must dominate the loop header: {f}"
         );
         // Idempotent.
-        assert!(!licm(&mut f), "{f}");
+        assert!(!licm(&mut f, &md()), "{f}");
         // And the loop-varying add stayed put.
         let body_has_add = loops[0].body.iter().any(|b| {
             f.block(*b)
@@ -2636,7 +2848,7 @@ mod tests {
             addr: VReg(3),
         };
         ssa::construct(&mut f);
-        licm(&mut f);
+        licm(&mut f, &md());
         let loops = cfg::natural_loops(&f);
         assert_eq!(loops.len(), 1);
         let body_has_load = loops[0].body.iter().any(|b| {
@@ -2736,7 +2948,7 @@ mod tests {
             next_vreg: 7,
         };
         ssa::construct(&mut f);
-        assert!(licm(&mut f));
+        assert!(licm(&mut f, &md()));
         // SSA still holds: every def unique, every φ-arg pred is a real
         // predecessor.
         let mut defs = BTreeSet::new();
@@ -2800,7 +3012,7 @@ mod tests {
             }],
             next_vreg: 5,
         };
-        assert!(coalesce_copies(&mut f));
+        assert!(coalesce_copies(&mut f, &md()));
         assert!(
             !f.blocks[0]
                 .insts
@@ -2849,7 +3061,7 @@ mod tests {
             }],
             next_vreg: 4,
         };
-        assert!(coalesce_copies(&mut f));
+        assert!(coalesce_copies(&mut f, &md()));
         // Semantics: find the extern call and check its args trace back
         // to the swapped sources via the remaining copies.
         let insts = &f.blocks[0].insts;
@@ -2926,7 +3138,7 @@ mod tests {
             ],
             next_vreg: 4,
         };
-        assert!(merge_return_blocks(&mut f));
+        assert!(merge_return_blocks(&mut f, &md()));
         assert_eq!(f.blocks.len(), 4, "one duplicate exit gone: {f}");
         let ret_zero = f
             .block_ids()
@@ -2941,7 +3153,7 @@ mod tests {
         assert_eq!(ret_zero, 1, "{f}");
         // A block returning a *live-in* register must not merge with one
         // returning a local constant.
-        assert!(!merge_return_blocks(&mut f), "idempotent: {f}");
+        assert!(!merge_return_blocks(&mut f, &md()), "idempotent: {f}");
     }
 
     #[test]
@@ -2988,7 +3200,7 @@ mod tests {
             next_vreg: 3,
         };
         assert!(
-            !merge_return_blocks(&mut f),
+            !merge_return_blocks(&mut f, &md()),
             "blocks returning different values must not merge: {f}"
         );
         assert_eq!(f.blocks.len(), 3);
@@ -3023,7 +3235,7 @@ mod tests {
             ],
             next_vreg: 2,
         };
-        assert!(!merge_return_blocks(&mut f), "{f}");
+        assert!(!merge_return_blocks(&mut f, &md()), "{f}");
         assert_eq!(f.blocks.len(), 3);
     }
 
@@ -3071,7 +3283,7 @@ mod tests {
             next_vreg: 2,
         };
         let mut pm = PassManager::for_level(OptLevel::O1);
-        pm.run_function(&mut f);
+        pm.run_function(&mut f, &md());
         let stats = pm.stats();
         let cc = stats.get(pass::COPY_COALESCE).expect("coalesce ran");
         assert!(cc.runs >= 1, "{stats:?}");
@@ -3098,5 +3310,636 @@ mod tests {
             .passes()
             .iter()
             .any(|s| s.runs > 0));
+    }
+
+    #[test]
+    fn dce_sweeps_dead_phi_cycle() {
+        // Regression: a self-sustaining dead φ-cycle. v8/v9 form a
+        // loop-carried accumulator whose only users are each other, so
+        // the old use-count sweep ("used anywhere") never retired them.
+        // The live countdown v3/v4 drives the loop and must survive.
+        let mut f = MirFunction {
+            name: "phi_cycle".into(),
+            params: 0,
+            returns_value: true,
+            exported: true,
+            blocks: vec![
+                Block {
+                    insts: vec![
+                        Inst::Const {
+                            dst: VReg(0),
+                            value: 1,
+                        },
+                        Inst::Const {
+                            dst: VReg(1),
+                            value: 0,
+                        },
+                        Inst::Const {
+                            dst: VReg(2),
+                            value: 5,
+                        },
+                    ],
+                    term: Term::Goto(BlockId(1)),
+                },
+                Block {
+                    insts: vec![
+                        Inst::Phi {
+                            dst: VReg(3),
+                            args: vec![(BlockId(0), VReg(2)), (BlockId(2), VReg(4))],
+                        },
+                        Inst::Phi {
+                            dst: VReg(8),
+                            args: vec![(BlockId(0), VReg(1)), (BlockId(2), VReg(9))],
+                        },
+                        Inst::Bin {
+                            op: BinOp::Gt,
+                            dst: VReg(5),
+                            lhs: VReg(3),
+                            rhs: VReg(1),
+                        },
+                    ],
+                    term: Term::Br {
+                        cond: VReg(5),
+                        then_block: BlockId(2),
+                        else_block: BlockId(3),
+                    },
+                },
+                Block {
+                    insts: vec![
+                        Inst::Bin {
+                            op: BinOp::Sub,
+                            dst: VReg(4),
+                            lhs: VReg(3),
+                            rhs: VReg(0),
+                        },
+                        Inst::Bin {
+                            op: BinOp::Add,
+                            dst: VReg(9),
+                            lhs: VReg(8),
+                            rhs: VReg(0),
+                        },
+                    ],
+                    term: Term::Goto(BlockId(1)),
+                },
+                Block {
+                    insts: vec![],
+                    term: Term::Ret(Some(VReg(3))),
+                },
+            ],
+            next_vreg: 10,
+        };
+        assert!(dead_code_elim(&mut f, &md()), "the cycle must be swept");
+        for b in f.block_ids() {
+            for inst in &f.block(b).insts {
+                let d = inst.def();
+                assert!(
+                    d != Some(VReg(8)) && d != Some(VReg(9)),
+                    "dead φ-cycle survived: {f}"
+                );
+            }
+        }
+        // The live countdown is untouched and the pass is idempotent.
+        assert!(f.blocks[1]
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Phi { dst, .. } if *dst == VReg(3))));
+        assert!(!dead_code_elim(&mut f, &md()), "{f}");
+    }
+
+    /// `store [Addr(0,0)] = v0; loads…` scaffolding for the memory-pass
+    /// tests: one block, externs keep results observable.
+    fn mem_fn(insts: Vec<Inst>, next_vreg: u32) -> MirFunction {
+        MirFunction {
+            name: "mem".into(),
+            params: 1,
+            returns_value: false,
+            exported: true,
+            blocks: vec![Block {
+                insts,
+                term: Term::Ret(None),
+            }],
+            next_vreg,
+        }
+    }
+
+    #[test]
+    fn store_load_forward_forwards_and_dedups() {
+        let mut f = mem_fn(
+            vec![
+                Inst::Addr {
+                    dst: VReg(1),
+                    global: 0,
+                    offset: 0,
+                },
+                Inst::Addr {
+                    dst: VReg(2),
+                    global: 0,
+                    offset: 4,
+                },
+                Inst::Store {
+                    addr: VReg(1),
+                    src: VReg(0),
+                },
+                // Same cell: forwards the stored value.
+                Inst::Load {
+                    dst: VReg(3),
+                    addr: VReg(1),
+                },
+                // Disjoint cell (same global, other offset): first load
+                // is the oracle, second is redundant.
+                Inst::Load {
+                    dst: VReg(4),
+                    addr: VReg(2),
+                },
+                Inst::Load {
+                    dst: VReg(5),
+                    addr: VReg(2),
+                },
+                Inst::CallExtern {
+                    dst: None,
+                    ext: 0,
+                    args: vec![VReg(3), VReg(4), VReg(5)],
+                },
+            ],
+            6,
+        );
+        assert!(store_load_forward(&mut f, &md()));
+        assert_eq!(
+            f.blocks[0].insts[3],
+            Inst::Copy {
+                dst: VReg(3),
+                src: VReg(0)
+            },
+            "{f}"
+        );
+        assert_eq!(
+            f.blocks[0].insts[5],
+            Inst::Copy {
+                dst: VReg(5),
+                src: VReg(4)
+            },
+            "redundant load must copy the first load: {f}"
+        );
+    }
+
+    #[test]
+    fn store_load_forward_clobbers_on_calls_but_not_externs() {
+        let build = |clobber: Inst| {
+            mem_fn(
+                vec![
+                    Inst::Addr {
+                        dst: VReg(1),
+                        global: 0,
+                        offset: 0,
+                    },
+                    Inst::Store {
+                        addr: VReg(1),
+                        src: VReg(0),
+                    },
+                    clobber,
+                    Inst::Load {
+                        dst: VReg(3),
+                        addr: VReg(1),
+                    },
+                    Inst::CallExtern {
+                        dst: None,
+                        ext: 0,
+                        args: vec![VReg(3)],
+                    },
+                ],
+                4,
+            )
+        };
+        // A direct call may store anywhere mutable: no forwarding.
+        let mut with_call = build(Inst::Call {
+            dst: None,
+            func: 1,
+            args: vec![],
+        });
+        assert!(!store_load_forward(&mut with_call, &md()), "{with_call}");
+        // An extern passes registers only: the cell survives.
+        let mut with_ext = build(Inst::CallExtern {
+            dst: None,
+            ext: 0,
+            args: vec![],
+        });
+        assert!(store_load_forward(&mut with_ext, &md()), "{with_ext}");
+        assert_eq!(
+            with_ext.blocks[0].insts[3],
+            Inst::Copy {
+                dst: VReg(3),
+                src: VReg(0)
+            },
+            "{with_ext}"
+        );
+    }
+
+    #[test]
+    fn store_load_forward_rodata_survives_calls() {
+        let program = Program {
+            functions: vec![],
+            globals: vec![GlobalData {
+                name: "tbl".into(),
+                size: 4,
+                words: vec![Word::Int(7)],
+                mutable: false,
+            }],
+            externs: vec![],
+        };
+        let model = mem::MemoryModel::of(&program);
+        let mut f = mem_fn(
+            vec![
+                Inst::Addr {
+                    dst: VReg(1),
+                    global: 0,
+                    offset: 0,
+                },
+                Inst::Load {
+                    dst: VReg(2),
+                    addr: VReg(1),
+                },
+                Inst::Call {
+                    dst: None,
+                    func: 1,
+                    args: vec![],
+                },
+                Inst::Load {
+                    dst: VReg(3),
+                    addr: VReg(1),
+                },
+                Inst::CallExtern {
+                    dst: None,
+                    ext: 0,
+                    args: vec![VReg(2), VReg(3)],
+                },
+            ],
+            4,
+        );
+        assert!(store_load_forward(&mut f, &model));
+        assert_eq!(
+            f.blocks[0].insts[3],
+            Inst::Copy {
+                dst: VReg(3),
+                src: VReg(2)
+            },
+            "rodata cell must survive the call: {f}"
+        );
+    }
+
+    #[test]
+    fn store_load_forward_base_store_invalidates_its_global_only() {
+        let mut f = mem_fn(
+            vec![
+                Inst::Addr {
+                    dst: VReg(1),
+                    global: 0,
+                    offset: 0,
+                },
+                // &g1 + v0: rooted run-time address into global 1.
+                Inst::Addr {
+                    dst: VReg(2),
+                    global: 1,
+                    offset: 0,
+                },
+                Inst::Bin {
+                    op: BinOp::Add,
+                    dst: VReg(3),
+                    lhs: VReg(2),
+                    rhs: VReg(0),
+                },
+                Inst::Store {
+                    addr: VReg(1),
+                    src: VReg(0),
+                },
+                Inst::Store {
+                    addr: VReg(3),
+                    src: VReg(0),
+                },
+                Inst::Load {
+                    dst: VReg(4),
+                    addr: VReg(1),
+                },
+                Inst::CallExtern {
+                    dst: None,
+                    ext: 0,
+                    args: vec![VReg(4)],
+                },
+            ],
+            5,
+        );
+        // The g1-rooted store cannot touch g0's cell: still forwarded.
+        assert!(store_load_forward(&mut f, &md()));
+        assert_eq!(
+            f.blocks[0].insts[5],
+            Inst::Copy {
+                dst: VReg(4),
+                src: VReg(0)
+            },
+            "{f}"
+        );
+    }
+
+    #[test]
+    fn store_load_forward_respects_sub_word_overlap() {
+        // store [g0+0]; store [g0+2] (partially overwrites bytes 2..4);
+        // load [g0+0] must NOT be forwarded: the EM32 word access is
+        // byte-addressed, so offsets less than a word apart alias.
+        let mut f = mem_fn(
+            vec![
+                Inst::Addr {
+                    dst: VReg(1),
+                    global: 0,
+                    offset: 0,
+                },
+                Inst::Addr {
+                    dst: VReg(2),
+                    global: 0,
+                    offset: 2,
+                },
+                Inst::Store {
+                    addr: VReg(1),
+                    src: VReg(0),
+                },
+                Inst::Store {
+                    addr: VReg(2),
+                    src: VReg(0),
+                },
+                Inst::Load {
+                    dst: VReg(3),
+                    addr: VReg(1),
+                },
+                Inst::CallExtern {
+                    dst: None,
+                    ext: 0,
+                    args: vec![VReg(3)],
+                },
+            ],
+            4,
+        );
+        assert!(
+            !store_load_forward(&mut f, &md()),
+            "sub-word overlapping store must kill the tracked cell: {f}"
+        );
+    }
+
+    #[test]
+    fn dead_store_elim_respects_sub_word_overlap() {
+        // store [g0+0]; load [g0+2] (reads bytes 2..4 of the store);
+        // store [g0+0]: the first store is observed, not dead.
+        let mut f = mem_fn(
+            vec![
+                Inst::Addr {
+                    dst: VReg(1),
+                    global: 0,
+                    offset: 0,
+                },
+                Inst::Addr {
+                    dst: VReg(2),
+                    global: 0,
+                    offset: 2,
+                },
+                Inst::Store {
+                    addr: VReg(1),
+                    src: VReg(0),
+                },
+                Inst::Load {
+                    dst: VReg(3),
+                    addr: VReg(2),
+                },
+                Inst::CallExtern {
+                    dst: None,
+                    ext: 0,
+                    args: vec![VReg(3)],
+                },
+                Inst::Store {
+                    addr: VReg(1),
+                    src: VReg(0),
+                },
+            ],
+            4,
+        );
+        assert!(
+            !dead_store_elim(&mut f, &md()),
+            "a partially-read store must survive: {f}"
+        );
+    }
+
+    #[test]
+    fn dead_store_elim_drops_overwritten_unread_stores() {
+        let mut f = mem_fn(
+            vec![
+                Inst::Addr {
+                    dst: VReg(1),
+                    global: 0,
+                    offset: 0,
+                },
+                Inst::Const {
+                    dst: VReg(2),
+                    value: 7,
+                },
+                Inst::Store {
+                    addr: VReg(1),
+                    src: VReg(2),
+                }, // dead: overwritten below, never read
+                Inst::CallExtern {
+                    dst: None,
+                    ext: 0,
+                    args: vec![],
+                }, // externs cannot read memory
+                Inst::Store {
+                    addr: VReg(1),
+                    src: VReg(0),
+                },
+            ],
+            3,
+        );
+        assert!(dead_store_elim(&mut f, &md()));
+        let stores = f.blocks[0]
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Store { .. }))
+            .count();
+        assert_eq!(stores, 1, "{f}");
+        assert!(!dead_store_elim(&mut f, &md()), "idempotent: {f}");
+    }
+
+    #[test]
+    fn dead_store_elim_keeps_stores_that_may_be_read() {
+        let reader = |r: Inst| {
+            mem_fn(
+                vec![
+                    Inst::Addr {
+                        dst: VReg(1),
+                        global: 0,
+                        offset: 0,
+                    },
+                    Inst::Store {
+                        addr: VReg(1),
+                        src: VReg(0),
+                    },
+                    r,
+                    Inst::Store {
+                        addr: VReg(1),
+                        src: VReg(0),
+                    },
+                ],
+                8,
+            )
+        };
+        // A call may read the cell; a load of the same cell does read it.
+        for r in [
+            Inst::Call {
+                dst: None,
+                func: 1,
+                args: vec![],
+            },
+            Inst::Load {
+                dst: VReg(7),
+                addr: VReg(1),
+            },
+        ] {
+            let mut f = reader(r);
+            assert!(!dead_store_elim(&mut f, &md()), "{f}");
+        }
+        // The final store of a block is never dead (memory escapes).
+        let mut tail = mem_fn(
+            vec![
+                Inst::Addr {
+                    dst: VReg(1),
+                    global: 0,
+                    offset: 0,
+                },
+                Inst::Store {
+                    addr: VReg(1),
+                    src: VReg(0),
+                },
+            ],
+            2,
+        );
+        assert!(!dead_store_elim(&mut tail, &md()));
+    }
+
+    /// A countdown loop whose body loads `g0[0]` every iteration; with
+    /// `store_in_body`, the body also stores to that global.
+    fn load_loop(store_in_body: bool) -> MirFunction {
+        let mut body = vec![
+            Inst::Addr {
+                dst: VReg(4),
+                global: 0,
+                offset: 0,
+            },
+            Inst::Load {
+                dst: VReg(5),
+                addr: VReg(4),
+            },
+            Inst::CallExtern {
+                dst: None,
+                ext: 0,
+                args: vec![VReg(5)],
+            },
+            Inst::Bin {
+                op: BinOp::Sub,
+                dst: VReg(0),
+                lhs: VReg(0),
+                rhs: VReg(1),
+            },
+        ];
+        if store_in_body {
+            body.insert(
+                2,
+                Inst::Store {
+                    addr: VReg(4),
+                    src: VReg(0),
+                },
+            );
+        }
+        MirFunction {
+            name: "ll".into(),
+            params: 0,
+            returns_value: false,
+            exported: true,
+            blocks: vec![
+                Block {
+                    insts: vec![
+                        Inst::Const {
+                            dst: VReg(0),
+                            value: 3,
+                        },
+                        Inst::Const {
+                            dst: VReg(1),
+                            value: 1,
+                        },
+                        Inst::Const {
+                            dst: VReg(2),
+                            value: 0,
+                        },
+                    ],
+                    term: Term::Goto(BlockId(1)),
+                },
+                Block {
+                    insts: vec![Inst::Bin {
+                        op: BinOp::Gt,
+                        dst: VReg(3),
+                        lhs: VReg(0),
+                        rhs: VReg(2),
+                    }],
+                    term: Term::Br {
+                        cond: VReg(3),
+                        then_block: BlockId(2),
+                        else_block: BlockId(3),
+                    },
+                },
+                Block {
+                    insts: body,
+                    term: Term::Goto(BlockId(1)),
+                },
+                Block {
+                    insts: vec![],
+                    term: Term::Ret(None),
+                },
+            ],
+            next_vreg: 6,
+        }
+    }
+
+    fn loads_in_loop_bodies(f: &MirFunction) -> usize {
+        let mut in_loops: BTreeSet<BlockId> = BTreeSet::new();
+        for lp in cfg::natural_loops(f) {
+            in_loops.extend(lp.body.iter().copied());
+        }
+        in_loops
+            .iter()
+            .map(|b| {
+                f.block(*b)
+                    .insts
+                    .iter()
+                    .filter(|i| matches!(i, Inst::Load { .. }))
+                    .count()
+            })
+            .sum()
+    }
+
+    #[test]
+    fn licm_hoists_clobber_free_loads() {
+        let mut f = load_loop(false);
+        ssa::construct(&mut f);
+        assert!(licm(&mut f, &md()));
+        assert_eq!(
+            loads_in_loop_bodies(&f),
+            0,
+            "the invariant, unclobbered load must leave the loop: {f}"
+        );
+    }
+
+    #[test]
+    fn licm_keeps_loads_the_loop_clobbers() {
+        let mut f = load_loop(true);
+        ssa::construct(&mut f);
+        licm(&mut f, &md());
+        assert_eq!(
+            loads_in_loop_bodies(&f),
+            1,
+            "a store to the cell pins the load in the body: {f}"
+        );
     }
 }

@@ -228,6 +228,8 @@ fn new_passes_fire_on_sample_machines_at_o2() {
                 "const-fold",
                 "copy-prop",
                 "gvn-cse",
+                "store-load-fwd",
+                "dse",
                 "licm",
                 "term-fold",
                 "dce",
@@ -240,7 +242,15 @@ fn new_passes_fire_on_sample_machines_at_o2() {
             }
         }
     }
-    for name in ["sccp", "licm", "gvn-cse", "term-fold", "copy-coalesce"] {
+    for name in [
+        "sccp",
+        "licm",
+        "gvn-cse",
+        "store-load-fwd",
+        "dse",
+        "term-fold",
+        "copy-coalesce",
+    ] {
         assert!(fired[name], "{name} fired on no sample machine at -O2");
     }
 }
@@ -262,6 +272,92 @@ fn licm_fires_on_every_stt_dispatch_loop_at_o2() {
         assert!(
             licm.changes > 0,
             "licm must hoist out of {}'s STT dispatch loop",
+            machine.name()
+        );
+    }
+}
+
+#[test]
+fn store_load_forward_fires_on_every_stt_cell_at_o2() {
+    // Every generated handler emits load-global → test → store-global
+    // context traffic; block-local store-to-load forwarding (plus
+    // redundant-load elimination) must catch some of it on *every*
+    // sample machine's STT build — the tentpole's acceptance criterion.
+    for machine in [
+        samples::flat_unreachable(),
+        samples::hierarchical_never_active(),
+        samples::cruise_control(),
+        samples::protocol_handler(),
+    ] {
+        let generated = cgen::generate(&machine, Pattern::StateTable).expect("generates");
+        let artifact = occ::compile(&generated.module, OptLevel::O2).expect("compiles");
+        let slf = artifact
+            .pass_stats()
+            .get("store-load-fwd")
+            .expect("store-load-fwd ran");
+        assert!(
+            slf.changes > 0,
+            "store-to-load forwarding must fire on {}'s STT build",
+            machine.name()
+        );
+    }
+}
+
+#[test]
+fn licm_hoists_loads_out_of_stt_dispatch_loops() {
+    // The memory-aware LICM extension: the dispatch engine reads its
+    // per-state exit table through a loop-invariant rodata address every
+    // iteration; that load must leave the loop even though the body
+    // makes indirect guard/effect calls (rodata survives calls — no
+    // callee can store to `const` data). Measured at the MIR level so
+    // the hoist itself is observed, not a proxy statistic.
+    use occ::mem::MemoryModel;
+    use occ::mir::{BlockId, Inst, MirFunction};
+    use std::collections::BTreeSet;
+
+    fn loads_in_loop_bodies(f: &MirFunction) -> usize {
+        let mut in_loops: BTreeSet<BlockId> = BTreeSet::new();
+        for lp in occ::cfg::natural_loops(f) {
+            in_loops.extend(lp.body.iter().copied());
+        }
+        in_loops
+            .iter()
+            .map(|b| {
+                f.block(*b)
+                    .insts
+                    .iter()
+                    .filter(|i| matches!(i, Inst::Load { .. }))
+                    .count()
+            })
+            .sum()
+    }
+
+    for machine in [
+        samples::flat_unreachable(),
+        samples::hierarchical_never_active(),
+        samples::cruise_control(),
+        samples::protocol_handler(),
+    ] {
+        let generated = cgen::generate(&machine, Pattern::StateTable).expect("generates");
+        generated.module.check().expect("typed");
+        let mut program = occ::lower::lower_module(&generated.module).expect("lowers");
+        let model = MemoryModel::of(&program);
+        let mut before = 0usize;
+        let mut after = 0usize;
+        for f in &mut program.functions {
+            occ::opt::simplify_cfg(f);
+            occ::ssa::construct(f);
+            // Canonicalize as the -O2 roster would before LICM runs.
+            occ::opt::sccp(f, &model);
+            occ::opt::copy_propagate(f, &model);
+            occ::opt::gvn_cse(f, &model);
+            before += loads_in_loop_bodies(f);
+            occ::opt::licm(f, &model);
+            after += loads_in_loop_bodies(f);
+        }
+        assert!(
+            after < before,
+            "{}: no load left a dispatch loop ({before} -> {after})",
             machine.name()
         );
     }

@@ -2,9 +2,17 @@
 //! programs — duplicated pure expressions (GVN/CSE fodder), branches and
 //! switches with shared or all-equal targets (terminator-folding fodder),
 //! latch-guarded back edges (loop fodder for SCCP's executable-edge
-//! analysis and LICM's preheader insertion) — must produce the same EM32
-//! extern-call trace at `-O1`/`-O2`/`-Os` as at `-O0`, and under each new
-//! pass applied in isolation.
+//! analysis and LICM's preheader insertion), and `Load`/`Store`/`Addr`
+//! mixes over overlapping and disjoint cells of mutable and rodata
+//! globals (memory-pass fodder, with stores landing in loop bodies) —
+//! must produce the same EM32 extern-call trace at `-O1`/`-O2`/`-Os` as
+//! at `-O0`, and under each new pass applied in isolation.
+//!
+//! Every load's value is emitted through the `emit` extern, so a memory
+//! pass that forwards, removes or hoists the wrong thing changes the
+//! observable trace. Addresses respect the alias model's in-object
+//! contract (offsets stay inside their global; the one run-time index is
+//! masked in-bounds), exactly as front-end-lowered code does.
 //!
 //! The property depth is CI-tunable: `MIR_DIFF_CASES=<n>` overrides the
 //! per-property case count (default 96), so the full `ci.sh` gate runs
@@ -12,7 +20,8 @@
 
 use proptest::prelude::*;
 
-use occ::mir::{BinOp, Block, Inst, MirFunction, Program, Term, VReg};
+use occ::mem::MemoryModel;
+use occ::mir::{BinOp, Block, GlobalData, Inst, MirFunction, Program, Term, VReg, Word};
 use occ::vm::Vm;
 use occ::{opt, ssa, OptLevel};
 use tlang::RecordingEnv;
@@ -47,10 +56,19 @@ const BIN_OPS: [BinOp; 14] = [
 ///
 /// * Block 0 defines constants, then every op of `ops` **twice** — the
 ///   duplicates are exactly what GVN/CSE must collapse without changing
-///   the trace.
+///   the trace — and an address pool over three globals (two mutable,
+///   one rodata): exact cells that overlap through distinct expressions
+///   (`&m0+4` vs `Addr(m0,4)`), disjoint cells, an unaligned cell whose
+///   word straddles two aligned ones (sub-word overlap), and one masked
+///   run-time index (`&m0 + (v & 12)`), so every [`occ::mem::AddrInfo`]
+///   shape is live.
 /// * Every block emits its id and a computed value through the `emit`
 ///   extern, so both the path taken and the values computed are
-///   observable.
+///   observable. A block's fourth tuple byte may add memory traffic —
+///   stores, loads (always emitted), store-then-reload (forwarding
+///   fodder), double stores (dead-store fodder), double loads
+///   (redundant-load fodder) — which lands inside loop bodies whenever
+///   the block is on a cycle.
 /// * Non-final terminators cycle through `Goto`, an ordinary `Br`, a
 ///   `Br` with equal arms, a `Switch` (sometimes with all-equal
 ///   targets) — the terminator-folding pass must collapse the redundant
@@ -59,7 +77,7 @@ const BIN_OPS: [BinOp; 14] = [
 ///   back edges into the GVN scope, threadable latches) are exercised
 ///   too. Every cycle passes through a latch and every latch decrements
 ///   the countdown, so all programs terminate.
-fn build_program(consts: &[i32], ops: &[(u8, u8, u8)], blocks: &[(u8, u8, u8)]) -> Program {
+fn build_program(consts: &[i32], ops: &[(u8, u8, u8)], blocks: &[(u8, u8, u8, u8)]) -> Program {
     let nb = blocks.len().max(1);
     let mut defined: Vec<VReg> = Vec::new();
     let mut next = 0u32;
@@ -99,8 +117,73 @@ fn build_program(consts: &[i32], ops: &[(u8, u8, u8)], blocks: &[(u8, u8, u8)]) 
         }
     }
 
+    // Address pool. Stores go to mutable roots only (the type system
+    // would reject a store to `const` data); loads read everything.
+    let mut addr = |entry: &mut Vec<Inst>, global: usize, offset: i32| {
+        let dst = fresh();
+        entry.push(Inst::Addr {
+            dst,
+            global,
+            offset,
+        });
+        dst
+    };
+    let m0_0 = addr(&mut entry, 0, 0);
+    let m0_4 = addr(&mut entry, 0, 4);
+    let m0_8 = addr(&mut entry, 0, 8);
+    // Unaligned: the word at bytes [2, 6) straddles the two cells above,
+    // exercising the sub-word overlap rule of the alias model.
+    let m0_2 = addr(&mut entry, 0, 2);
+    let m1_0 = addr(&mut entry, 1, 0);
+    let m1_4 = addr(&mut entry, 1, 4);
+    let ro_0 = addr(&mut entry, 2, 0);
+    let ro_4 = addr(&mut entry, 2, 4);
+    // &m0 + 4: the same cell as `m0_4` through a different expression.
+    let m0_4b = {
+        let four = fresh();
+        entry.push(Inst::Const {
+            dst: four,
+            value: 4,
+        });
+        let dst = fresh();
+        entry.push(Inst::Bin {
+            op: BinOp::Add,
+            dst,
+            lhs: m0_0,
+            rhs: four,
+        });
+        dst
+    };
+    // &m0 + (v & 12): a rooted run-time index, masked in-bounds.
+    let m0_dyn = {
+        let mask = fresh();
+        entry.push(Inst::Const {
+            dst: mask,
+            value: 12,
+        });
+        let masked = fresh();
+        entry.push(Inst::Bin {
+            op: BinOp::And,
+            dst: masked,
+            lhs: defined[0],
+            rhs: mask,
+        });
+        let dst = fresh();
+        entry.push(Inst::Bin {
+            op: BinOp::Add,
+            dst,
+            lhs: m0_0,
+            rhs: masked,
+        });
+        dst
+    };
+    let store_pool = [m0_0, m0_4, m0_8, m0_2, m0_4b, m1_0, m1_4, m0_dyn];
+    let load_pool = [
+        m0_0, m0_4, m0_8, m0_2, m0_4b, m1_0, m1_4, m0_dyn, ro_0, ro_4,
+    ];
+
     let mut mir_blocks: Vec<Block> = Vec::new();
-    for (i, &(kind, x, y)) in blocks.iter().enumerate() {
+    for (i, &(kind, x, y, m)) in blocks.iter().enumerate() {
         let mut insts = if i == 0 {
             std::mem::take(&mut entry)
         } else {
@@ -118,6 +201,63 @@ fn build_program(consts: &[i32], ops: &[(u8, u8, u8)], blocks: &[(u8, u8, u8)]) 
             ext: 0,
             args: vec![marker, value],
         });
+        // Memory traffic: every loaded value is emitted, so forwarding,
+        // dead-store and hoisting mistakes surface in the trace.
+        let sel = (m / 8) as usize;
+        let store_at = store_pool[sel % store_pool.len()];
+        let load_at = load_pool[sel % load_pool.len()];
+        let mut emit_load = |insts: &mut Vec<Inst>, tag: i32, at: VReg| {
+            let dst = fresh();
+            insts.push(Inst::Load { dst, addr: at });
+            let mk = fresh();
+            insts.push(Inst::Const {
+                dst: mk,
+                value: tag,
+            });
+            insts.push(Inst::CallExtern {
+                dst: None,
+                ext: 0,
+                args: vec![mk, dst],
+            });
+            dst
+        };
+        match m % 8 {
+            3 => {
+                insts.push(Inst::Store {
+                    addr: store_at,
+                    src: defined[y as usize % defined.len()],
+                });
+            }
+            4 => {
+                emit_load(&mut insts, 100 + i as i32, load_at);
+            }
+            5 => {
+                // Store then reload the same cell: forwarding fodder.
+                insts.push(Inst::Store {
+                    addr: store_at,
+                    src: defined[y as usize % defined.len()],
+                });
+                emit_load(&mut insts, 100 + i as i32, store_at);
+            }
+            6 => {
+                // Overwrite before any read: dead-store fodder.
+                insts.push(Inst::Store {
+                    addr: store_at,
+                    src: defined[x as usize % defined.len()],
+                });
+                insts.push(Inst::Store {
+                    addr: store_at,
+                    src: defined[y as usize % defined.len()],
+                });
+                emit_load(&mut insts, 100 + i as i32, store_at);
+            }
+            7 => {
+                // Load the same cell twice: redundant-load fodder.
+                emit_load(&mut insts, 100 + i as i32, load_at);
+                emit_load(&mut insts, 200 + i as i32, load_at);
+            }
+            _ => {}
+        }
         let term = if i + 1 >= nb {
             Term::Ret(None)
         } else {
@@ -187,7 +327,26 @@ fn build_program(consts: &[i32], ops: &[(u8, u8, u8)], blocks: &[(u8, u8, u8)]) 
             blocks: mir_blocks,
             next_vreg: next,
         }],
-        globals: vec![],
+        globals: vec![
+            GlobalData {
+                name: "m0".into(),
+                size: 16,
+                words: vec![Word::Int(1), Word::Int(2), Word::Int(3), Word::Int(4)],
+                mutable: true,
+            },
+            GlobalData {
+                name: "m1".into(),
+                size: 8,
+                words: vec![Word::Int(5), Word::Int(6)],
+                mutable: true,
+            },
+            GlobalData {
+                name: "ro".into(),
+                size: 8,
+                words: vec![Word::Int(7), Word::Int(11)],
+                mutable: false,
+            },
+        ],
         externs: vec!["emit".into()],
     }
 }
@@ -207,11 +366,12 @@ fn trace_at(program: &Program, level: OptLevel) -> Vec<(String, Vec<i32>)> {
 /// returns the resulting trace at `-O0` code generation.
 fn trace_with_passes(program: &Program, passes: &[opt::SsaPass]) -> Vec<(String, Vec<i32>)> {
     let mut p = program.clone();
+    let model = MemoryModel::of(&p);
     for f in &mut p.functions {
         opt::simplify_cfg(f);
         ssa::construct(f);
         for pass in passes {
-            pass(f);
+            pass(f, &model);
         }
         ssa::destruct(f);
         opt::simplify_cfg(f);
@@ -230,7 +390,7 @@ proptest! {
     fn pipeline_preserves_em32_trace(
         consts in prop::collection::vec(-8i32..8, 2..5),
         ops in prop::collection::vec((0u8..14, any::<u8>(), any::<u8>()), 1..6),
-        blocks in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..6),
+        blocks in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 1..6),
     ) {
         let program = build_program(&consts, &ops, &blocks);
         let oracle = trace_at(&program, OptLevel::O0);
@@ -246,7 +406,7 @@ proptest! {
     fn gvn_cse_preserves_em32_trace(
         consts in prop::collection::vec(-8i32..8, 2..5),
         ops in prop::collection::vec((0u8..14, any::<u8>(), any::<u8>()), 1..6),
-        blocks in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..4),
+        blocks in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 1..4),
     ) {
         let program = build_program(&consts, &ops, &blocks);
         let oracle = trace_at(&program, OptLevel::O0);
@@ -265,7 +425,7 @@ proptest! {
     fn fold_terminators_preserves_em32_trace(
         consts in prop::collection::vec(-8i32..8, 2..5),
         ops in prop::collection::vec((0u8..14, any::<u8>(), any::<u8>()), 1..4),
-        blocks in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 2..6),
+        blocks in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 2..6),
     ) {
         let program = build_program(&consts, &ops, &blocks);
         let oracle = trace_at(&program, OptLevel::O0);
@@ -286,7 +446,7 @@ proptest! {
     fn sccp_preserves_em32_trace(
         consts in prop::collection::vec(-8i32..8, 2..5),
         ops in prop::collection::vec((0u8..14, any::<u8>(), any::<u8>()), 1..6),
-        blocks in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..6),
+        blocks in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 1..6),
     ) {
         let program = build_program(&consts, &ops, &blocks);
         let oracle = trace_at(&program, OptLevel::O0);
@@ -306,7 +466,7 @@ proptest! {
     fn licm_preserves_em32_trace(
         consts in prop::collection::vec(-8i32..8, 2..5),
         ops in prop::collection::vec((0u8..14, any::<u8>(), any::<u8>()), 1..6),
-        blocks in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 2..6),
+        blocks in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 2..6),
     ) {
         let program = build_program(&consts, &ops, &blocks);
         let oracle = trace_at(&program, OptLevel::O0);
@@ -327,7 +487,7 @@ proptest! {
     fn phi_free_cleanups_preserve_em32_trace(
         consts in prop::collection::vec(-8i32..8, 2..5),
         ops in prop::collection::vec((0u8..14, any::<u8>(), any::<u8>()), 1..4),
-        blocks in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 2..6),
+        blocks in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 2..6),
     ) {
         let program = build_program(&consts, &ops, &blocks);
         let oracle = trace_at(&program, OptLevel::O0);
@@ -335,6 +495,73 @@ proptest! {
         prop_assert_eq!(&got, &oracle, "coalesce_copies diverges");
         let merged = trace_with_passes(&program, &[opt::merge_return_blocks]);
         prop_assert_eq!(&merged, &oracle, "merge_return_blocks diverges");
+    }
+
+    /// Store-to-load forwarding / redundant-load elimination alone
+    /// preserves the trace — the memory blocks store and reload
+    /// overlapping cells through distinct address expressions, so the
+    /// alias resolution (exact cells, rooted run-time indices, rodata)
+    /// is what is on trial here.
+    #[test]
+    fn store_load_forward_preserves_em32_trace(
+        consts in prop::collection::vec(-8i32..8, 2..5),
+        ops in prop::collection::vec((0u8..14, any::<u8>(), any::<u8>()), 1..4),
+        blocks in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 1..6),
+    ) {
+        let program = build_program(&consts, &ops, &blocks);
+        let oracle = trace_at(&program, OptLevel::O0);
+        let got = trace_with_passes(&program, &[opt::store_load_forward]);
+        prop_assert_eq!(&got, &oracle, "store_load_forward diverges");
+        let cleaned = trace_with_passes(
+            &program,
+            &[opt::store_load_forward, opt::copy_propagate, opt::dead_code_elim],
+        );
+        prop_assert_eq!(&cleaned, &oracle, "store_load_forward + cleanup diverges");
+    }
+
+    /// Dead-store elimination alone preserves the trace — the
+    /// double-store blocks are its fodder; every cell's final content is
+    /// observed through emitted loads.
+    #[test]
+    fn dead_store_elim_preserves_em32_trace(
+        consts in prop::collection::vec(-8i32..8, 2..5),
+        ops in prop::collection::vec((0u8..14, any::<u8>(), any::<u8>()), 1..4),
+        blocks in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 1..6),
+    ) {
+        let program = build_program(&consts, &ops, &blocks);
+        let oracle = trace_at(&program, OptLevel::O0);
+        let got = trace_with_passes(&program, &[opt::dead_store_elim]);
+        prop_assert_eq!(&got, &oracle, "dead_store_elim diverges");
+        let cleaned = trace_with_passes(
+            &program,
+            &[opt::dead_store_elim, opt::dead_code_elim],
+        );
+        prop_assert_eq!(&cleaned, &oracle, "dead_store_elim + dce diverges");
+    }
+
+    /// The whole memory family stacked — load-hoisting LICM over blocks
+    /// whose loops store to the very globals being read, then forwarding
+    /// and dead-store elimination, then cleanup — preserves the trace.
+    #[test]
+    fn memory_pass_family_preserves_em32_trace(
+        consts in prop::collection::vec(-8i32..8, 2..5),
+        ops in prop::collection::vec((0u8..14, any::<u8>(), any::<u8>()), 1..4),
+        blocks in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 2..6),
+    ) {
+        let program = build_program(&consts, &ops, &blocks);
+        let oracle = trace_at(&program, OptLevel::O0);
+        let got = trace_with_passes(
+            &program,
+            &[
+                opt::licm,
+                opt::store_load_forward,
+                opt::dead_store_elim,
+                opt::gvn_cse,
+                opt::copy_propagate,
+                opt::dead_code_elim,
+            ],
+        );
+        prop_assert_eq!(&got, &oracle, "memory pass family diverges");
     }
 }
 
