@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # CI gate for the mbot workspace. Run from the repository root:
 #
-#   ./ci.sh            # full gate: fmt, clippy, build, deep tests, bench
-#                      # smoke, bench-regression gate
-#   ./ci.sh --fast     # quick gate: fmt, clippy, dev-profile tests
+#   ./ci.sh            # full gate: fmt, clippy, rustdoc, build, deep
+#                      # tests, bench smoke, bench-regression gate
+#   ./ci.sh --fast     # quick gate: fmt, clippy, rustdoc, dev tests
 #
 # Mirrors the tier-1 verify command of ROADMAP.md plus style gates, the
 # bench-binary smoke loop and the size-regression gate against the
@@ -18,6 +18,13 @@ fast=0
 # The full gate runs the MIR differential property net deeper than the
 # local default (96 cases per property).
 full_gate_diff_cases=256
+
+rustdoc_check() {
+    # The occ::opt / occ::mem module rustdoc is the canonical pipeline
+    # and alias-model documentation (ROADMAP.md only points there), so
+    # broken links and missing docs fail both gates.
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+}
 
 stage_names=()
 stage_secs=()
@@ -51,6 +58,8 @@ run_stage "cargo fmt --check" cargo fmt --all -- --check
 # was umlsm + mbo only, but every crate currently passes -D warnings.)
 run_stage "cargo clippy --workspace -D warnings" \
     cargo clippy --workspace --all-targets -- -D warnings
+
+run_stage "cargo doc (rustdoc -D warnings)" rustdoc_check
 
 if [[ $fast -eq 1 ]]; then
     run_stage "cargo test --workspace (dev)" cargo test --workspace -q

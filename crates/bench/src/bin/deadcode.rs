@@ -4,8 +4,11 @@
 //!
 //! Compiles the flat machine at every optimization level and probes whether
 //! the unreachable state's functions survive; then shows that model-level
-//! optimization removes them before the compiler ever sees them. Run with
-//! `cargo run -p bench --bin deadcode`.
+//! optimization removes them before the compiler ever sees them. The
+//! per-pass effect lines come from the mid-end roster documented in the
+//! `occ::opt` module rustdoc — dead-function elimination keeping the
+//! address-taken handlers is the paper's §III.C point, at every level.
+//! Run with `cargo run -p bench --bin deadcode`.
 
 use bench::{compile_artifact, compile_generated, generate, optimize_model, pass_effect_lines};
 use cgen::Pattern;

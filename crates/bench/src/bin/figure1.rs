@@ -2,6 +2,12 @@
 //! size, for the flat machine with an unreachable state (row 1) and the
 //! hierarchical machine with a never-active composite (row 2).
 //!
+//! Absolute byte counts come from the `occ` toolchain's full mid-end
+//! roster (see the `occ::opt` module rustdoc) and EM32 backend, not
+//! GCC/x86, so they differ from the paper throughout; the shape check
+//! asserts the qualitative claim, and EXPERIMENTS.md records where a
+//! qualitative claim deviates.
+//!
 //! Run with `cargo run -p bench --bin figure1`.
 
 use bench::{compile_artifact, optimize_model, pass_effect_lines, pct_gain, BenchError, GainRow};

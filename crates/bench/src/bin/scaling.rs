@@ -2,7 +2,9 @@
 //! number of removed states/transitions".
 //!
 //! Sweeps the number of unreachable states appended to a live core and
-//! reports the size gain per pattern. Run with
+//! reports the size gain per pattern, compiled through the full `occ`
+//! mid-end roster (see the `occ::opt` module rustdoc; qualitative
+//! deviations from the paper are recorded in EXPERIMENTS.md). Run with
 //! `cargo run -p bench --bin scaling`; set `BENCH_SMOKE=1` for the short
 //! CI sweep.
 

@@ -2,6 +2,11 @@
 //! alternatives for UML-semantics optimizations, with the mechanical
 //! evidence this repo can produce for the measurable cells.
 //!
+//! The "after code generation" evidence rows compile through the full
+//! `occ` mid-end roster (see the `occ::opt` module rustdoc); where a
+//! measured ordering deviates from the paper's, EXPERIMENTS.md is the
+//! ledger of record.
+//!
 //! Run with `cargo run -p bench --bin table2`.
 
 use bench::{compile_generated, generate, GainRow};

@@ -2,6 +2,11 @@
 //! comparing all four pipeline modes (baseline, compiler-only, model-only,
 //! two-step) across the three patterns.
 //!
+//! "Compiler-level" here means the full `occ` mid-end roster at `-Os`
+//! (see the `occ::opt` module rustdoc); the asserted shape — two-step
+//! at least as small as either single step — is back-end-independent,
+//! and EXPERIMENTS.md records the places where finer orderings are not.
+//!
 //! Run with `cargo run -p bench --bin twostep`.
 
 use bench::assembly_size;

@@ -96,7 +96,12 @@ pub(crate) fn emit(gen: &Gen) -> Result<Module, CodegenError> {
 }
 
 /// The virtual dispatcher of one region: an indirect call through the
-/// active state's vtable.
+/// active state's vtable. The active-state field is read straight from
+/// the context in both the guard and the vtable index, like the naive
+/// generated C++ it stands in for (`if (ctx.state < 0) …;
+/// vt[ctx.state].handle(ev)`) — eliminating the re-read across the guard
+/// block is the mid-end's job (cross-block store-to-load forwarding), not
+/// the generator's.
 fn region_dispatch(gen: &Gen, rid: RegionId) -> Function {
     let field = gen.region_field(rid).to_string();
     Function {
@@ -104,20 +109,16 @@ fn region_dispatch(gen: &Gen, rid: RegionId) -> Function {
         params: vec![("ev".into(), Type::I32)],
         ret: Type::Bool,
         body: vec![
-            Stmt::Let {
-                name: "s".into(),
-                ty: Type::I32,
-                init: Some(Expr::Place(Place::var(CTX).field(field))),
-            },
             Stmt::If {
-                cond: Expr::var("s").bin(tlang::BinOp::Lt, Expr::Int(0)),
+                cond: Expr::Place(Place::var(CTX).field(field.clone()))
+                    .bin(tlang::BinOp::Lt, Expr::Int(0)),
                 then_body: vec![Stmt::Return(Some(Expr::Bool(false)))],
                 else_body: vec![],
             },
             Stmt::Return(Some(Expr::CallPtr(
                 Box::new(Expr::Place(
                     Place::var(vtables_name(gen, rid))
-                        .index(Expr::var("s"))
+                        .index(Expr::Place(Place::var(CTX).field(field)))
                         .field("handle"),
                 )),
                 vec![Expr::var("ev")],

@@ -108,6 +108,27 @@ pub fn dominator_tree_children(
     children
 }
 
+/// Blocks in dominator-tree preorder (entry first): every block appears
+/// after everything that dominates it, which is the iteration order
+/// dominator-scoped rewrites want — when a block is visited, facts
+/// established in its dominators are already in place. Unreachable
+/// blocks (absent from `idom`) are not visited.
+pub fn dominator_preorder(idom: &BTreeMap<BlockId, BlockId>) -> Vec<BlockId> {
+    let children = dominator_tree_children(idom);
+    let mut order = Vec::with_capacity(idom.len());
+    let mut stack = vec![BlockId(0)];
+    while let Some(b) = stack.pop() {
+        order.push(b);
+        if let Some(kids) = children.get(&b) {
+            // Reversed push so children are visited in ascending order.
+            for &k in kids.iter().rev() {
+                stack.push(k);
+            }
+        }
+    }
+    order
+}
+
 /// `true` if `a` dominates `b` under the `idom` map of [`dominators`]
 /// (every block dominates itself; unreachable blocks dominate nothing
 /// and are dominated by nothing).
@@ -539,6 +560,20 @@ mod tests {
             natural_loops(&f).is_empty(),
             "irreducible cycles have no natural loop"
         );
+    }
+
+    #[test]
+    fn dominator_preorder_visits_dominators_first() {
+        let f = diamond();
+        let idom = dominators(&f);
+        let order = dominator_preorder(&idom);
+        assert_eq!(order.len(), 4, "all reachable blocks visited once");
+        assert_eq!(order[0], BlockId(0), "entry first");
+        let pos: BTreeMap<BlockId, usize> =
+            order.iter().enumerate().map(|(i, b)| (*b, i)).collect();
+        for (&b, &d) in &idom {
+            assert!(pos[&d] <= pos[&b], "{d} must precede {b} in {order:?}");
+        }
     }
 
     #[test]

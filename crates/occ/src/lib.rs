@@ -9,17 +9,21 @@
 //!   [`ssa`]), then the fixed-point [`PassManager`] of [`opt`] — sparse
 //!   conditional constant propagation (Wegman-Zadeck), dense constant
 //!   folding, root-based dead-code elimination, copy propagation, global
-//!   value numbering / CSE, store-to-load forwarding and dead-store
-//!   elimination over the memory-dependence layer of [`mem`]
-//!   (flat-image alias model: `Addr` roots plus constant offsets),
-//!   loop-invariant code motion out of natural loops
-//!   ([`cfg::natural_loops`]) including clobber-free loads, terminator
-//!   folding and jump threading, copy coalescing and return-block tail
-//!   merging on the φ-free form, CFG simplification, bottom-up inlining
-//!   of small functions, and call-graph dead-function elimination. The
-//!   pass set per level mirrors GCC's `-O0/-O1/-O2/-Os` philosophy
-//!   ([`OptLevel`]); every pass reports effect counters ([`PassStats`])
-//!   on the compiled [`Artifact`].
+//!   value numbering / CSE, block-local *and* cross-block store-to-load
+//!   forwarding (the latter over the dominator-scoped available-load
+//!   dataflow [`opt::avail_loads`]), load partial-redundancy elimination
+//!   on diamond joins, dead-store elimination — all over the
+//!   memory-dependence layer of [`mem`] (flat-image alias model: `Addr`
+//!   roots plus constant offsets) — loop-invariant code motion out of
+//!   natural loops ([`cfg::natural_loops`]) including clobber-free
+//!   loads, terminator folding and jump threading, copy coalescing and
+//!   return-block tail merging on the φ-free form, CFG simplification,
+//!   bottom-up inlining of small functions, and call-graph dead-function
+//!   elimination. The full roster per level and the per-pass contracts
+//!   are documented in the [`opt`] module rustdoc; the pass set mirrors
+//!   GCC's `-O0/-O1/-O2/-Os` philosophy ([`OptLevel`]), and every pass
+//!   reports effect counters ([`PassStats`]) on the compiled
+//!   [`Artifact`].
 //! * **Back end**: instruction selection to the synthetic EM32 RISC ISA,
 //!   linear-scan register allocation, peephole cleanup, `-Os`-aware switch
 //!   lowering (branch chain vs jump table), and byte-accurate encoding

@@ -1,4 +1,4 @@
-//! Front end: lowering checked [`tlang`] modules to [`mir`].
+//! Front end: lowering checked [`tlang`] modules to [`crate::mir`].
 //!
 //! Aggregates are laid out flat (every scalar is one 4-byte word; structs
 //! concatenate their fields; arrays repeat their element), and place
@@ -10,6 +10,7 @@ use std::collections::BTreeMap;
 
 use tlang::{Expr, Init, Module, Place, Stmt, Type};
 
+use crate::mem;
 use crate::mir::{
     BinOp, Block, BlockId, GlobalData, Inst, MirFunction, Program, Term, UnOp, VReg, Word,
 };
@@ -72,7 +73,69 @@ pub fn lower_module(module: &Module) -> Result<Program, CompileError> {
             .functions
             .push(lower_function(module, f, &fn_index, &program.externs)?);
     }
+    // Debug builds police the front-end contract the alias model trusts
+    // before the mid-end ever reasons with it.
+    if cfg!(debug_assertions) {
+        validate_mem_contract(&program);
+    }
     Ok(program)
+}
+
+/// Debug-build validator of the front-end contract [`crate::mem`]'s
+/// alias model trusts: address arithmetic rooted at one global stays
+/// inside that global, and no store targets rodata. Every load/store
+/// address that resolves to a root (via [`mem::FnAddrs`], the same
+/// resolution the memory passes use) is checked — an exactly resolved
+/// access must fit its word inside [`GlobalData::size`], and a resolved
+/// store's root must be mutable (`tlang` rejects assignments to `const`,
+/// so a rodata store here is a lowering bug). A violation used to be a
+/// silent miscompile — the mid-end would "prove" disjointness from a
+/// broken root and forward across the aliasing store; now it panics at
+/// the boundary that broke the contract.
+///
+/// # Panics
+///
+/// Panics on the first out-of-bounds resolved access or resolved store
+/// into a rodata global.
+pub fn validate_mem_contract(program: &Program) {
+    for f in &program.functions {
+        let addrs = mem::FnAddrs::analyze(f);
+        for b in f.block_ids() {
+            for inst in &f.block(b).insts {
+                let Some(addr) = inst.mem_addr() else {
+                    continue;
+                };
+                let is_store = matches!(inst, Inst::Store { .. });
+                let (global, offset) = match addrs.info(addr) {
+                    mem::AddrInfo::Exact { global, offset } => (global, Some(offset)),
+                    mem::AddrInfo::Base { global } => (global, None),
+                    mem::AddrInfo::Unknown => continue,
+                };
+                let g = program.globals.get(global).unwrap_or_else(|| {
+                    panic!(
+                        "{}/{b}: access through unknown global #{global}: {inst:?}",
+                        f.name
+                    )
+                });
+                if let Some(offset) = offset {
+                    assert!(
+                        offset >= 0 && offset + mem::ACCESS_BYTES <= g.size as i32,
+                        "{}/{b}: resolved offset {offset} out of bounds for `{}` \
+                         ({} bytes): {inst:?}",
+                        f.name,
+                        g.name,
+                        g.size
+                    );
+                }
+                assert!(
+                    !is_store || g.mutable,
+                    "{}/{b}: resolved store into rodata `{}`: {inst:?}",
+                    f.name,
+                    g.name
+                );
+            }
+        }
+    }
 }
 
 /// Byte size of a type (scalars are words).
@@ -659,6 +722,81 @@ mod tests {
         let p = lower_module(&m).expect("lowers");
         assert_eq!(p.globals[0].words, vec![Word::FnAddr(0), Word::FnAddr(0)]);
         assert_eq!(p.globals[0].size, 8);
+    }
+
+    /// A hand-built program accessing `g0` (8 bytes, mutability per
+    /// argument) through one `Addr`+offset instruction pair.
+    fn contract_program(offset: i32, store: bool, mutable: bool) -> Program {
+        let mut insts = vec![Inst::Addr {
+            dst: VReg(1),
+            global: 0,
+            offset,
+        }];
+        insts.push(if store {
+            Inst::Store {
+                addr: VReg(1),
+                src: VReg(0),
+            }
+        } else {
+            Inst::Load {
+                dst: VReg(2),
+                addr: VReg(1),
+            }
+        });
+        Program {
+            functions: vec![MirFunction {
+                name: "f".into(),
+                params: 1,
+                returns_value: false,
+                exported: true,
+                blocks: vec![Block {
+                    insts,
+                    term: Term::Ret(None),
+                }],
+                next_vreg: 3,
+            }],
+            globals: vec![GlobalData {
+                name: "g0".into(),
+                size: 8,
+                words: vec![Word::Int(0), Word::Int(0)],
+                mutable,
+            }],
+            externs: vec![],
+        }
+    }
+
+    #[test]
+    fn mem_contract_accepts_in_bounds_accesses() {
+        validate_mem_contract(&contract_program(0, true, true));
+        validate_mem_contract(&contract_program(4, false, true));
+        validate_mem_contract(&contract_program(4, false, false));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn mem_contract_rejects_out_of_bounds_offsets() {
+        // Offset 8 of an 8-byte global: the word [8, 12) is outside.
+        validate_mem_contract(&contract_program(8, false, true));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn mem_contract_rejects_negative_offsets() {
+        validate_mem_contract(&contract_program(-4, true, true));
+    }
+
+    #[test]
+    #[should_panic(expected = "store into rodata")]
+    fn mem_contract_rejects_stores_into_rodata() {
+        validate_mem_contract(&contract_program(0, true, false));
+    }
+
+    #[test]
+    fn lowering_validates_checked_modules_cleanly() {
+        // The validator runs inside lower_module in debug builds; a
+        // checked module must sail through.
+        let p = lower_module(&simple_module()).expect("lowers");
+        validate_mem_contract(&p);
     }
 
     #[test]

@@ -1,6 +1,10 @@
 //! The memory-dependence layer: symbolic addresses over the flat EM32
 //! global image, the alias queries the memory passes of [`crate::opt`]
-//! build on, and loop clobber summaries for load-hoisting LICM.
+//! build on, per-block cell transfer summaries for the cross-block
+//! availability dataflow, and loop clobber summaries for load-hoisting
+//! LICM. This module doc is the canonical description of the alias
+//! model and its effect assumptions; ROADMAP.md's Building section only
+//! points here.
 //!
 //! # The alias model
 //!
@@ -32,6 +36,57 @@
 //!   offsets are in-bounds by construction and `tlang` array indexing is
 //!   in-bounds by contract, exactly as in the paper's generated C++);
 //! * anything involving an untraceable address — [`Alias::May`].
+//!
+//! The whole relation in five assertions:
+//!
+//! ```
+//! use occ::mem::{alias, AddrInfo, Alias};
+//!
+//! let cell = |offset| AddrInfo::Exact { global: 0, offset };
+//! assert_eq!(alias(cell(4), cell(4)), Alias::Must); // same cell
+//! assert_eq!(alias(cell(0), cell(4)), Alias::No);   // a word apart
+//! assert_eq!(alias(cell(0), cell(2)), Alias::May);  // sub-word overlap
+//! assert_eq!(
+//!     alias(cell(0), AddrInfo::Exact { global: 1, offset: 0 }),
+//!     Alias::No, // distinct roots are disjoint objects
+//! );
+//! assert_eq!(
+//!     alias(cell(0), AddrInfo::Base { global: 0 }),
+//!     Alias::May, // run-time index into the same root
+//! );
+//! ```
+//!
+//! [`FnAddrs`] is how registers acquire those shapes: it folds
+//! `Addr`-rooted `+`/`-` chains, copies and φs to a root plus constant
+//! offset where it can, and degrades to [`AddrInfo::Base`] (root kept,
+//! offset unknown) or [`AddrInfo::Unknown`] where it cannot:
+//!
+//! ```
+//! use occ::mem::{AddrInfo, FnAddrs};
+//! use occ::mir::{BinOp, Block, Inst, MirFunction, Term, VReg};
+//!
+//! // v1 = &g0 + 4; v2 = 8; v3 = v1 + v2; v4 = v1 + v0 (run-time term)
+//! let f = MirFunction {
+//!     name: "demo".into(),
+//!     params: 1,
+//!     returns_value: false,
+//!     exported: true,
+//!     blocks: vec![Block {
+//!         insts: vec![
+//!             Inst::Addr { dst: VReg(1), global: 0, offset: 4 },
+//!             Inst::Const { dst: VReg(2), value: 8 },
+//!             Inst::Bin { op: BinOp::Add, dst: VReg(3), lhs: VReg(1), rhs: VReg(2) },
+//!             Inst::Bin { op: BinOp::Add, dst: VReg(4), lhs: VReg(1), rhs: VReg(0) },
+//!         ],
+//!         term: Term::Ret(None),
+//!     }],
+//!     next_vreg: 5,
+//! };
+//! let addrs = FnAddrs::analyze(&f);
+//! assert_eq!(addrs.info(VReg(3)), AddrInfo::Exact { global: 0, offset: 12 });
+//! assert_eq!(addrs.info(VReg(4)), AddrInfo::Base { global: 0 });
+//! assert_eq!(addrs.info(VReg(0)), AddrInfo::Unknown); // parameter
+//! ```
 //!
 //! # Effect assumptions
 //!
@@ -328,6 +383,208 @@ fn meet(a: Sym, b: Sym) -> Sym {
     }
 }
 
+/// One exactly addressed word cell of the flat image: `(global index,
+/// byte offset)` — the granule the available-load analysis of
+/// [`crate::opt`] tracks. Equivalent to [`AddrInfo::Exact`], flattened
+/// for use as a set/map key.
+pub type Cell = (usize, i32);
+
+/// The [`AddrInfo`] a [`Cell`] denotes.
+pub fn cell_info(cell: Cell) -> AddrInfo {
+    AddrInfo::Exact {
+        global: cell.0,
+        offset: cell.1,
+    }
+}
+
+/// Every exactly addressed cell `f` loads or stores — the finite universe
+/// the cross-block availability dataflow ranges over. Accesses through
+/// rooted run-time or untraceable addresses contribute no cell (they can
+/// only *kill* availability, never carry it).
+pub fn cell_universe(f: &MirFunction, addrs: &FnAddrs) -> BTreeSet<Cell> {
+    let mut cells = BTreeSet::new();
+    for b in f.block_ids() {
+        for inst in &f.block(b).insts {
+            if let Some(addr) = inst.mem_addr() {
+                if let AddrInfo::Exact { global, offset } = addrs.info(addr) {
+                    cells.insert((global, offset));
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// What an in-block forward walk knows about one tracked cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellVal {
+    /// Untouched so far: the cell still holds whatever it held on block
+    /// entry (whether that value is *known* is the dataflow's question,
+    /// not this walk's).
+    FromEntry,
+    /// The register holding the cell's current content (from a store's
+    /// source or a load's destination).
+    Reg(VReg),
+    /// A may-aliasing store or a call intervened and nothing re-provided
+    /// the cell: its content is unknown here.
+    Clobbered,
+}
+
+/// The forward in-block transfer function over a cell universe: the one
+/// aliasing discipline shared by the block-local forwarding pass, the
+/// per-block summaries ([`BlockCells`]) and the cross-block rewrite walk,
+/// so analysis and transformation can never disagree.
+///
+/// The discipline is [`alias`]'s: an exact store provides its own cell
+/// and clobbers every tracked cell within a word of it (word accesses at
+/// byte granularity), a rooted run-time store clobbers its whole global,
+/// an untraceable store clobbers everything; `Call`/`CallInd` clobber
+/// every mutable global's cells (rodata survives — no callee can store
+/// to a `const` global) while `CallExtern` clobbers nothing (the EM32
+/// `Ecall` passes registers only). A load revives its cell. Sound off
+/// SSA form too: a redefinition of a register holding a tracked value
+/// clobbers that cell.
+#[derive(Debug, Clone)]
+pub struct CellState<'a> {
+    universe: &'a BTreeSet<Cell>,
+    state: BTreeMap<Cell, CellVal>,
+}
+
+impl<'a> CellState<'a> {
+    /// A fresh walk state: every universe cell is [`CellVal::FromEntry`].
+    pub fn new(universe: &'a BTreeSet<Cell>) -> CellState<'a> {
+        CellState {
+            universe,
+            state: BTreeMap::new(),
+        }
+    }
+
+    /// The current knowledge about `cell`.
+    pub fn value(&self, cell: Cell) -> CellVal {
+        self.state.get(&cell).copied().unwrap_or(CellVal::FromEntry)
+    }
+
+    /// Overrides the knowledge about `cell` (the cross-block rewriter
+    /// records a forwarded load's replacement register this way).
+    pub fn set(&mut self, cell: Cell, val: CellVal) {
+        self.state.insert(cell, val);
+    }
+
+    /// Advances the state over one instruction.
+    pub fn apply(&mut self, inst: &Inst, addrs: &FnAddrs, model: &MemoryModel) {
+        // A redefinition of a register holding a tracked value makes the
+        // remembered content stale (only possible off SSA form).
+        if let Some(d) = inst.def() {
+            for cell in self.universe {
+                if self.value(*cell) == CellVal::Reg(d) {
+                    self.state.insert(*cell, CellVal::Clobbered);
+                }
+            }
+        }
+        match inst {
+            Inst::Load { dst, addr } => {
+                if let AddrInfo::Exact { global, offset } = addrs.info(*addr) {
+                    let cell = (global, offset);
+                    if self.universe.contains(&cell) && !matches!(self.value(cell), CellVal::Reg(_))
+                    {
+                        self.state.insert(cell, CellVal::Reg(*dst));
+                    }
+                }
+            }
+            Inst::Store { addr, src } => match addrs.info(*addr) {
+                AddrInfo::Exact { global, offset } => {
+                    for cell in self.universe {
+                        if cell.0 == global && overlaps(cell.1, offset) {
+                            self.state.insert(*cell, CellVal::Clobbered);
+                        }
+                    }
+                    let cell = (global, offset);
+                    if self.universe.contains(&cell) {
+                        self.state.insert(cell, CellVal::Reg(*src));
+                    }
+                }
+                AddrInfo::Base { global } => {
+                    for cell in self.universe {
+                        if cell.0 == global {
+                            self.state.insert(*cell, CellVal::Clobbered);
+                        }
+                    }
+                }
+                AddrInfo::Unknown => {
+                    for cell in self.universe {
+                        self.state.insert(*cell, CellVal::Clobbered);
+                    }
+                }
+            },
+            i if i.may_write_mem() => {
+                for cell in self.universe {
+                    if !model.is_rodata(cell.0) {
+                        self.state.insert(*cell, CellVal::Clobbered);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// One block's summarized effect on tracked memory cells — the transfer
+/// function of the cross-block availability dataflow, precomputed by
+/// running [`CellState`] over the block once.
+#[derive(Debug, Clone, Default)]
+pub struct BlockCells {
+    /// Cells whose content is in a register at block exit, whatever the
+    /// entry state was (a store's source or a load's destination with no
+    /// later clobber).
+    pub provides: BTreeMap<Cell, VReg>,
+    /// Cells clobbered (and not re-provided) by the block: entry
+    /// availability dies here.
+    pub killed: BTreeSet<Cell>,
+}
+
+impl BlockCells {
+    /// Summarizes block `b` of `f` over `universe`.
+    pub fn summarize(
+        f: &MirFunction,
+        b: BlockId,
+        universe: &BTreeSet<Cell>,
+        addrs: &FnAddrs,
+        model: &MemoryModel,
+    ) -> BlockCells {
+        let mut st = CellState::new(universe);
+        for inst in &f.block(b).insts {
+            st.apply(inst, addrs, model);
+        }
+        let mut out = BlockCells::default();
+        for (&cell, &val) in &st.state {
+            match val {
+                CellVal::Reg(v) => {
+                    out.provides.insert(cell, v);
+                }
+                CellVal::Clobbered => {
+                    out.killed.insert(cell);
+                }
+                CellVal::FromEntry => {}
+            }
+        }
+        out
+    }
+
+    /// `true` if the block neither provides nor kills `cell`: entry
+    /// availability (and the entry value) survives to the exit.
+    pub fn transparent(&self, cell: Cell) -> bool {
+        !self.provides.contains_key(&cell) && !self.killed.contains(&cell)
+    }
+
+    /// The block-exit availability set for the given entry set: provided
+    /// cells plus surviving entry cells.
+    pub fn flow(&self, entry: &BTreeSet<Cell>) -> BTreeSet<Cell> {
+        let mut out: BTreeSet<Cell> = self.provides.keys().copied().collect();
+        out.extend(entry.iter().copied().filter(|c| self.transparent(*c)));
+        out
+    }
+}
+
 /// What a loop body can do to memory: the clobber summary load-hoisting
 /// LICM checks a candidate load against.
 #[derive(Debug, Clone, Default)]
@@ -600,6 +857,180 @@ mod tests {
         assert!(m.is_rodata(1));
         assert!(!m.is_rodata(7), "unknown globals are treated as mutable");
         assert!(!MemoryModel::default().is_rodata(0));
+    }
+
+    #[test]
+    fn cell_universe_collects_exact_accesses_only() {
+        let f = func(vec![
+            Inst::Addr {
+                dst: VReg(1),
+                global: 0,
+                offset: 4,
+            },
+            Inst::Load {
+                dst: VReg(2),
+                addr: VReg(1),
+            },
+            Inst::Addr {
+                dst: VReg(3),
+                global: 1,
+                offset: 0,
+            },
+            // Rooted run-time address: contributes no cell.
+            Inst::Bin {
+                op: BinOp::Add,
+                dst: VReg(4),
+                lhs: VReg(3),
+                rhs: VReg(0),
+            },
+            Inst::Store {
+                addr: VReg(4),
+                src: VReg(0),
+            },
+            Inst::Store {
+                addr: VReg(3),
+                src: VReg(0),
+            },
+        ]);
+        let addrs = FnAddrs::analyze(&f);
+        let cells = cell_universe(&f, &addrs);
+        assert_eq!(cells, BTreeSet::from([(0, 4), (1, 0)]));
+        assert_eq!(
+            cell_info((0, 4)),
+            AddrInfo::Exact {
+                global: 0,
+                offset: 4
+            }
+        );
+    }
+
+    #[test]
+    fn cell_state_tracks_provides_kills_and_revivals() {
+        let universe: BTreeSet<Cell> = BTreeSet::from([(0, 0), (0, 4), (1, 0)]);
+        let f = func(vec![
+            Inst::Addr {
+                dst: VReg(1),
+                global: 0,
+                offset: 0,
+            },
+            Inst::Addr {
+                dst: VReg(2),
+                global: 0,
+                offset: 4,
+            },
+            Inst::Addr {
+                dst: VReg(3),
+                global: 1,
+                offset: 0,
+            },
+        ]);
+        let addrs = FnAddrs::analyze(&f);
+        let model = MemoryModel::default();
+        let mut st = CellState::new(&universe);
+        // A store provides its own cell.
+        st.apply(
+            &Inst::Store {
+                addr: VReg(1),
+                src: VReg(0),
+            },
+            &addrs,
+            &model,
+        );
+        assert_eq!(st.value((0, 0)), CellVal::Reg(VReg(0)));
+        assert_eq!(st.value((0, 4)), CellVal::FromEntry);
+        // A call clobbers every mutable cell.
+        st.apply(
+            &Inst::Call {
+                dst: None,
+                func: 0,
+                args: vec![],
+            },
+            &addrs,
+            &model,
+        );
+        assert_eq!(st.value((0, 0)), CellVal::Clobbered);
+        assert_eq!(st.value((0, 4)), CellVal::Clobbered);
+        // A load revives its cell.
+        st.apply(
+            &Inst::Load {
+                dst: VReg(9),
+                addr: VReg(2),
+            },
+            &addrs,
+            &model,
+        );
+        assert_eq!(st.value((0, 4)), CellVal::Reg(VReg(9)));
+        // A store through a rooted run-time address kills its global only.
+        st.apply(
+            &Inst::Store {
+                addr: VReg(3),
+                src: VReg(0),
+            },
+            &addrs,
+            &model,
+        );
+        assert_eq!(st.value((1, 0)), CellVal::Reg(VReg(0)));
+        let mut st2 = CellState::new(&universe);
+        let f2 = func(vec![
+            Inst::Addr {
+                dst: VReg(1),
+                global: 1,
+                offset: 0,
+            },
+            Inst::Bin {
+                op: BinOp::Add,
+                dst: VReg(2),
+                lhs: VReg(1),
+                rhs: VReg(0),
+            },
+        ]);
+        let addrs2 = FnAddrs::analyze(&f2);
+        st2.apply(
+            &Inst::Store {
+                addr: VReg(2),
+                src: VReg(0),
+            },
+            &addrs2,
+            &model,
+        );
+        assert_eq!(st2.value((1, 0)), CellVal::Clobbered);
+        assert_eq!(st2.value((0, 0)), CellVal::FromEntry);
+    }
+
+    #[test]
+    fn block_cells_summarize_and_flow() {
+        let universe: BTreeSet<Cell> = BTreeSet::from([(0, 0), (0, 4), (0, 8)]);
+        // An unaligned store at byte 2 clobbers both words it straddles,
+        // then (0,0) is re-provided by a store; (0,8) is never touched.
+        let f = func(vec![
+            Inst::Addr {
+                dst: VReg(1),
+                global: 0,
+                offset: 2,
+            },
+            Inst::Store {
+                addr: VReg(1),
+                src: VReg(0),
+            },
+            Inst::Addr {
+                dst: VReg(2),
+                global: 0,
+                offset: 0,
+            },
+            Inst::Store {
+                addr: VReg(2),
+                src: VReg(0),
+            },
+        ]);
+        let addrs = FnAddrs::analyze(&f);
+        let model = MemoryModel::default();
+        let cells = BlockCells::summarize(&f, BlockId(0), &universe, &addrs, &model);
+        assert_eq!(cells.provides.get(&(0, 0)), Some(&VReg(0)));
+        assert!(cells.killed.contains(&(0, 4)), "straddled word is killed");
+        assert!(cells.transparent((0, 8)));
+        let entry: BTreeSet<Cell> = BTreeSet::from([(0, 4), (0, 8)]);
+        let out = cells.flow(&entry);
+        assert_eq!(out, BTreeSet::from([(0, 0), (0, 8)]));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The mid-end: a fixed-point pass manager over SSA passes, plus the
 //! program-level passes (inlining, dead-function elimination) that frame
-//! it.
+//! it. This module doc is the canonical description of the pass
+//! pipeline; ROADMAP.md's Building section only points here.
 //!
 //! # Architecture
 //!
@@ -10,7 +11,7 @@
 //! through bounded **outer rounds** of
 //!
 //! ```text
-//! simplify_cfg  →  ssa::construct  →  [SSA passes to a fixed point]  →  ssa::destruct
+//! simplify_cfg → ssa::construct → [SSA passes to a fixed point] → ssa::destruct → [post passes]
 //! ```
 //!
 //! and iterates the registered SSA passes inside each round until a full
@@ -18,7 +19,10 @@
 //! outer rounds matter because φ-free CFG simplification exposes work the
 //! SSA passes could not see — threading two empty arms of a `Br` onto the
 //! same join block, for example, creates the equal-target branch that
-//! [`fold_terminators`] collapses in the next round.
+//! [`fold_terminators`] collapses in the next round. The φ-free **post
+//! passes** run after each `ssa::destruct`, where the φ-lowering copy
+//! residue is first visible; they are cleanup and never drive another
+//! outer round on their own.
 //!
 //! Every pass records a [`PassStats`] entry — `runs`, `changes` (runs
 //! that rewrote something) and `insts_removed` — collected into the
@@ -27,40 +31,88 @@
 //! ("in the dead code elimination file, we have found that code related
 //! to the unreachable state still exists"), made machine-readable so the
 //! bench harness can report per-pass effect counts next to the size
-//! tables.
+//! tables, and the CI regression gate can diff whole matrices of them.
 //!
-//! # The pass set
+//! # The roster per level
 //!
-//! SSA passes (function-local, registered per level):
+//! `-O0` runs nothing. The SSA fixed point then runs, in registration
+//! order:
 //!
-//! * [`constant_fold`] — constant propagation/folding with branch folding,
+//! | pass                    | `-O1` (2 rounds) | `-O2`/`-Os` (3 rounds) |
+//! |-------------------------|------------------|------------------------|
+//! | [`sccp`]                |                  | ✓                      |
+//! | [`constant_fold`]       | ✓                | ✓                      |
+//! | [`copy_propagate`]      |                  | ✓                      |
+//! | [`gvn_cse`]             |                  | ✓                      |
+//! | [`store_load_forward`]  | ✓                | ✓                      |
+//! | [`cross_block_forward`] | ✓                | ✓                      |
+//! | [`load_pre`]            | ✓                | ✓                      |
+//! | [`dead_store_elim`]     | ✓                | ✓                      |
+//! | [`licm`]                |                  | ✓                      |
+//! | [`fold_terminators`]    | ✓                | ✓                      |
+//! | [`dead_code_elim`]      | ✓                | ✓                      |
+//!
+//! with [`coalesce_copies`] and [`merge_return_blocks`] as the φ-free
+//! post passes at every level above `-O0`, and the program passes
+//! [`inline_small_functions`] → [`dead_function_elimination`] framing
+//! the per-function loop at `-O2`/`-Os` (with a size-tuned inlining
+//! threshold at `-Os`). The memory passes run after [`gvn_cse`] —
+//! addresses are canonical by then — and before [`licm`], so forwarding
+//! eats load redundancy first and LICM hoists only the loads that
+//! survive.
+//!
+//! # Per-pass contracts
+//!
+//! Every SSA pass has the signature [`SsaPass`] and receives the
+//! [`mem::MemoryModel`] of the program it runs inside — the memory
+//! passes consult it for rodata facts; the others ignore it.
+//!
 //! * [`sccp`] — sparse conditional constant propagation over the
-//!   ⊤/const/⊥ lattice with an executable-edge worklist (`-O2`+): folds
-//!   through branches the dense fold must leave,
-//! * [`copy_propagate`] — transitive copy propagation (`-O2`+),
+//!   ⊤/const/⊥ lattice with the Wegman–Zadeck two-worklist scheme:
+//!   tracks executable CFG edges, meets φs over executable incoming
+//!   edges only, folds proven-constant instructions and terminators, and
+//!   removes never-executable blocks. Folds through branches the dense
+//!   fold must leave.
+//! * [`constant_fold`] — dense constant propagation/folding with branch
+//!   folding; residue cleanup behind SCCP at `-O2`+, the only constant
+//!   pass at `-O1`.
+//! * [`copy_propagate`] — transitive copy propagation into uses.
 //! * [`gvn_cse`] — dominator-scoped global value numbering / common
-//!   subexpression elimination (`-O2`+; loads are left to the memory
-//!   passes below),
+//!   subexpression elimination with commutative canonicalization; loads
+//!   are deliberately not value-numbered (the memory passes own them).
 //! * [`store_load_forward`] — block-local store-to-load forwarding and
 //!   redundant-load elimination over the tracked memory state of
-//!   [`crate::mem`],
-//! * [`dead_store_elim`] — block-local dead-store elimination (a store
-//!   overwritten before any possible read is dropped),
-//! * [`licm`] — loop-invariant code motion out of natural loops, with
-//!   φ-safe preheader insertion; hoists loads whose address is invariant
-//!   and whose cell the loop body provably leaves alone (`-O2`+),
-//! * [`fold_terminators`] — terminator folding and SSA jump threading,
+//!   [`crate::mem`]; rewrites loads to copies.
+//! * [`cross_block_forward`] — **cross-block** store-to-load forwarding
+//!   / redundant-load elimination over the [`avail_loads`] must-
+//!   availability dataflow: loads of cells available on every incoming
+//!   path are deleted outright, their uses rewritten through new φs at
+//!   joins where predecessor values differ.
+//! * [`load_pre`] — load partial-redundancy elimination for diamond
+//!   joins: a load available on exactly one of two incoming edges gets a
+//!   speculative compensating load in the other predecessor (licensed by
+//!   the rooted-loads-never-fault rule of [`crate::mem`]) and a φ-merge.
+//! * [`dead_store_elim`] — block-local backward sweep dropping stores
+//!   overwritten before any possible read.
+//! * [`licm`] — loop-invariant code motion out of natural loops with
+//!   φ-safe preheader insertion, seeded from computations worth a
+//!   register; hoists loads whose address is invariant and whose cell
+//!   the loop body provably leaves alone ([`mem::LoopClobbers`]).
+//! * [`fold_terminators`] — terminator folding (equal-target `Br`,
+//!   `Switch` arm pruning) and φ-safe SSA jump threading through empty
+//!   forwarding blocks.
 //! * [`dead_code_elim`] — mark-and-sweep removal of pure instructions
-//!   unreachable from the impure/terminator roots.
+//!   unreachable from the impure/terminator roots; dead loop-carried
+//!   φ-cycles retire wholesale.
 //!
-//! Every SSA pass receives the [`mem::MemoryModel`] of the program it
-//! runs inside — the memory passes consult it for rodata facts; the
-//! others ignore it.
-//!
-//! φ-free post passes (run after `ssa::destruct` each outer round):
+//! φ-free post passes:
 //!
 //! * [`coalesce_copies`] — cheap copy coalescing of the φ-lowering
-//!   residue; this is what lets `-O1` afford a second outer round.
+//!   residue (block-local propagation + liveness-based dead-copy sweep);
+//!   this is what lets `-O1` afford a second outer round.
+//! * [`merge_return_blocks`] — crossjumping restricted to
+//!   `Ret`-terminated blocks, canonical-key comparison up to block-local
+//!   renaming.
 //!
 //! Program passes (`-O2`+, run once before the per-function loop):
 //!
@@ -122,6 +174,10 @@ pub mod pass {
     pub const GVN_CSE: &str = "gvn-cse";
     /// Store-to-load forwarding and redundant-load elimination.
     pub const STORE_LOAD_FWD: &str = "store-load-fwd";
+    /// Cross-block store-to-load forwarding / redundant-load elimination.
+    pub const CROSS_LOAD_FWD: &str = "cross-load-fwd";
+    /// Load partial-redundancy elimination for diamond joins.
+    pub const LOAD_PRE: &str = "load-pre";
     /// Dead-store elimination.
     pub const DSE: &str = "dse";
     /// Terminator folding and SSA jump threading.
@@ -247,6 +303,8 @@ impl PassManager {
                 pm.outer_rounds = 2;
                 pm.register(pass::CONST_FOLD, constant_fold);
                 pm.register(pass::STORE_LOAD_FWD, store_load_forward);
+                pm.register(pass::CROSS_LOAD_FWD, cross_block_forward);
+                pm.register(pass::LOAD_PRE, load_pre);
                 pm.register(pass::DSE, dead_store_elim);
                 pm.register(pass::TERM_FOLD, fold_terminators);
                 pm.register(pass::DCE, dead_code_elim);
@@ -269,6 +327,8 @@ impl PassManager {
                 pm.register(pass::COPY_PROP, copy_propagate);
                 pm.register(pass::GVN_CSE, gvn_cse);
                 pm.register(pass::STORE_LOAD_FWD, store_load_forward);
+                pm.register(pass::CROSS_LOAD_FWD, cross_block_forward);
+                pm.register(pass::LOAD_PRE, load_pre);
                 pm.register(pass::DSE, dead_store_elim);
                 pm.register(pass::LICM, licm);
                 pm.register(pass::TERM_FOLD, fold_terminators);
@@ -1086,6 +1146,511 @@ pub fn dead_store_elim(f: &mut MirFunction, _model: &mem::MemoryModel) -> bool {
         blk.insts = kept_rev;
     }
     changed
+}
+
+// ---------------------------------------------------------------------
+// Cross-block load redundancy elimination (avail_loads + two passes)
+// ---------------------------------------------------------------------
+
+/// Result of [`avail_loads`]: per block, the set of exactly addressed
+/// memory cells ([`mem::Cell`]) whose values are *must-available* — on
+/// every path from the entry, the cell was last written or read with no
+/// intervening clobber — on block entry and exit, plus the per-block
+/// [`mem::BlockCells`] transfer summaries the sets were computed from.
+#[derive(Debug, Clone, Default)]
+pub struct AvailLoads {
+    universe: BTreeSet<mem::Cell>,
+    effects: Vec<mem::BlockCells>,
+    avail_in: Vec<BTreeSet<mem::Cell>>,
+    avail_out: Vec<BTreeSet<mem::Cell>>,
+}
+
+impl AvailLoads {
+    /// The cell universe the analysis ranged over.
+    pub fn universe(&self) -> &BTreeSet<mem::Cell> {
+        &self.universe
+    }
+
+    /// Cells available on entry to `b`.
+    pub fn on_entry(&self, b: BlockId) -> &BTreeSet<mem::Cell> {
+        &self.avail_in[b.0 as usize]
+    }
+
+    /// Cells available at the exit of `b`.
+    pub fn at_exit(&self, b: BlockId) -> &BTreeSet<mem::Cell> {
+        &self.avail_out[b.0 as usize]
+    }
+
+    /// `true` if `cell` is available on the CFG edge `p → _` (edges
+    /// neither kill nor gen, so edge availability is the source block's
+    /// exit availability) — the per-edge query load-PRE partitions a
+    /// join's predecessors with.
+    pub fn on_edge(&self, p: BlockId, cell: mem::Cell) -> bool {
+        self.avail_out[p.0 as usize].contains(&cell)
+    }
+
+    /// The transfer summary of block `b`.
+    pub fn effects(&self, b: BlockId) -> &mem::BlockCells {
+        &self.effects[b.0 as usize]
+    }
+}
+
+/// Forward must-availability dataflow over the CFG: a cell is available
+/// at a point if on *every* path there it was last stored or loaded with
+/// no intervening clobber ([`mem::CellState`]'s aliasing discipline:
+/// may-aliasing stores, and calls to non-transparent effects — rodata
+/// cells survive calls, externs are memory-transparent).
+///
+/// The meet is set intersection over the block's reachable predecessors,
+/// seeded optimistically (everything available everywhere except the
+/// entry, whose in-set is empty) and iterated in reverse postorder to
+/// the greatest fixed point, so loop-transparent cells stay available
+/// around back edges. At natural-loop headers the in-set is additionally
+/// filtered through the loop's [`mem::LoopClobbers`] summary — the
+/// explicit "the body writes this, kill it" rule, which makes the common
+/// reducible case converge in a single sweep (the fixed point covers
+/// irreducible shapes the loop forest cannot describe).
+pub fn avail_loads(f: &MirFunction, model: &mem::MemoryModel, addrs: &mem::FnAddrs) -> AvailLoads {
+    let n = f.blocks.len();
+    let universe = mem::cell_universe(f, addrs);
+    let effects: Vec<mem::BlockCells> = f
+        .block_ids()
+        .map(|b| mem::BlockCells::summarize(f, b, &universe, addrs, model))
+        .collect();
+    let mut avail = AvailLoads {
+        universe,
+        effects,
+        avail_in: vec![BTreeSet::new(); n],
+        avail_out: vec![BTreeSet::new(); n],
+    };
+    if avail.universe.is_empty() {
+        return avail;
+    }
+    let rpo = cfg::reverse_postorder(f);
+    let reachable: BTreeSet<BlockId> = rpo.iter().copied().collect();
+    let preds = cfg::predecessors(f);
+    let header_clobbers: BTreeMap<BlockId, mem::LoopClobbers> = cfg::natural_loops(f)
+        .iter()
+        .map(|lp| (lp.header, mem::LoopClobbers::summarize(f, &lp.body, addrs)))
+        .collect();
+    for &b in &rpo {
+        if b != BlockId(0) {
+            avail.avail_out[b.0 as usize] = avail.universe.clone();
+        }
+    }
+    loop {
+        let mut changed = false;
+        for &b in &rpo {
+            let mut in_set = BTreeSet::new();
+            if b != BlockId(0) {
+                let ps: BTreeSet<BlockId> = preds[b.0 as usize]
+                    .iter()
+                    .copied()
+                    .filter(|p| reachable.contains(p))
+                    .collect();
+                let mut first = true;
+                for p in ps {
+                    let out = &avail.avail_out[p.0 as usize];
+                    if first {
+                        in_set = out.clone();
+                        first = false;
+                    } else {
+                        in_set.retain(|c| out.contains(c));
+                    }
+                }
+                if let Some(cl) = header_clobbers.get(&b) {
+                    in_set.retain(|&c| !cl.clobbers(mem::cell_info(c), model));
+                }
+            }
+            let out_set = avail.effects[b.0 as usize].flow(&in_set);
+            let i = b.0 as usize;
+            if in_set != avail.avail_in[i] || out_set != avail.avail_out[i] {
+                avail.avail_in[i] = in_set;
+                avail.avail_out[i] = out_set;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    avail
+}
+
+/// A φ the load rewriter decided to insert, not yet materialized (its
+/// arguments may still collapse through the replacement map).
+struct PendingPhi {
+    block: BlockId,
+    dst: VReg,
+    args: Vec<(BlockId, VReg)>,
+}
+
+/// Shared state of the lazy cell-value resolution both cross-block
+/// passes use: memoized per-(block, cell) entry values and the φs
+/// allocated to merge differing predecessor values.
+struct LoadResolver<'a> {
+    avail: &'a AvailLoads,
+    preds: &'a [Vec<BlockId>],
+    reachable: &'a BTreeSet<BlockId>,
+    entry_memo: BTreeMap<(BlockId, mem::Cell), VReg>,
+    phis: Vec<PendingPhi>,
+}
+
+impl LoadResolver<'_> {
+    /// The register holding `cell`'s value on entry to `b`. Only valid
+    /// when the dataflow proved the cell available there; φs are
+    /// allocated at joins whose predecessors disagree, memoized *before*
+    /// the recursive argument resolution so loop back edges close on the
+    /// φ itself (Braun et al.'s on-demand construction).
+    fn entry_value(&mut self, f: &mut MirFunction, b: BlockId, cell: mem::Cell) -> VReg {
+        if let Some(&v) = self.entry_memo.get(&(b, cell)) {
+            return v;
+        }
+        debug_assert!(
+            self.avail.on_entry(b).contains(&cell),
+            "entry_value on unavailable cell {cell:?} at {b}"
+        );
+        let ps: Vec<BlockId> = self.preds[b.0 as usize]
+            .iter()
+            .copied()
+            .filter(|p| self.reachable.contains(p))
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        debug_assert!(!ps.is_empty(), "available cell with no predecessor at {b}");
+        if ps.len() == 1 {
+            let v = self.exit_value(f, ps[0], cell);
+            self.entry_memo.insert((b, cell), v);
+            v
+        } else {
+            let dst = f.fresh();
+            self.entry_memo.insert((b, cell), dst);
+            let args: Vec<(BlockId, VReg)> = ps
+                .into_iter()
+                .map(|p| {
+                    let v = self.exit_value(f, p, cell);
+                    (p, v)
+                })
+                .collect();
+            self.phis.push(PendingPhi {
+                block: b,
+                dst,
+                args,
+            });
+            dst
+        }
+    }
+
+    /// The register holding `cell`'s value at the exit of `p`: the
+    /// block's own provider if it has one, else the entry value carried
+    /// through a transparent block.
+    fn exit_value(&mut self, f: &mut MirFunction, p: BlockId, cell: mem::Cell) -> VReg {
+        if let Some(&v) = self.avail.effects(p).provides.get(&cell) {
+            return v;
+        }
+        self.entry_value(f, p, cell)
+    }
+}
+
+/// The shared analysis prologue of the two cross-block passes: address
+/// resolution, the availability dataflow, dominators and the
+/// dominance-ordered reachable-block walk. One constructor keeps both
+/// passes' view of the CFG identical by construction.
+struct CrossBlockCtx {
+    addrs: mem::FnAddrs,
+    avail: AvailLoads,
+    idom: BTreeMap<BlockId, BlockId>,
+    order: Vec<BlockId>,
+    preds: Vec<Vec<BlockId>>,
+    reachable: BTreeSet<BlockId>,
+}
+
+impl CrossBlockCtx {
+    /// `None` when the function touches no exactly addressed cell —
+    /// neither pass has anything to do then.
+    fn analyze(f: &MirFunction, model: &mem::MemoryModel) -> Option<CrossBlockCtx> {
+        let addrs = mem::FnAddrs::analyze(f);
+        let avail = avail_loads(f, model, &addrs);
+        if avail.universe().is_empty() {
+            return None;
+        }
+        let idom = cfg::dominators(f);
+        let order = cfg::dominator_preorder(&idom);
+        let preds = cfg::predecessors(f);
+        let reachable = order.iter().copied().collect();
+        Some(CrossBlockCtx {
+            addrs,
+            avail,
+            idom,
+            order,
+            preds,
+            reachable,
+        })
+    }
+
+    fn resolver(&self) -> LoadResolver<'_> {
+        LoadResolver {
+            avail: &self.avail,
+            preds: &self.preds,
+            reachable: &self.reachable,
+            entry_memo: BTreeMap::new(),
+            phis: Vec::new(),
+        }
+    }
+}
+
+/// The edits a cross-block pass accumulates before touching the
+/// function: loads to delete (with every use of their destination
+/// rewritten to the forwarded value), φs to materialize, instructions to
+/// append to predecessor blocks (load-PRE's compensating loads).
+#[derive(Default)]
+struct LoadEdits {
+    /// Replacements for deleted definitions (and collapsed φs); applied
+    /// transitively to every use in the function.
+    repl: BTreeMap<VReg, VReg>,
+    /// `(block, instruction index)` of loads to delete.
+    delete: BTreeSet<(BlockId, usize)>,
+    /// Instructions appended to the end of a block (before its
+    /// terminator).
+    append: BTreeMap<BlockId, Vec<Inst>>,
+}
+
+impl LoadEdits {
+    fn resolve(&self, mut v: VReg) -> VReg {
+        let mut hops = 0;
+        while let Some(&n) = self.repl.get(&v) {
+            v = n;
+            hops += 1;
+            if hops > self.repl.len() {
+                break; // defensive: replacement chains cannot cycle
+            }
+        }
+        v
+    }
+
+    /// Applies everything: collapses trivial φs (all arguments resolve
+    /// to one value besides the φ itself — such a φ *is* that value, the
+    /// self-argument being the unchanged loop-carried copy), prepends the
+    /// surviving φs, deletes the forwarded loads, rewrites every use
+    /// through the replacement map and appends the compensating
+    /// instructions. Returns `true` if the function changed.
+    fn apply(mut self, f: &mut MirFunction, mut phis: Vec<PendingPhi>) -> bool {
+        if self.delete.is_empty() && phis.is_empty() && self.append.is_empty() {
+            return false;
+        }
+        // Trivial-φ collapse to a fixed point: collapsing one φ can make
+        // another's arguments agree.
+        loop {
+            let mut collapsed = false;
+            phis.retain(|phi| {
+                let distinct: BTreeSet<VReg> = phi
+                    .args
+                    .iter()
+                    .map(|(_, v)| self.resolve(*v))
+                    .filter(|v| *v != phi.dst)
+                    .collect();
+                if distinct.len() == 1 {
+                    let only = *distinct.iter().next().expect("one element");
+                    self.repl.insert(phi.dst, only);
+                    collapsed = true;
+                    false
+                } else {
+                    true
+                }
+            });
+            if !collapsed {
+                break;
+            }
+        }
+        let mut phi_by_block: BTreeMap<BlockId, Vec<Inst>> = BTreeMap::new();
+        for phi in phis {
+            let args = phi
+                .args
+                .iter()
+                .map(|&(p, v)| (p, self.resolve(v)))
+                .collect();
+            phi_by_block
+                .entry(phi.block)
+                .or_default()
+                .push(Inst::Phi { dst: phi.dst, args });
+        }
+        for b in f.block_ids().collect::<Vec<_>>() {
+            let tail = self.append.remove(&b).unwrap_or_default();
+            let blk = f.block_mut(b);
+            let old = std::mem::take(&mut blk.insts);
+            let mut insts = phi_by_block.remove(&b).unwrap_or_default();
+            insts.reserve(old.len() + tail.len());
+            for (i, inst) in old.into_iter().enumerate() {
+                if !self.delete.contains(&(b, i)) {
+                    insts.push(inst);
+                }
+            }
+            insts.extend(tail);
+            blk.insts = insts;
+            let blk = f.block_mut(b);
+            for inst in &mut blk.insts {
+                inst.map_uses(&mut |v| self.resolve(v));
+            }
+            blk.term.map_uses(&mut |v| self.resolve(v));
+        }
+        true
+    }
+}
+
+/// Cross-block store-to-load forwarding / redundant-load elimination, on
+/// SSA — the mid-end's first *global* memory optimization. Backed by
+/// [`avail_loads`]: a load of a cell that is must-available on block
+/// entry (dominated by a same-cell store or load with no intervening
+/// clobber on any path) is **deleted** and every use of its destination
+/// rewritten to the available value, threaded through the SSA graph with
+/// new φs at joins where the incoming values differ (and closing over
+/// back edges with loop φs — a loop-transparent cell's value enters the
+/// φ from outside and recycles through the latch). Trivial φs (every
+/// argument one value) collapse away before materialization, so
+/// straight-line chains — the State Pattern's call-free handler paths
+/// re-reading the context cell the caller just tested — forward with no
+/// φ at all.
+///
+/// This is the pass the recorded `gain_order_matches_table1` deviation
+/// pointed at: block-local forwarding helps the State Pattern least
+/// because its handlers re-load the same context cells *across* block
+/// boundaries. Deleting the loads here (rather than leaving copies)
+/// makes the pass's `insts_removed` stat the direct count of loads
+/// eliminated. Returns `true` if anything changed.
+pub fn cross_block_forward(f: &mut MirFunction, model: &mem::MemoryModel) -> bool {
+    let Some(ctx) = CrossBlockCtx::analyze(f, model) else {
+        return false;
+    };
+    let mut resolver = ctx.resolver();
+    let mut edits = LoadEdits::default();
+    for &b in &ctx.order {
+        let mut st = mem::CellState::new(ctx.avail.universe());
+        for i in 0..f.block(b).insts.len() {
+            let load = match &f.block(b).insts[i] {
+                Inst::Load { dst, addr } => Some((*dst, *addr)),
+                _ => None,
+            };
+            if let Some((dst, addr)) = load {
+                if let mem::AddrInfo::Exact { global, offset } = ctx.addrs.info(addr) {
+                    let cell = (global, offset);
+                    let forwarded = match st.value(cell) {
+                        mem::CellVal::Reg(v) => Some(v),
+                        mem::CellVal::FromEntry if ctx.avail.on_entry(b).contains(&cell) => {
+                            Some(resolver.entry_value(f, b, cell))
+                        }
+                        _ => None,
+                    };
+                    if let Some(v) = forwarded {
+                        edits.delete.insert((b, i));
+                        edits.repl.insert(dst, v);
+                        st.set(cell, mem::CellVal::Reg(v));
+                        continue;
+                    }
+                }
+            }
+            st.apply(&f.block(b).insts[i], &ctx.addrs, model);
+        }
+    }
+    if edits.delete.is_empty() {
+        return false;
+    }
+    edits.apply(f, resolver.phis)
+}
+
+/// Load partial-redundancy elimination for diamond joins, on SSA. Where
+/// [`cross_block_forward`] needs a cell available on *every* incoming
+/// path, this pass handles the half-available case: at a two-predecessor
+/// join that is not a loop header, a load of a cell available on exactly
+/// one incoming edge ([`AvailLoads::on_edge`]) is made fully redundant
+/// by inserting the compensating load in the *other* predecessor — a
+/// fresh `Addr` + `Load` of the cell before its terminator — and
+/// φ-merging the two values. The original load is deleted and its uses
+/// rewritten to the φ.
+///
+/// The insertion is speculative when the lacking predecessor has other
+/// successors: the compensating load then also executes on paths that
+/// never reach the join. That is licensed by the rooted-loads-never-fault
+/// rule of [`crate::mem`] — the cell is exactly addressed, so the
+/// address stays inside the VM's data image and the extra load can only
+/// cost time, never behaviour. Returns `true` if anything changed.
+pub fn load_pre(f: &mut MirFunction, model: &mem::MemoryModel) -> bool {
+    let Some(ctx) = CrossBlockCtx::analyze(f, model) else {
+        return false;
+    };
+    let mut resolver = ctx.resolver();
+    let mut edits = LoadEdits::default();
+    for &b in &ctx.order {
+        let ps: Vec<BlockId> = ctx.preds[b.0 as usize]
+            .iter()
+            .copied()
+            .filter(|p| ctx.reachable.contains(p))
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        // Diamond joins only: exactly two distinct forward predecessors.
+        // A join one of whose edges is a back edge is a loop header —
+        // compensating in the latch would reload every iteration.
+        if ps.len() != 2 || ps.iter().any(|&p| cfg::dominates(&ctx.idom, b, p)) {
+            continue;
+        }
+        let mut st = mem::CellState::new(ctx.avail.universe());
+        for i in 0..f.block(b).insts.len() {
+            let load = match &f.block(b).insts[i] {
+                Inst::Load { dst, addr } => Some((*dst, *addr)),
+                _ => None,
+            };
+            if let Some((dst, addr)) = load {
+                if let mem::AddrInfo::Exact { global, offset } = ctx.addrs.info(addr) {
+                    let cell = (global, offset);
+                    // Only entry-state loads of half-available cells: the
+                    // fully available case is cross_block_forward's, a
+                    // locally provided value is store_load_forward's, and
+                    // a locally clobbered cell cannot be compensated.
+                    if st.value(cell) == mem::CellVal::FromEntry
+                        && !ctx.avail.on_entry(b).contains(&cell)
+                    {
+                        let have: Vec<BlockId> = ps
+                            .iter()
+                            .copied()
+                            .filter(|&p| ctx.avail.on_edge(p, cell))
+                            .collect();
+                        if have.len() == 1 {
+                            let miss = ps[usize::from(ps[0] == have[0])];
+                            let available = resolver.exit_value(f, have[0], cell);
+                            let addr_reg = f.fresh();
+                            let load_reg = f.fresh();
+                            edits.append.entry(miss).or_default().extend([
+                                Inst::Addr {
+                                    dst: addr_reg,
+                                    global,
+                                    offset,
+                                },
+                                Inst::Load {
+                                    dst: load_reg,
+                                    addr: addr_reg,
+                                },
+                            ]);
+                            let phi_dst = f.fresh();
+                            resolver.phis.push(PendingPhi {
+                                block: b,
+                                dst: phi_dst,
+                                args: vec![(have[0], available), (miss, load_reg)],
+                            });
+                            edits.delete.insert((b, i));
+                            edits.repl.insert(dst, phi_dst);
+                            st.set(cell, mem::CellVal::Reg(phi_dst));
+                            continue;
+                        }
+                    }
+                }
+            }
+            st.apply(&f.block(b).insts[i], &ctx.addrs, model);
+        }
+    }
+    if edits.delete.is_empty() {
+        return false;
+    }
+    edits.apply(f, resolver.phis)
 }
 
 // ---------------------------------------------------------------------
@@ -3821,6 +4386,303 @@ mod tests {
 
     /// A countdown loop whose body loads `g0[0]` every iteration; with
     /// `store_in_body`, the body also stores to that global.
+    /// bb0: a = &g0; store a, v0; Br v0 → bb1 | bb2; both store (or not)
+    /// and join in bb3, which loads the cell.
+    fn diamond_mem_fn(store_then: Option<i32>, store_else: Option<i32>) -> MirFunction {
+        let store_arm = |value: Option<i32>, base: u32| {
+            let mut insts = vec![Inst::Addr {
+                dst: VReg(base),
+                global: 0,
+                offset: 0,
+            }];
+            if let Some(v) = value {
+                insts.push(Inst::Const {
+                    dst: VReg(base + 1),
+                    value: v,
+                });
+                insts.push(Inst::Store {
+                    addr: VReg(base),
+                    src: VReg(base + 1),
+                });
+            }
+            insts
+        };
+        MirFunction {
+            name: "diamond".into(),
+            params: 1,
+            returns_value: true,
+            exported: true,
+            blocks: vec![
+                Block {
+                    insts: vec![],
+                    term: Term::Br {
+                        cond: VReg(0),
+                        then_block: BlockId(1),
+                        else_block: BlockId(2),
+                    },
+                },
+                Block {
+                    insts: store_arm(store_then, 1),
+                    term: Term::Goto(BlockId(3)),
+                },
+                Block {
+                    insts: store_arm(store_else, 4),
+                    term: Term::Goto(BlockId(3)),
+                },
+                Block {
+                    insts: vec![
+                        Inst::Addr {
+                            dst: VReg(7),
+                            global: 0,
+                            offset: 0,
+                        },
+                        Inst::Load {
+                            dst: VReg(8),
+                            addr: VReg(7),
+                        },
+                    ],
+                    term: Term::Ret(Some(VReg(8))),
+                },
+            ],
+            next_vreg: 9,
+        }
+    }
+
+    fn count_loads(f: &MirFunction) -> usize {
+        f.blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::Load { .. }))
+            .count()
+    }
+
+    fn count_phis(f: &MirFunction) -> usize {
+        f.blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::Phi { .. }))
+            .count()
+    }
+
+    #[test]
+    fn avail_loads_flows_availability_and_kills_at_joins() {
+        let f = diamond_mem_fn(Some(1), None);
+        let addrs = mem::FnAddrs::analyze(&f);
+        let avail = avail_loads(&f, &md(), &addrs);
+        let cell = (0usize, 0i32);
+        assert!(avail.universe().contains(&cell));
+        // Stored on the then-arm only: available at its exit, not at the
+        // else-arm's, so the join entry set is empty.
+        assert!(avail.on_edge(BlockId(1), cell));
+        assert!(!avail.on_edge(BlockId(2), cell));
+        assert!(!avail.on_entry(BlockId(3)).contains(&cell));
+        // Stored on both arms: available on join entry.
+        let f2 = diamond_mem_fn(Some(1), Some(2));
+        let addrs2 = mem::FnAddrs::analyze(&f2);
+        let avail2 = avail_loads(&f2, &md(), &addrs2);
+        assert!(avail2.on_entry(BlockId(3)).contains(&cell));
+    }
+
+    #[test]
+    fn cross_block_forward_deletes_load_on_straight_line() {
+        // store in bb0, load in bb1 (straight line): the load is deleted
+        // and the return uses the stored value directly.
+        let mut f = MirFunction {
+            name: "line".into(),
+            params: 1,
+            returns_value: true,
+            exported: true,
+            blocks: vec![
+                Block {
+                    insts: vec![
+                        Inst::Addr {
+                            dst: VReg(1),
+                            global: 0,
+                            offset: 0,
+                        },
+                        Inst::Store {
+                            addr: VReg(1),
+                            src: VReg(0),
+                        },
+                    ],
+                    term: Term::Goto(BlockId(1)),
+                },
+                Block {
+                    insts: vec![
+                        Inst::Addr {
+                            dst: VReg(2),
+                            global: 0,
+                            offset: 0,
+                        },
+                        Inst::Load {
+                            dst: VReg(3),
+                            addr: VReg(2),
+                        },
+                    ],
+                    term: Term::Ret(Some(VReg(3))),
+                },
+            ],
+            next_vreg: 4,
+        };
+        assert!(cross_block_forward(&mut f, &md()));
+        assert_eq!(count_loads(&f), 0, "{f}");
+        assert_eq!(count_phis(&f), 0, "straight line needs no phi: {f}");
+        assert_eq!(f.blocks[1].term, Term::Ret(Some(VReg(0))), "{f}");
+    }
+
+    #[test]
+    fn cross_block_forward_merges_diamond_values_with_phi() {
+        let mut f = diamond_mem_fn(Some(1), Some(2));
+        assert!(cross_block_forward(&mut f, &md()));
+        assert_eq!(count_loads(&f), 0, "{f}");
+        assert_eq!(count_phis(&f), 1, "differing arm values need a phi: {f}");
+        let Some(Inst::Phi { dst, args }) = f.blocks[3].insts.first() else {
+            panic!("phi must sit at the join head: {f}");
+        };
+        assert_eq!(args.len(), 2, "{f}");
+        assert_eq!(f.blocks[3].term, Term::Ret(Some(*dst)), "{f}");
+    }
+
+    #[test]
+    fn cross_block_forward_collapses_loop_transparent_value_without_phi() {
+        // store in bb0, load in the loop header bb1 whose body never
+        // writes the cell: the back-edge value is the entry value, so the
+        // loop phi is trivial and the load forwards straight to v0.
+        let mut f = MirFunction {
+            name: "looped".into(),
+            params: 1,
+            returns_value: true,
+            exported: true,
+            blocks: vec![
+                Block {
+                    insts: vec![
+                        Inst::Addr {
+                            dst: VReg(1),
+                            global: 0,
+                            offset: 0,
+                        },
+                        Inst::Store {
+                            addr: VReg(1),
+                            src: VReg(0),
+                        },
+                    ],
+                    term: Term::Goto(BlockId(1)),
+                },
+                Block {
+                    insts: vec![
+                        Inst::Addr {
+                            dst: VReg(2),
+                            global: 0,
+                            offset: 0,
+                        },
+                        Inst::Load {
+                            dst: VReg(3),
+                            addr: VReg(2),
+                        },
+                    ],
+                    term: Term::Br {
+                        cond: VReg(3),
+                        then_block: BlockId(1),
+                        else_block: BlockId(2),
+                    },
+                },
+                Block {
+                    insts: vec![],
+                    term: Term::Ret(Some(VReg(3))),
+                },
+            ],
+            next_vreg: 4,
+        };
+        assert!(cross_block_forward(&mut f, &md()));
+        assert_eq!(count_loads(&f), 0, "{f}");
+        assert_eq!(count_phis(&f), 0, "trivial loop phi must collapse: {f}");
+        assert_eq!(f.blocks[2].term, Term::Ret(Some(VReg(0))), "{f}");
+    }
+
+    #[test]
+    fn cross_block_forward_respects_call_clobbers() {
+        // store in bb0, call in bb0, load in bb1: the call may overwrite
+        // the (mutable-by-default) cell, so the load must stay.
+        let mut f = MirFunction {
+            name: "clob".into(),
+            params: 1,
+            returns_value: true,
+            exported: true,
+            blocks: vec![
+                Block {
+                    insts: vec![
+                        Inst::Addr {
+                            dst: VReg(1),
+                            global: 0,
+                            offset: 0,
+                        },
+                        Inst::Store {
+                            addr: VReg(1),
+                            src: VReg(0),
+                        },
+                        Inst::Call {
+                            dst: None,
+                            func: 0,
+                            args: vec![],
+                        },
+                    ],
+                    term: Term::Goto(BlockId(1)),
+                },
+                Block {
+                    insts: vec![
+                        Inst::Addr {
+                            dst: VReg(2),
+                            global: 0,
+                            offset: 0,
+                        },
+                        Inst::Load {
+                            dst: VReg(3),
+                            addr: VReg(2),
+                        },
+                    ],
+                    term: Term::Ret(Some(VReg(3))),
+                },
+            ],
+            next_vreg: 4,
+        };
+        assert!(!cross_block_forward(&mut f, &md()));
+        assert_eq!(count_loads(&f), 1, "{f}");
+    }
+
+    #[test]
+    fn load_pre_compensates_the_lacking_diamond_arm() {
+        // Stored on the then-arm only: PRE inserts the compensating load
+        // in the else-arm and phi-merges, deleting the join's load.
+        let mut f = diamond_mem_fn(Some(7), None);
+        assert!(load_pre(&mut f, &md()));
+        assert_eq!(count_phis(&f), 1, "{f}");
+        assert_eq!(
+            f.blocks[2]
+                .insts
+                .iter()
+                .filter(|i| matches!(i, Inst::Load { .. }))
+                .count(),
+            1,
+            "compensating load lands in the lacking arm: {f}"
+        );
+        assert!(
+            !f.blocks[3]
+                .insts
+                .iter()
+                .any(|i| matches!(i, Inst::Load { .. })),
+            "the join's load is gone: {f}"
+        );
+        // Fully redundant now: a second run has nothing left to do.
+        assert!(!load_pre(&mut f, &md()), "{f}");
+    }
+
+    #[test]
+    fn load_pre_leaves_fully_unavailable_joins_alone() {
+        let mut f = diamond_mem_fn(None, None);
+        assert!(!load_pre(&mut f, &md()), "{f}");
+        assert_eq!(count_loads(&f), 1, "{f}");
+    }
+
     fn load_loop(store_in_body: bool) -> MirFunction {
         let mut body = vec![
             Inst::Addr {

@@ -97,9 +97,10 @@ pub enum InterpError {
     /// A guard or action failed to evaluate.
     Eval(EvalError),
     /// More chained completion transitions fired in one run-to-completion
-    /// step than [`Semantics::max_completion_chain`]
-    /// (crate::Semantics::max_completion_chain) allows — the model contains
-    /// a completion cycle.
+    /// step than [`Semantics::max_completion_chain`] allows — the model
+    /// contains a completion cycle.
+    ///
+    /// [`Semantics::max_completion_chain`]: crate::Semantics::max_completion_chain
     CompletionLoop {
         /// The state at which the bound was hit.
         state: String,

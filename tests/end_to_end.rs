@@ -229,6 +229,8 @@ fn new_passes_fire_on_sample_machines_at_o2() {
                 "copy-prop",
                 "gvn-cse",
                 "store-load-fwd",
+                "cross-load-fwd",
+                "load-pre",
                 "dse",
                 "licm",
                 "term-fold",
@@ -247,6 +249,7 @@ fn new_passes_fire_on_sample_machines_at_o2() {
         "licm",
         "gvn-cse",
         "store-load-fwd",
+        "cross-load-fwd",
         "dse",
         "term-fold",
         "copy-coalesce",
@@ -299,6 +302,40 @@ fn store_load_forward_fires_on_every_stt_cell_at_o2() {
             slf.changes > 0,
             "store-to-load forwarding must fire on {}'s STT build",
             machine.name()
+        );
+    }
+}
+
+#[test]
+fn cross_block_forwarding_fires_on_every_state_pattern_cell_at_o2() {
+    // The tentpole's acceptance criterion. The State Pattern is the
+    // pattern block-local forwarding helps least — its call-heavy
+    // handlers re-load the same context cells *across* block boundaries
+    // (the region dispatcher alone re-reads the active-state field past
+    // the guard block, like the naive generated C++ it stands in for).
+    // The dominator-scoped available-load analysis must catch that on
+    // every sample machine: the pass deletes the forwarded loads, so its
+    // `insts_removed` is the direct count of loads eliminated and must
+    // be nonzero — not just `changes`.
+    for machine in [
+        samples::flat_unreachable(),
+        samples::hierarchical_never_active(),
+        samples::cruise_control(),
+        samples::protocol_handler(),
+    ] {
+        let generated = cgen::generate(&machine, Pattern::StatePattern).expect("generates");
+        let artifact = occ::compile(&generated.module, OptLevel::O2).expect("compiles");
+        let xfwd = artifact
+            .pass_stats()
+            .get("cross-load-fwd")
+            .expect("cross-load-fwd ran");
+        assert!(
+            xfwd.insts_removed > 0,
+            "cross-block forwarding must delete loads on {}'s State Pattern build \
+             (changes {}, insts_removed {})",
+            machine.name(),
+            xfwd.changes,
+            xfwd.insts_removed
         );
     }
 }

@@ -4,9 +4,11 @@
 //! latch-guarded back edges (loop fodder for SCCP's executable-edge
 //! analysis and LICM's preheader insertion), and `Load`/`Store`/`Addr`
 //! mixes over overlapping and disjoint cells of mutable and rodata
-//! globals (memory-pass fodder, with stores landing in loop bodies) —
-//! must produce the same EM32 extern-call trace at `-O1`/`-O2`/`-Os` as
-//! at `-O0`, and under each new pass applied in isolation.
+//! globals (memory-pass fodder: stores landing in loop bodies, and
+//! store/load mixes *across* block boundaries — cross-block forwarding
+//! and load-PRE fodder) — must produce the same EM32 extern-call trace
+//! at `-O1`/`-O2`/`-Os` as at `-O0`, and under each new pass applied in
+//! isolation.
 //!
 //! Every load's value is emitted through the `emit` extern, so a memory
 //! pass that forwards, removes or hoists the wrong thing changes the
@@ -539,9 +541,54 @@ proptest! {
         prop_assert_eq!(&cleaned, &oracle, "dead_store_elim + dce diverges");
     }
 
+    /// Cross-block store-to-load forwarding alone preserves the trace —
+    /// the generated blocks store and reload overlapping cells across
+    /// branch, switch and latch edges, so the availability dataflow
+    /// (loop-transparent cells included) and the φ threading at joins
+    /// are what is on trial here.
+    #[test]
+    fn cross_block_forward_preserves_em32_trace(
+        consts in prop::collection::vec(-8i32..8, 2..5),
+        ops in prop::collection::vec((0u8..14, any::<u8>(), any::<u8>()), 1..4),
+        blocks in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 1..6),
+    ) {
+        let program = build_program(&consts, &ops, &blocks);
+        let oracle = trace_at(&program, OptLevel::O0);
+        let got = trace_with_passes(&program, &[opt::cross_block_forward]);
+        prop_assert_eq!(&got, &oracle, "cross_block_forward diverges");
+        let cleaned = trace_with_passes(
+            &program,
+            &[opt::cross_block_forward, opt::copy_propagate, opt::dead_code_elim],
+        );
+        prop_assert_eq!(&cleaned, &oracle, "cross_block_forward + cleanup diverges");
+    }
+
+    /// Load partial-redundancy elimination alone preserves the trace —
+    /// its speculative compensating loads must read the same cell the
+    /// deleted join load would have, on every path.
+    #[test]
+    fn load_pre_preserves_em32_trace(
+        consts in prop::collection::vec(-8i32..8, 2..5),
+        ops in prop::collection::vec((0u8..14, any::<u8>(), any::<u8>()), 1..4),
+        blocks in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 2..6),
+    ) {
+        let program = build_program(&consts, &ops, &blocks);
+        let oracle = trace_at(&program, OptLevel::O0);
+        let got = trace_with_passes(&program, &[opt::load_pre]);
+        prop_assert_eq!(&got, &oracle, "load_pre diverges");
+        // PRE makes the join load fully redundant; cross-block forwarding
+        // stacked on top must agree too.
+        let stacked = trace_with_passes(
+            &program,
+            &[opt::load_pre, opt::cross_block_forward, opt::dead_code_elim],
+        );
+        prop_assert_eq!(&stacked, &oracle, "load_pre + cross_block_forward diverges");
+    }
+
     /// The whole memory family stacked — load-hoisting LICM over blocks
-    /// whose loops store to the very globals being read, then forwarding
-    /// and dead-store elimination, then cleanup — preserves the trace.
+    /// whose loops store to the very globals being read, then block-local
+    /// and cross-block forwarding, PRE and dead-store elimination, then
+    /// cleanup — preserves the trace.
     #[test]
     fn memory_pass_family_preserves_em32_trace(
         consts in prop::collection::vec(-8i32..8, 2..5),
@@ -555,6 +602,8 @@ proptest! {
             &[
                 opt::licm,
                 opt::store_load_forward,
+                opt::cross_block_forward,
+                opt::load_pre,
                 opt::dead_store_elim,
                 opt::gvn_cse,
                 opt::copy_propagate,

@@ -7,6 +7,11 @@
 //! [`prop_assert!`] and [`prop_assert_eq!`] macros; and
 //! [`ProptestConfig`]. Cases are generated from a fixed deterministic
 //! seed; failing cases are reported but **not shrunk**.
+//!
+//! [`Strategy`]: strategy::Strategy
+//! [`Just`]: strategy::Just
+//! [`any`]: arbitrary::any
+//! [`ProptestConfig`]: test_runner::ProptestConfig
 
 #![forbid(unsafe_code)]
 
