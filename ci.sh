@@ -66,8 +66,14 @@ if [[ $fast -eq 1 ]]; then
 else
     run_stage "cargo build --release" \
         cargo build --release --workspace --all-targets
-    run_stage "cargo test --workspace (MIR_DIFF_CASES=$full_gate_diff_cases)" \
-        env MIR_DIFF_CASES=$full_gate_diff_cases cargo test --workspace -q
+    run_stage "cargo test --workspace --release (MIR_DIFF_CASES=$full_gate_diff_cases)" \
+        env MIR_DIFF_CASES=$full_gate_diff_cases cargo test --workspace --release -q
+    # The backend's VCode verifier is debug-only (`cfg!(debug_assertions)`
+    # compiles it out of release artifacts), so the gate must run the occ
+    # tests under the dev profile too — this is the stage where every
+    # register-allocation constraint is actually re-checked.
+    run_stage "cargo test -p occ (debug: VCode verifier active)" \
+        cargo test -p occ -q
     run_stage "bench smoke (6 binaries)" bench_smoke
     # Size-regression gate: snapshot the current toolchain, then compare
     # against the committed baseline. Any machine×pattern×level cell

@@ -97,9 +97,10 @@ fn main() {
     }
 
     println!("\ndeviation notes (details + history in EXPERIMENTS.md):");
-    println!("  * our STT pays one engine copy per region and its tables resist the");
-    println!("    cross-block-forwarding-fed constant folding, so it is no longer the");
-    println!("    absolute-smallest pattern on either machine family (entry 1);");
+    println!("  * our STT pays one engine copy per region, so on hierarchical machines");
+    println!("    it is not the absolute-smallest pattern; on the flat machine the");
+    println!("    register-allocating backend restored the paper's STT-smallest claim");
+    println!("    (entry 1);");
     println!("  * the fine SP-vs-NS gain ordering stays flipped vs the paper — the");
     println!("    robust half (inline-style gains beat the table-driven STT) holds");
     println!("    (entry 2).");

@@ -1,8 +1,11 @@
 //! Machine-readable size/pass-effect snapshots and the CI regression gate.
 //!
 //! [`Snapshot::measure`] compiles every sample machine × implementation
-//! pattern × optimization level cell and records the section sizes plus
-//! the per-pass [`occ::PassStats`] of the mid-end run. The `snapshot`
+//! pattern × optimization level cell and records the section sizes, the
+//! backend's register-allocation quality counters
+//! ([`occ::RegAllocStats`]: spill slots, saved callee-saved registers,
+//! spill-code bytes) and the per-pass [`occ::PassStats`] of the mid-end
+//! run. The `snapshot`
 //! binary serializes one to `BENCH_PR3.json`; the `regress` binary
 //! compares a fresh (or freshly written) snapshot against the committed
 //! `bench_baseline.json` and fails on any size regression beyond
@@ -61,6 +64,14 @@ pub struct Cell {
     pub data: usize,
     /// Total image bytes (the regression-gated number).
     pub total: usize,
+    /// Stack slots the register allocator spilled to, summed over the
+    /// cell's functions.
+    pub spill_slots: usize,
+    /// Callee-saved registers saved/restored, summed over the cell's
+    /// functions.
+    pub saved_regs: usize,
+    /// Text bytes of inserted spill code (slot loads/stores).
+    pub spill_bytes: usize,
     /// Mid-end per-pass effects for this cell.
     pub passes: Vec<PassCell>,
 }
@@ -102,6 +113,7 @@ impl Snapshot {
                 for level in OptLevel::all() {
                     let artifact = compile_artifact(&machine, pattern, level)?;
                     let sizes = artifact.sizes();
+                    let regalloc = artifact.regalloc_stats();
                     let passes = artifact
                         .pass_stats()
                         .passes()
@@ -122,6 +134,9 @@ impl Snapshot {
                         rodata: sizes.rodata,
                         data: sizes.data,
                         total: sizes.total(),
+                        spill_slots: regalloc.spill_slots,
+                        saved_regs: regalloc.saved_regs,
+                        spill_bytes: regalloc.spill_bytes,
                         passes,
                     });
                 }
@@ -142,14 +157,18 @@ impl Snapshot {
             let _ = write!(
                 out,
                 "    {{\"machine\": {}, \"pattern\": {}, \"level\": {}, \
-                 \"text\": {}, \"rodata\": {}, \"data\": {}, \"total\": {}, \"passes\": [",
+                 \"text\": {}, \"rodata\": {}, \"data\": {}, \"total\": {}, \
+                 \"spill_slots\": {}, \"saved_regs\": {}, \"spill_bytes\": {}, \"passes\": [",
                 json_string(&c.machine),
                 json_string(&c.pattern),
                 json_string(&c.level),
                 c.text,
                 c.rodata,
                 c.data,
-                c.total
+                c.total,
+                c.spill_slots,
+                c.saved_regs,
+                c.spill_bytes
             );
             for (j, p) in c.passes.iter().enumerate() {
                 let _ = write!(
@@ -207,6 +226,9 @@ impl Snapshot {
                 rodata: item.usize_field("rodata")?,
                 data: item.usize_field("data")?,
                 total: item.usize_field("total")?,
+                spill_slots: item.usize_field("spill_slots")?,
+                saved_regs: item.usize_field("saved_regs")?,
+                spill_bytes: item.usize_field("spill_bytes")?,
                 passes,
             });
         }
@@ -272,6 +294,20 @@ pub enum Verdict {
         /// Current section bytes.
         current: usize,
     },
+    /// A register-allocation quality metric (`spill_slots`, `saved_regs`
+    /// or `spill_bytes`) regressed beyond its tolerance: allocation
+    /// decisions are part of the locked trajectory, so more spilling must
+    /// fail the gate like more text even when total size hides it.
+    RegallocRegressed {
+        /// Cell key.
+        key: String,
+        /// Metric name.
+        metric: &'static str,
+        /// Baseline metric value.
+        baseline: usize,
+        /// Current metric value.
+        current: usize,
+    },
     /// A pass that removed instructions somewhere in the baseline now
     /// removes zero instructions across *all* cells — it has silently
     /// gone inert (unregistered, reordered into impotence, or broken)
@@ -293,6 +329,7 @@ impl Verdict {
                 | Verdict::Missing { .. }
                 | Verdict::Unbaselined { .. }
                 | Verdict::SectionRegressed { .. }
+                | Verdict::RegallocRegressed { .. }
                 | Verdict::PassInert { .. }
         )
     }
@@ -329,6 +366,15 @@ impl Verdict {
                 current,
             } => format!(
                 "  REGRESSED {key:<40} {section} {baseline:>7} -> {current:>7} (+{})",
+                current.saturating_sub(*baseline)
+            ),
+            Verdict::RegallocRegressed {
+                key,
+                metric,
+                baseline,
+                current,
+            } => format!(
+                "  REGRESSED {key:<40} {metric} {baseline:>7} -> {current:>7} (+{})",
                 current.saturating_sub(*baseline)
             ),
             Verdict::PassInert {
@@ -402,6 +448,30 @@ pub fn compare(baseline: &Snapshot, current: &Snapshot) -> Vec<Verdict> {
                     current: c,
                 });
             }
+        }
+        // Register-allocation quality: the discrete counters tolerate a
+        // drift of one (a single extra slot or saved register is often
+        // legitimate churn), spill-code bytes use the size tolerance.
+        for (metric, b, c) in [
+            ("spill_slots", base.spill_slots, cur.spill_slots),
+            ("saved_regs", base.saved_regs, cur.saved_regs),
+        ] {
+            if c > b + 1 {
+                verdicts.push(Verdict::RegallocRegressed {
+                    key: key.clone(),
+                    metric,
+                    baseline: b,
+                    current: c,
+                });
+            }
+        }
+        if cur.spill_bytes > base.spill_bytes + allowed_growth(base.spill_bytes) {
+            verdicts.push(Verdict::RegallocRegressed {
+                key: key.clone(),
+                metric: "spill_bytes",
+                baseline: base.spill_bytes,
+                current: cur.spill_bytes,
+            });
         }
     }
     for cur in &current.cells {
@@ -694,6 +764,9 @@ mod tests {
                     rodata: 200,
                     data: 40,
                     total: 1240,
+                    spill_slots: 2,
+                    saved_regs: 3,
+                    spill_bytes: 24,
                     passes: vec![PassCell {
                         name: "sccp".into(),
                         runs: 3,
@@ -709,6 +782,9 @@ mod tests {
                     rodata: 200,
                     data: 40,
                     total: 1140,
+                    spill_slots: 0,
+                    saved_regs: 1,
+                    spill_bytes: 0,
                     passes: vec![],
                 },
             ],
@@ -726,7 +802,8 @@ mod tests {
     fn parser_survives_whitespace_and_escapes() {
         let text = "{ \"cells\" : [ {\"machine\": \"a\\\"b\", \"pattern\": \"p\",\n
             \"level\": \"-O0\", \"text\": 1, \"rodata\": 2, \"data\": 3,
-            \"total\": 6, \"passes\": []} ] }";
+            \"total\": 6, \"spill_slots\": 0, \"saved_regs\": 0,
+            \"spill_bytes\": 0, \"passes\": []} ] }";
         let snap = Snapshot::from_json(text).expect("parses");
         assert_eq!(snap.cells[0].machine, "a\"b");
         assert_eq!(snap.cells[0].total, 6);
@@ -811,6 +888,42 @@ mod tests {
         assert!(!compare(&base, &small)
             .iter()
             .any(|v| matches!(v, Verdict::SectionRegressed { .. })));
+    }
+
+    #[test]
+    fn compare_gates_regalloc_quality() {
+        let base = sample_snapshot();
+        // One extra slot / saved register is churn, not a regression.
+        let mut cur = sample_snapshot();
+        cur.cells[0].spill_slots = base.cells[0].spill_slots + 1;
+        cur.cells[0].saved_regs = base.cells[0].saved_regs + 1;
+        assert!(!compare(&base, &cur).iter().any(Verdict::is_regression));
+        // Two extra slots fail the gate even with total size unchanged.
+        cur.cells[0].spill_slots = base.cells[0].spill_slots + 2;
+        let verdicts = compare(&base, &cur);
+        let reg: Vec<_> = verdicts
+            .iter()
+            .filter(|v| matches!(v, Verdict::RegallocRegressed { .. }))
+            .collect();
+        assert_eq!(reg.len(), 1, "{verdicts:?}");
+        assert!(reg[0].is_regression());
+        assert!(
+            reg[0].render().contains("spill_slots"),
+            "{}",
+            reg[0].render()
+        );
+        // Spill-code bytes use the size tolerance: +8 passes, +100 fails.
+        let mut bytes = sample_snapshot();
+        bytes.cells[0].spill_bytes = base.cells[0].spill_bytes + TOLERANCE_BYTES;
+        assert!(!compare(&base, &bytes).iter().any(Verdict::is_regression));
+        bytes.cells[0].spill_bytes = base.cells[0].spill_bytes + 100;
+        assert!(compare(&base, &bytes).iter().any(|v| matches!(
+            v,
+            Verdict::RegallocRegressed {
+                metric: "spill_bytes",
+                ..
+            }
+        )));
     }
 
     #[test]

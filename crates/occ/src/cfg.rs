@@ -271,7 +271,7 @@ pub struct Liveness {
     pub live_out: Vec<BTreeSet<VReg>>,
 }
 
-/// Classic backward dataflow liveness.
+/// Classic backward dataflow liveness over the MIR CFG.
 pub fn liveness(f: &MirFunction) -> Liveness {
     let n = f.blocks.len();
     let mut use_set = vec![BTreeSet::new(); n];
@@ -294,16 +294,46 @@ pub fn liveness(f: &MirFunction) -> Liveness {
             }
         }
     }
+    let succs: Vec<Vec<usize>> = f
+        .block_ids()
+        .map(|b| {
+            f.block(b)
+                .term
+                .succs()
+                .into_iter()
+                .map(|s| s.0 as usize)
+                .collect()
+        })
+        .collect();
+    solve_liveness(&succs, &use_set, &def_set)
+}
+
+/// Backward dataflow liveness over an arbitrary graph of indexed blocks.
+///
+/// `use_set[b]` must hold the registers read in `b` before any write to
+/// them (upward-exposed uses), `def_set[b]` every register written in
+/// `b`. The MIR-level [`liveness`] and the backend's virtual-register
+/// allocator both solve their fixpoints through this: the allocator
+/// needs liveness at `VCode` granularity — where call pseudo-ops carry
+/// operand lists and blocks are in lowering order — which has no
+/// `MirFunction` to hand.
+pub fn solve_liveness(
+    succs: &[Vec<usize>],
+    use_set: &[BTreeSet<VReg>],
+    def_set: &[BTreeSet<VReg>],
+) -> Liveness {
+    let n = succs.len();
+    assert_eq!(use_set.len(), n);
+    assert_eq!(def_set.len(), n);
     let mut live_in = vec![BTreeSet::new(); n];
     let mut live_out = vec![BTreeSet::new(); n];
     let mut changed = true;
     while changed {
         changed = false;
-        for b in f.block_ids().collect::<Vec<_>>().into_iter().rev() {
-            let i = b.0 as usize;
+        for i in (0..n).rev() {
             let mut out = BTreeSet::new();
-            for s in f.block(b).term.succs() {
-                out.extend(live_in[s.0 as usize].iter().copied());
+            for s in &succs[i] {
+                out.extend(live_in[*s].iter().copied());
             }
             let mut inn: BTreeSet<VReg> = use_set[i].clone();
             for v in &out {

@@ -24,11 +24,16 @@
 //!   GCC's `-O0/-O1/-O2/-Os` philosophy ([`OptLevel`]), and every pass
 //!   reports effect counters ([`PassStats`]) on the compiled
 //!   [`Artifact`].
-//! * **Back end**: instruction selection to the synthetic EM32 RISC ISA,
-//!   linear-scan register allocation, peephole cleanup, `-Os`-aware switch
-//!   lowering (branch chain vs jump table), and byte-accurate encoding
-//!   ([`Assembly`] reports text/rodata/data sizes — the paper's
-//!   "assembly code size in bytes").
+//! * **Back end**: a four-stage, Cranelift-shaped pipeline ([`backend`]):
+//!   MIR lowers to `VCode` (machine instruction shapes over virtual
+//!   registers with operand constraints), a liveness-range linear scan
+//!   allocates with loop-weighted spill costs and caller-saved registers
+//!   usable across call-free ranges, a debug-build verifier re-checks
+//!   every constraint, and layout-aware emission (fall-through ordering,
+//!   branch inversion, `-Os`-aware switch lowering, peephole) produces
+//!   byte-accurate encoding ([`Assembly`] reports text/rodata/data sizes
+//!   — the paper's "assembly code size in bytes"; [`RegAllocStats`]
+//!   reports the allocator's spill/save footprint per artifact).
 //! * **VM**: an EM32 interpreter ([`vm`]) so compiled programs can be
 //!   *executed* and differentially tested against the `tlang` reference
 //!   interpreter — the correctness argument for every optimization above.
@@ -75,7 +80,7 @@ pub mod vm;
 
 use std::fmt;
 
-pub use backend::{Assembly, SizeReport};
+pub use backend::{Assembly, RegAllocStats, SizeReport};
 pub use opt::{PassManager, PassStats, PipelineStats};
 
 /// Optimization level, mirroring GCC's user-facing levels.
@@ -165,6 +170,13 @@ impl Artifact {
     /// Size accounting (the paper's metric).
     pub fn sizes(&self) -> SizeReport {
         self.asm.sizes()
+    }
+
+    /// Register-allocation quality counters summed over all surviving
+    /// functions: spill slots, saved callee-saved registers, and text
+    /// bytes of inserted spill code.
+    pub fn regalloc_stats(&self) -> RegAllocStats {
+        self.asm.regalloc_stats()
     }
 
     /// Per-pass effect statistics from the mid-end pass manager — the

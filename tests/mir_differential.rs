@@ -71,6 +71,12 @@ const BIN_OPS: [BinOp; 14] = [
 ///   fodder), double stores (dead-store fodder), double loads
 ///   (redundant-load fodder) — which lands inside loop bodies whenever
 ///   the block is on a cycle.
+/// * `pressure > 0` appends a register-pressure cluster to block 0:
+///   `pressure` distinct values derived from a load of mutable data (so
+///   no level can constant-fold them away), then an extern call, then an
+///   emit of every value — all `pressure + 1` values are simultaneously
+///   live across the call, driving the allocator's callee-saved
+///   save/restore and spill/reload paths.
 /// * Non-final terminators cycle through `Goto`, an ordinary `Br`, a
 ///   `Br` with equal arms, a `Switch` (sometimes with all-equal
 ///   targets) — the terminator-folding pass must collapse the redundant
@@ -79,7 +85,12 @@ const BIN_OPS: [BinOp; 14] = [
 ///   back edges into the GVN scope, threadable latches) are exercised
 ///   too. Every cycle passes through a latch and every latch decrements
 ///   the countdown, so all programs terminate.
-fn build_program(consts: &[i32], ops: &[(u8, u8, u8)], blocks: &[(u8, u8, u8, u8)]) -> Program {
+fn build_program(
+    consts: &[i32],
+    ops: &[(u8, u8, u8)],
+    blocks: &[(u8, u8, u8, u8)],
+    pressure: u8,
+) -> Program {
     let nb = blocks.len().max(1);
     let mut defined: Vec<VReg> = Vec::new();
     let mut next = 0u32;
@@ -183,6 +194,58 @@ fn build_program(consts: &[i32], ops: &[(u8, u8, u8)], blocks: &[(u8, u8, u8, u8
     let load_pool = [
         m0_0, m0_4, m0_8, m0_2, m0_4b, m1_0, m1_4, m0_dyn, ro_0, ro_4,
     ];
+
+    // Register-pressure cluster: `pressure` distinct values, all derived
+    // from a load of a *mutable* global (so no optimization level can
+    // fold them to constants), then an extern call, then an emit of every
+    // value. Everything in the cluster is live across the call, so the
+    // allocator must combine callee-saved registers and spill slots —
+    // and every reload is observable in the trace.
+    if pressure > 0 {
+        let base = fresh();
+        entry.push(Inst::Load {
+            dst: base,
+            addr: m0_0,
+        });
+        let mut cluster = Vec::new();
+        for k in 0..pressure as i32 {
+            let c = fresh();
+            entry.push(Inst::Const {
+                dst: c,
+                value: k + 1,
+            });
+            let v = fresh();
+            entry.push(Inst::Bin {
+                op: BinOp::Add,
+                dst: v,
+                lhs: base,
+                rhs: c,
+            });
+            cluster.push(v);
+        }
+        let barrier_tag = fresh();
+        entry.push(Inst::Const {
+            dst: barrier_tag,
+            value: 990,
+        });
+        entry.push(Inst::CallExtern {
+            dst: None,
+            ext: 0,
+            args: vec![barrier_tag, base],
+        });
+        for (k, &v) in cluster.iter().enumerate() {
+            let tag = fresh();
+            entry.push(Inst::Const {
+                dst: tag,
+                value: 900 + k as i32,
+            });
+            entry.push(Inst::CallExtern {
+                dst: None,
+                ext: 0,
+                args: vec![tag, v],
+            });
+        }
+    }
 
     let mut mir_blocks: Vec<Block> = Vec::new();
     for (i, &(kind, x, y, m)) in blocks.iter().enumerate() {
@@ -394,12 +457,34 @@ proptest! {
         ops in prop::collection::vec((0u8..14, any::<u8>(), any::<u8>()), 1..6),
         blocks in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 1..6),
     ) {
-        let program = build_program(&consts, &ops, &blocks);
+        let program = build_program(&consts, &ops, &blocks, 0);
         let oracle = trace_at(&program, OptLevel::O0);
         prop_assert!(!oracle.is_empty(), "every program emits at least once");
         for level in [OptLevel::O1, OptLevel::O2, OptLevel::Os] {
             let got = trace_at(&program, level);
             prop_assert_eq!(&got, &oracle, "{} diverges from -O0", level);
+        }
+    }
+
+    /// High register pressure across a call preserves the trace at every
+    /// level: the pressure cluster keeps ≥ 10 unfoldable values
+    /// simultaneously live across a `CallExtern`, so the allocator's
+    /// callee-saved selection, spill-slot assignment and reload insertion
+    /// all land on the execution path — any misplaced spill or clobbered
+    /// register changes the emitted values.
+    #[test]
+    fn register_pressure_preserves_em32_trace(
+        consts in prop::collection::vec(-8i32..8, 2..5),
+        ops in prop::collection::vec((0u8..14, any::<u8>(), any::<u8>()), 1..4),
+        blocks in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 1..4),
+        pressure in 10u8..16,
+    ) {
+        let program = build_program(&consts, &ops, &blocks, pressure);
+        let oracle = trace_at(&program, OptLevel::O0);
+        prop_assert!(!oracle.is_empty(), "every program emits at least once");
+        for level in [OptLevel::O1, OptLevel::O2, OptLevel::Os] {
+            let got = trace_at(&program, level);
+            prop_assert_eq!(&got, &oracle, "{} diverges from -O0 under pressure", level);
         }
     }
 
@@ -410,7 +495,7 @@ proptest! {
         ops in prop::collection::vec((0u8..14, any::<u8>(), any::<u8>()), 1..6),
         blocks in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 1..4),
     ) {
-        let program = build_program(&consts, &ops, &blocks);
+        let program = build_program(&consts, &ops, &blocks, 0);
         let oracle = trace_at(&program, OptLevel::O0);
         let got = trace_with_passes(&program, &[opt::gvn_cse]);
         prop_assert_eq!(&got, &oracle, "gvn_cse diverges");
@@ -429,7 +514,7 @@ proptest! {
         ops in prop::collection::vec((0u8..14, any::<u8>(), any::<u8>()), 1..4),
         blocks in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 2..6),
     ) {
-        let program = build_program(&consts, &ops, &blocks);
+        let program = build_program(&consts, &ops, &blocks, 0);
         let oracle = trace_at(&program, OptLevel::O0);
         let got = trace_with_passes(&program, &[opt::fold_terminators]);
         prop_assert_eq!(&got, &oracle, "fold_terminators diverges");
@@ -450,7 +535,7 @@ proptest! {
         ops in prop::collection::vec((0u8..14, any::<u8>(), any::<u8>()), 1..6),
         blocks in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 1..6),
     ) {
-        let program = build_program(&consts, &ops, &blocks);
+        let program = build_program(&consts, &ops, &blocks, 0);
         let oracle = trace_at(&program, OptLevel::O0);
         let got = trace_with_passes(&program, &[opt::sccp]);
         prop_assert_eq!(&got, &oracle, "sccp diverges");
@@ -470,7 +555,7 @@ proptest! {
         ops in prop::collection::vec((0u8..14, any::<u8>(), any::<u8>()), 1..6),
         blocks in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 2..6),
     ) {
-        let program = build_program(&consts, &ops, &blocks);
+        let program = build_program(&consts, &ops, &blocks, 0);
         let oracle = trace_at(&program, OptLevel::O0);
         let got = trace_with_passes(&program, &[opt::licm]);
         prop_assert_eq!(&got, &oracle, "licm diverges");
@@ -491,7 +576,7 @@ proptest! {
         ops in prop::collection::vec((0u8..14, any::<u8>(), any::<u8>()), 1..4),
         blocks in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 2..6),
     ) {
-        let program = build_program(&consts, &ops, &blocks);
+        let program = build_program(&consts, &ops, &blocks, 0);
         let oracle = trace_at(&program, OptLevel::O0);
         let got = trace_with_passes(&program, &[opt::coalesce_copies]);
         prop_assert_eq!(&got, &oracle, "coalesce_copies diverges");
@@ -510,7 +595,7 @@ proptest! {
         ops in prop::collection::vec((0u8..14, any::<u8>(), any::<u8>()), 1..4),
         blocks in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 1..6),
     ) {
-        let program = build_program(&consts, &ops, &blocks);
+        let program = build_program(&consts, &ops, &blocks, 0);
         let oracle = trace_at(&program, OptLevel::O0);
         let got = trace_with_passes(&program, &[opt::store_load_forward]);
         prop_assert_eq!(&got, &oracle, "store_load_forward diverges");
@@ -530,7 +615,7 @@ proptest! {
         ops in prop::collection::vec((0u8..14, any::<u8>(), any::<u8>()), 1..4),
         blocks in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 1..6),
     ) {
-        let program = build_program(&consts, &ops, &blocks);
+        let program = build_program(&consts, &ops, &blocks, 0);
         let oracle = trace_at(&program, OptLevel::O0);
         let got = trace_with_passes(&program, &[opt::dead_store_elim]);
         prop_assert_eq!(&got, &oracle, "dead_store_elim diverges");
@@ -552,7 +637,7 @@ proptest! {
         ops in prop::collection::vec((0u8..14, any::<u8>(), any::<u8>()), 1..4),
         blocks in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 1..6),
     ) {
-        let program = build_program(&consts, &ops, &blocks);
+        let program = build_program(&consts, &ops, &blocks, 0);
         let oracle = trace_at(&program, OptLevel::O0);
         let got = trace_with_passes(&program, &[opt::cross_block_forward]);
         prop_assert_eq!(&got, &oracle, "cross_block_forward diverges");
@@ -572,7 +657,7 @@ proptest! {
         ops in prop::collection::vec((0u8..14, any::<u8>(), any::<u8>()), 1..4),
         blocks in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 2..6),
     ) {
-        let program = build_program(&consts, &ops, &blocks);
+        let program = build_program(&consts, &ops, &blocks, 0);
         let oracle = trace_at(&program, OptLevel::O0);
         let got = trace_with_passes(&program, &[opt::load_pre]);
         prop_assert_eq!(&got, &oracle, "load_pre diverges");
@@ -595,7 +680,7 @@ proptest! {
         ops in prop::collection::vec((0u8..14, any::<u8>(), any::<u8>()), 1..4),
         blocks in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 2..6),
     ) {
-        let program = build_program(&consts, &ops, &blocks);
+        let program = build_program(&consts, &ops, &blocks, 0);
         let oracle = trace_at(&program, OptLevel::O0);
         let got = trace_with_passes(
             &program,
