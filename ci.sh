@@ -19,6 +19,13 @@ fast=0
 # local default (96 cases per property).
 full_gate_diff_cases=256
 
+# The full gate's dev-profile stage runs the occ::verify static checker
+# after *every* mid-end pass (OCC_VERIFY=each), not just at pipeline
+# boundaries, so an invariant breakage is blamed on the pass and round
+# that introduced it. Debug-build-only, like the VCode verifier; the
+# --fast gate keeps the default boundary-only checks.
+occ_verify_mode=each
+
 rustdoc_check() {
     # The occ::opt / occ::mem module rustdoc is the canonical pipeline
     # and alias-model documentation (ROADMAP.md only points there), so
@@ -68,12 +75,14 @@ else
         cargo build --release --workspace --all-targets
     run_stage "cargo test --workspace --release (MIR_DIFF_CASES=$full_gate_diff_cases)" \
         env MIR_DIFF_CASES=$full_gate_diff_cases cargo test --workspace --release -q
-    # The backend's VCode verifier is debug-only (`cfg!(debug_assertions)`
-    # compiles it out of release artifacts), so the gate must run the occ
-    # tests under the dev profile too — this is the stage where every
-    # register-allocation constraint is actually re-checked.
-    run_stage "cargo test -p occ (debug: VCode verifier active)" \
-        cargo test -p occ -q
+    # The backend's VCode verifier and the occ::verify pipeline hooks are
+    # debug-only (`cfg!(debug_assertions)` compiles them out of release
+    # artifacts), so the gate must run the occ and root-matrix tests
+    # under the dev profile too — this is the stage where every
+    # register-allocation constraint and every MIR/SSA invariant is
+    # actually re-checked, per pass (OCC_VERIFY=$occ_verify_mode).
+    run_stage "cargo test -p occ -p mbot (debug: verifiers active, OCC_VERIFY=$occ_verify_mode)" \
+        env OCC_VERIFY=$occ_verify_mode cargo test -p occ -p mbot -q
     run_stage "bench smoke (6 binaries)" bench_smoke
     # Size-regression gate: snapshot the current toolchain, then compare
     # against the committed baseline. Any machine×pattern×level cell

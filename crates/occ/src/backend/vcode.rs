@@ -13,7 +13,7 @@
 //! their [`Constraint`]s) and [`EmInst::clobbers`] (physical registers
 //! the instruction may overwrite beyond its defs). The debug-build
 //! [`VCode::verify_allocated`] re-checks both against the allocated
-//! stream, the same way `lower::validate_mem_contract` re-checks the
+//! stream, the same way the [`crate::verify`] memory tier re-checks the
 //! alias model: constraint satisfaction, early-def distinctness,
 //! callee-saved discipline, and — via a physical-register liveness
 //! analysis — that no value is live across an instruction that clobbers
@@ -403,8 +403,8 @@ impl VCode {
     }
 
     /// Verifies the post-allocation invariants; returns a description of
-    /// the first violation. Intended for debug builds, mirroring
-    /// `lower::validate_mem_contract`:
+    /// the first violation. Intended for debug builds, mirroring the
+    /// MIR-level [`crate::verify`] checker:
     ///
     /// 1. every operand is physical and within the register file;
     /// 2. every [`Constraint::Fixed`] operand sits in its register;

@@ -148,6 +148,45 @@ pub fn dominates(idom: &BTreeMap<BlockId, BlockId>, a: BlockId, b: BlockId) -> b
     }
 }
 
+/// A queryable dominator tree: the [`dominators`] map bundled with the
+/// reachability and dominance queries clients keep re-deriving from it.
+/// This is the query surface the [`crate::verify`] SSA tier is built on.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    idom: BTreeMap<BlockId, BlockId>,
+}
+
+impl DomTree {
+    /// Computes the dominator tree of `f`.
+    pub fn of(f: &MirFunction) -> DomTree {
+        DomTree {
+            idom: dominators(f),
+        }
+    }
+
+    /// The underlying immediate-dominator map (entry maps to itself;
+    /// unreachable blocks are absent).
+    pub fn idoms(&self) -> &BTreeMap<BlockId, BlockId> {
+        &self.idom
+    }
+
+    /// `true` if `b` is reachable from the entry block.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.idom.contains_key(&b)
+    }
+
+    /// `true` if `a` dominates `b` (reflexive; `false` whenever either
+    /// block is unreachable).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        dominates(&self.idom, a, b)
+    }
+
+    /// `true` if `a` strictly dominates `b` (dominates it and differs).
+    pub fn strictly_dominates(&self, a: BlockId, b: BlockId) -> bool {
+        a != b && self.dominates(a, b)
+    }
+}
+
 /// One natural loop: the set of blocks that can reach a back edge's
 /// source without passing through the loop header. Loops sharing a
 /// header are merged into a single [`NaturalLoop`] with several latches

@@ -37,6 +37,10 @@
 //! * **VM**: an EM32 interpreter ([`vm`]) so compiled programs can be
 //!   *executed* and differentially tested against the `tlang` reference
 //!   interpreter — the correctness argument for every optimization above.
+//! * **Verifier**: a tiered MIR/SSA static checker ([`verify`]) whose
+//!   module doc is the canonical invariant catalogue; debug builds
+//!   re-check every pipeline boundary, and `OCC_VERIFY=each` escalates
+//!   to per-pass verification with pass blame.
 //!
 //! The central property the dead-code experiment (paper §III.C) relies on
 //! falls out of soundness, not special-casing: generated state-machine code
@@ -76,6 +80,7 @@ pub mod mem;
 pub mod mir;
 pub mod opt;
 pub mod ssa;
+pub mod verify;
 pub mod vm;
 
 use std::fmt;

@@ -10,10 +10,10 @@ use std::collections::BTreeMap;
 
 use tlang::{Expr, Init, Module, Place, Stmt, Type};
 
-use crate::mem;
 use crate::mir::{
     BinOp, Block, BlockId, GlobalData, Inst, MirFunction, Program, Term, UnOp, VReg, Word,
 };
+use crate::verify;
 use crate::CompileError;
 
 /// Maximum register-passed arguments of the EM32 calling convention.
@@ -73,69 +73,25 @@ pub fn lower_module(module: &Module) -> Result<Program, CompileError> {
             .functions
             .push(lower_function(module, f, &fn_index, &program.externs)?);
     }
-    // Debug builds police the front-end contract the alias model trusts
-    // before the mid-end ever reasons with it.
+    // Post-lower boundary of the pipeline verifier (debug builds only):
+    // lowered output must be φ-free, structurally sound, and inside the
+    // front-end contract the alias model trusts — address arithmetic
+    // rooted at one global stays inside that global, and no store
+    // targets rodata (`tlang` rejects assignments to `const`, so a
+    // rodata store here is a lowering bug). A violation used to be a
+    // silent miscompile — the mid-end would "prove" disjointness from a
+    // broken root and forward across the aliasing store; now it panics
+    // at the boundary that broke the contract. The rules themselves live
+    // in the memory tier of [`crate::verify`].
     if cfg!(debug_assertions) {
-        validate_mem_contract(&program);
+        let vs = verify::verify_program(&program, verify::Tier::PhiFree);
+        assert!(
+            vs.is_empty(),
+            "lowering produced invalid MIR:{}",
+            verify::report(&vs)
+        );
     }
     Ok(program)
-}
-
-/// Debug-build validator of the front-end contract [`crate::mem`]'s
-/// alias model trusts: address arithmetic rooted at one global stays
-/// inside that global, and no store targets rodata. Every load/store
-/// address that resolves to a root (via [`mem::FnAddrs`], the same
-/// resolution the memory passes use) is checked — an exactly resolved
-/// access must fit its word inside [`GlobalData::size`], and a resolved
-/// store's root must be mutable (`tlang` rejects assignments to `const`,
-/// so a rodata store here is a lowering bug). A violation used to be a
-/// silent miscompile — the mid-end would "prove" disjointness from a
-/// broken root and forward across the aliasing store; now it panics at
-/// the boundary that broke the contract.
-///
-/// # Panics
-///
-/// Panics on the first out-of-bounds resolved access or resolved store
-/// into a rodata global.
-pub fn validate_mem_contract(program: &Program) {
-    for f in &program.functions {
-        let addrs = mem::FnAddrs::analyze(f);
-        for b in f.block_ids() {
-            for inst in &f.block(b).insts {
-                let Some(addr) = inst.mem_addr() else {
-                    continue;
-                };
-                let is_store = matches!(inst, Inst::Store { .. });
-                let (global, offset) = match addrs.info(addr) {
-                    mem::AddrInfo::Exact { global, offset } => (global, Some(offset)),
-                    mem::AddrInfo::Base { global } => (global, None),
-                    mem::AddrInfo::Unknown => continue,
-                };
-                let g = program.globals.get(global).unwrap_or_else(|| {
-                    panic!(
-                        "{}/{b}: access through unknown global #{global}: {inst:?}",
-                        f.name
-                    )
-                });
-                if let Some(offset) = offset {
-                    assert!(
-                        offset >= 0 && offset + mem::ACCESS_BYTES <= g.size as i32,
-                        "{}/{b}: resolved offset {offset} out of bounds for `{}` \
-                         ({} bytes): {inst:?}",
-                        f.name,
-                        g.name,
-                        g.size
-                    );
-                }
-                assert!(
-                    !is_store || g.mutable,
-                    "{}/{b}: resolved store into rodata `{}`: {inst:?}",
-                    f.name,
-                    g.name
-                );
-            }
-        }
-    }
 }
 
 /// Byte size of a type (scalars are words).
@@ -765,38 +721,58 @@ mod tests {
         }
     }
 
+    /// The memory rules fired for `contract_program(offset, store,
+    /// mutable)` — the front-end contract is now checked by the memory
+    /// tier of [`crate::verify`] (which absorbed the old
+    /// `validate_mem_contract`).
+    fn contract_rules(offset: i32, store: bool, mutable: bool) -> Vec<verify::Rule> {
+        verify::verify_program(
+            &contract_program(offset, store, mutable),
+            verify::Tier::PhiFree,
+        )
+        .iter()
+        .map(|v| v.rule)
+        .collect()
+    }
+
     #[test]
     fn mem_contract_accepts_in_bounds_accesses() {
-        validate_mem_contract(&contract_program(0, true, true));
-        validate_mem_contract(&contract_program(4, false, true));
-        validate_mem_contract(&contract_program(4, false, false));
+        assert_eq!(contract_rules(0, true, true), vec![]);
+        assert_eq!(contract_rules(4, false, true), vec![]);
+        assert_eq!(contract_rules(4, false, false), vec![]);
     }
 
     #[test]
-    #[should_panic(expected = "out of bounds")]
     fn mem_contract_rejects_out_of_bounds_offsets() {
         // Offset 8 of an 8-byte global: the word [8, 12) is outside.
-        validate_mem_contract(&contract_program(8, false, true));
+        assert_eq!(
+            contract_rules(8, false, true),
+            vec![verify::Rule::OffsetOutOfBounds]
+        );
     }
 
     #[test]
-    #[should_panic(expected = "out of bounds")]
     fn mem_contract_rejects_negative_offsets() {
-        validate_mem_contract(&contract_program(-4, true, true));
+        assert_eq!(
+            contract_rules(-4, true, true),
+            vec![verify::Rule::OffsetOutOfBounds]
+        );
     }
 
     #[test]
-    #[should_panic(expected = "store into rodata")]
     fn mem_contract_rejects_stores_into_rodata() {
-        validate_mem_contract(&contract_program(0, true, false));
+        assert_eq!(
+            contract_rules(0, true, false),
+            vec![verify::Rule::StoreToRodata]
+        );
     }
 
     #[test]
     fn lowering_validates_checked_modules_cleanly() {
-        // The validator runs inside lower_module in debug builds; a
-        // checked module must sail through.
+        // The verifier boundary runs inside lower_module in debug
+        // builds; a checked module must sail through every tier.
         let p = lower_module(&simple_module()).expect("lowers");
-        validate_mem_contract(&p);
+        assert_eq!(verify::verify_program(&p, verify::Tier::PhiFree), vec![]);
     }
 
     #[test]

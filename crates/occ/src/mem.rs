@@ -4,7 +4,10 @@
 //! availability dataflow, and loop clobber summaries for load-hoisting
 //! LICM. This module doc is the canonical description of the alias
 //! model and its effect assumptions; ROADMAP.md's Building section only
-//! points here.
+//! points here. The in-object contract the model assumes (resolved
+//! offsets in bounds, no stores into rodata) is *checked*, not merely
+//! assumed, by the memory tier of the [`crate::verify`] static verifier,
+//! which runs between passes in debug builds.
 //!
 //! # The alias model
 //!
@@ -115,22 +118,35 @@ use std::collections::BTreeSet;
 
 use crate::mir::{BinOp, BlockId, Inst, MirFunction, Program, VReg};
 
-/// Program-wide memory facts the function-local passes consult: today,
-/// which globals are immutable (rodata).
+/// Program-wide memory facts the function-local passes consult: which
+/// globals are immutable (rodata), how large each global is, and how many
+/// functions/externs exist. The size and symbol-count facts back the
+/// memory tier of the [`crate::verify`] static checker (resolved offsets
+/// in bounds, no stores into rodata, call targets in range).
 ///
 /// The [`Default`] model knows no globals and treats every index as
 /// mutable — the conservative choice for unit tests driving a pass on a
-/// bare [`MirFunction`].
+/// bare [`MirFunction`]. A default model reports
+/// [`MemoryModel::is_complete`]` == false`, which tells the verifier to
+/// skip the program-dependent memory checks.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MemoryModel {
     mutability: Vec<bool>,
+    sizes: Vec<usize>,
+    fn_count: usize,
+    extern_count: usize,
+    complete: bool,
 }
 
 impl MemoryModel {
-    /// Extracts the model from a program's global table.
+    /// Extracts the model from a program's global/function/extern tables.
     pub fn of(program: &Program) -> MemoryModel {
         MemoryModel {
             mutability: program.globals.iter().map(|g| g.mutable).collect(),
+            sizes: program.globals.iter().map(|g| g.size).collect(),
+            fn_count: program.functions.len(),
+            extern_count: program.externs.len(),
+            complete: true,
         }
     }
 
@@ -140,6 +156,35 @@ impl MemoryModel {
     /// `false` (treated as mutable).
     pub fn is_rodata(&self, global: usize) -> bool {
         self.mutability.get(global).is_some_and(|m| !*m)
+    }
+
+    /// `true` if this model was built from a whole [`Program`] (via
+    /// [`MemoryModel::of`]); the [`Default`] model is incomplete and the
+    /// verifier's memory tier is a no-op under it.
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Number of globals in the program the model was built from.
+    pub fn global_count(&self) -> usize {
+        self.mutability.len()
+    }
+
+    /// Byte size of `global`, or `None` for an out-of-range index.
+    pub fn global_size(&self, global: usize) -> Option<usize> {
+        self.sizes.get(global).copied()
+    }
+
+    /// Number of functions in the program (the valid `Call`/`FnAddr`
+    /// index range).
+    pub fn fn_count(&self) -> usize {
+        self.fn_count
+    }
+
+    /// Number of externs in the program (the valid `CallExtern` index
+    /// range).
+    pub fn extern_count(&self) -> usize {
+        self.extern_count
     }
 }
 

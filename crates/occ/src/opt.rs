@@ -124,6 +124,15 @@
 //!   address-reachable (dispatch tables, switch cases over a runtime
 //!   value), so the model-level fact "no incoming transition" does not
 //!   survive code generation and the compiler must keep the code.
+//!
+//! # Verification
+//!
+//! Every invariant the rosters above rely on is cataloged — and, in
+//! debug builds, *checked between passes* — by the [`crate::verify`]
+//! static verifier: pipeline boundaries are always re-checked, and the
+//! `OCC_VERIFY=each` knob (or [`PassManager::with_verify`]) escalates to
+//! per-pass verification that attributes a broken invariant to the pass
+//! and round that introduced it.
 
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
@@ -132,6 +141,7 @@ use crate::cfg;
 use crate::mem;
 use crate::mir::{BinOp, Block, BlockId, Inst, MirFunction, Program, Term, UnOp, VReg, Word};
 use crate::ssa;
+use crate::verify;
 use crate::OptLevel;
 
 // ---------------------------------------------------------------------
@@ -260,6 +270,34 @@ impl PipelineStats {
 /// not reason about memory ignore it.
 pub type SsaPass = fn(&mut MirFunction, &mem::MemoryModel) -> bool;
 
+/// How much of the [`crate::verify`] static checker the manager runs in
+/// debug builds (release builds compile all verification out, like the
+/// backend's `VCode` verifier).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerifyMode {
+    /// Verify only at pipeline boundaries: after lowering, after
+    /// [`ssa::construct`]/[`ssa::destruct`] (those hooks live in their
+    /// producers) and once per function after the final cleanup.
+    #[default]
+    Boundaries,
+    /// Verify-each: additionally re-check the appropriate tier after
+    /// *every* pass, attributing any violation to the pass and round
+    /// that introduced it. Selected by default when the `OCC_VERIFY`
+    /// environment variable is `each`.
+    Each,
+}
+
+impl VerifyMode {
+    /// The mode the `OCC_VERIFY` environment knob selects (`each` turns
+    /// on per-pass verification; anything else keeps boundaries only).
+    pub fn from_env() -> VerifyMode {
+        match std::env::var("OCC_VERIFY") {
+            Ok(v) if v == "each" => VerifyMode::Each,
+            _ => VerifyMode::Boundaries,
+        }
+    }
+}
+
 /// Runs registered SSA passes over functions to a bounded fixed point and
 /// records per-pass [`PassStats`].
 #[derive(Debug, Default)]
@@ -270,6 +308,7 @@ pub struct PassManager {
     /// only visible once the φs are lowered).
     post_passes: Vec<(&'static str, SsaPass)>,
     outer_rounds: usize,
+    verify: Option<VerifyMode>,
     stats: PipelineStats,
 }
 
@@ -279,12 +318,14 @@ impl PassManager {
     /// caps pathological ping-ponging between passes.
     pub const MAX_SSA_ROUNDS: usize = 8;
 
-    /// An empty manager running a single outer round.
+    /// An empty manager running a single outer round, with the
+    /// verification mode taken from [`VerifyMode::from_env`].
     pub fn new() -> PassManager {
         PassManager {
             ssa_passes: Vec::new(),
             post_passes: Vec::new(),
             outer_rounds: 1,
+            verify: None,
             stats: PipelineStats::default(),
         }
     }
@@ -360,6 +401,38 @@ impl PassManager {
         self
     }
 
+    /// Overrides the debug-build verification mode (by default the
+    /// `OCC_VERIFY` environment knob decides, see
+    /// [`VerifyMode::from_env`]). Release builds never verify,
+    /// whichever mode is set.
+    pub fn with_verify(mut self, mode: VerifyMode) -> PassManager {
+        self.verify = Some(mode);
+        self
+    }
+
+    fn verify_each(&self) -> bool {
+        cfg!(debug_assertions)
+            && self.verify.unwrap_or_else(VerifyMode::from_env) == VerifyMode::Each
+    }
+
+    /// Debug-build verification hook: checks `f` at `tier` plus the
+    /// memory tier and panics with `ctx` (the pass/round blame) on the
+    /// first broken invariant.
+    fn verify_after(
+        &self,
+        f: &MirFunction,
+        model: &mem::MemoryModel,
+        tier: verify::Tier,
+        ctx: &str,
+    ) {
+        if !cfg!(debug_assertions) {
+            return;
+        }
+        let mut vs = verify::verify_function(f, tier);
+        vs.extend(verify::verify_memory(f, model));
+        assert!(vs.is_empty(), "MIR verifier: {ctx}:{}", verify::report(&vs));
+    }
+
     /// Runs every function of `program` through
     /// [`PassManager::run_function`], under the program's
     /// [`mem::MemoryModel`].
@@ -376,16 +449,21 @@ impl PassManager {
     /// consult (pass [`mem::MemoryModel::default`] for a bare function).
     /// Returns `true` if anything changed.
     pub fn run_function(&mut self, f: &mut MirFunction, model: &mem::MemoryModel) -> bool {
+        let verify_each = self.verify_each();
         let mut any = false;
-        for _ in 0..self.outer_rounds {
+        for round in 1..=self.outer_rounds {
             any |= self.simplify(f);
+            if verify_each {
+                let ctx = format!("after {} in round {round}", pass::SIMPLIFY_CFG);
+                self.verify_after(f, model, verify::Tier::PhiFree, &ctx);
+            }
             if self.ssa_passes.is_empty() && self.post_passes.is_empty() {
                 break;
             }
             let mut ssa_changed = false;
             if !self.ssa_passes.is_empty() {
                 ssa::construct(f);
-                ssa_changed = self.ssa_fixpoint(f, model);
+                ssa_changed = self.ssa_fixpoint(f, model, round, verify_each);
                 ssa::destruct(f);
             }
             // φ-free post passes see destruct's copy residue; they are
@@ -398,6 +476,10 @@ impl PassManager {
                 let removed = before.saturating_sub(f.inst_count());
                 self.stats.record(name, changed, removed);
                 any |= changed;
+                if verify_each {
+                    let ctx = format!("after {name} in round {round}");
+                    self.verify_after(f, model, verify::Tier::PhiFree, &ctx);
+                }
             }
             any |= ssa_changed;
             if !ssa_changed {
@@ -405,6 +487,15 @@ impl PassManager {
             }
         }
         any |= self.simplify(f);
+        // Post-pipeline boundary: whatever the mode, the function handed
+        // to the backend must be φ-free, structurally sound, and inside
+        // the memory contract.
+        self.verify_after(
+            f,
+            model,
+            verify::Tier::PhiFree,
+            "after the mid-end pipeline",
+        );
         any
     }
 
@@ -426,9 +517,15 @@ impl PassManager {
         changed
     }
 
-    fn ssa_fixpoint(&mut self, f: &mut MirFunction, model: &mem::MemoryModel) -> bool {
+    fn ssa_fixpoint(
+        &mut self,
+        f: &mut MirFunction,
+        model: &mem::MemoryModel,
+        outer_round: usize,
+        verify_each: bool,
+    ) -> bool {
         let mut any = false;
-        for _ in 0..Self::MAX_SSA_ROUNDS {
+        for sweep in 1..=Self::MAX_SSA_ROUNDS {
             let mut round_changed = false;
             for i in 0..self.ssa_passes.len() {
                 let (name, p) = self.ssa_passes[i];
@@ -437,6 +534,10 @@ impl PassManager {
                 let removed = before.saturating_sub(f.inst_count());
                 self.stats.record(name, changed, removed);
                 round_changed |= changed;
+                if verify_each {
+                    let ctx = format!("after {name} in round {outer_round}.{sweep}");
+                    self.verify_after(f, model, verify::Tier::Ssa, &ctx);
+                }
             }
             if !round_changed {
                 break;
@@ -449,7 +550,31 @@ impl PassManager {
 
 /// Runs the pipeline for `level`, returning per-pass statistics.
 pub fn run_pipeline(program: &mut Program, level: OptLevel) -> PipelineStats {
+    run_pipeline_impl(program, level, None)
+}
+
+/// [`run_pipeline`] with an explicit [`VerifyMode`], bypassing the
+/// `OCC_VERIFY` environment knob. Test harnesses use this to force
+/// verify-each regardless of the environment (the differential net runs
+/// it so a violation is attributed to a pass *and* to the generated
+/// program that provoked it). Release builds still verify nothing.
+pub fn run_pipeline_with_verify(
+    program: &mut Program,
+    level: OptLevel,
+    mode: VerifyMode,
+) -> PipelineStats {
+    run_pipeline_impl(program, level, Some(mode))
+}
+
+fn run_pipeline_impl(
+    program: &mut Program,
+    level: OptLevel,
+    verify_mode: Option<VerifyMode>,
+) -> PipelineStats {
     let mut pm = PassManager::for_level(level);
+    if let Some(mode) = verify_mode {
+        pm = pm.with_verify(mode);
+    }
     if level >= OptLevel::O2 {
         let threshold = if level == OptLevel::Os { 10 } else { 24 };
         let inlined = inline_small_functions(program, threshold);
@@ -466,6 +591,17 @@ pub fn run_pipeline(program: &mut Program, level: OptLevel) -> PipelineStats {
         );
         let st = pm.stats.entry(pass::DEAD_FN_ELIM);
         st.changes = st.changes.max(removed_fns.len());
+        // Program-pass boundary: inlining remaps registers and call
+        // indices across functions; re-check before the per-function
+        // loop (debug builds only).
+        if cfg!(debug_assertions) {
+            let vs = verify::verify_program(program, verify::Tier::PhiFree);
+            assert!(
+                vs.is_empty(),
+                "MIR verifier: after the program passes:{}",
+                verify::report(&vs)
+            );
+        }
     }
     if level > OptLevel::O0 {
         pm.run_program(program);
@@ -525,6 +661,7 @@ pub fn constant_fold(f: &mut MirFunction, _model: &mem::MemoryModel) -> bool {
     }
     // Rewrite: folded instructions become Consts; constant branches become
     // gotos.
+    let mut folded_branch = false;
     for b in f.block_ids().collect::<Vec<_>>() {
         let blk = f.block_mut(b);
         for inst in &mut blk.insts {
@@ -548,6 +685,7 @@ pub fn constant_fold(f: &mut MirFunction, _model: &mem::MemoryModel) -> bool {
                 if let Some(v) = known.get(cond) {
                     blk.term = Term::Goto(if *v != 0 { *then_block } else { *else_block });
                     changed = true;
+                    folded_branch = true;
                 }
             }
             Term::Switch {
@@ -563,10 +701,18 @@ pub fn constant_fold(f: &mut MirFunction, _model: &mem::MemoryModel) -> bool {
                         .unwrap_or(*default);
                     blk.term = Term::Goto(target);
                     changed = true;
+                    folded_branch = true;
                 }
             }
             _ => {}
         }
+    }
+    // Folding a branch removes CFG edges, which strands φ-arguments in the
+    // old arms' targets; prune them (and fold now-trivial φs) so the SSA
+    // invariants hold after this pass just like after `sccp`.
+    if folded_branch {
+        ssa::remove_unreachable_blocks(f);
+        prune_phi_args(f);
     }
     changed
 }
@@ -854,7 +1000,9 @@ pub fn sccp(f: &mut MirFunction, _model: &mem::MemoryModel) -> bool {
 /// branch was folded to a `Goto` the old arm's argument is stale), and
 /// deduplicates arguments per remaining predecessor. Keeps SSA form
 /// consistent for [`ssa::destruct`], which inserts one parallel copy per
-/// `(pred, block)` edge.
+/// `(pred, block)` edge. Blocks left with a single predecessor have
+/// their φs folded to copies ([`ssa::fold_trivial_phis`]), preserving
+/// the verifier's φ-join discipline.
 fn prune_phi_args(f: &mut MirFunction) {
     let preds = cfg::predecessors(f);
     for b in f.block_ids().collect::<Vec<_>>() {
@@ -866,6 +1014,7 @@ fn prune_phi_args(f: &mut MirFunction) {
             }
         }
     }
+    ssa::fold_trivial_phis(f);
 }
 
 // ---------------------------------------------------------------------
@@ -2038,16 +2187,22 @@ pub fn fold_terminators(f: &mut MirFunction, _model: &mem::MemoryModel) -> bool 
 /// Removes duplicate φ-arguments for the same predecessor. Duplicate
 /// entries only arise from collapsed duplicate edges (a folded
 /// equal-target `Br`, dropped `Switch` arms), where both slots carry the
-/// same renamed value, so keeping the first is sound.
+/// same renamed value, so keeping the first is sound. Also prunes
+/// arguments for edges the fold removed outright and folds φs of blocks
+/// down to one predecessor, keeping the verifier's φ/predecessor
+/// agreement and join discipline intact.
 fn dedup_phi_args(f: &mut MirFunction) {
+    let preds = cfg::predecessors(f);
     for b in f.block_ids().collect::<Vec<_>>() {
+        let ps: BTreeSet<BlockId> = preds[b.0 as usize].iter().copied().collect();
         for inst in &mut f.block_mut(b).insts {
             if let Inst::Phi { args, .. } = inst {
                 let mut seen: BTreeSet<BlockId> = BTreeSet::new();
-                args.retain(|(p, _)| seen.insert(*p));
+                args.retain(|(p, _)| ps.contains(p) && seen.insert(*p));
             }
         }
     }
+    ssa::fold_trivial_phis(f);
 }
 
 // ---------------------------------------------------------------------
@@ -2590,6 +2745,67 @@ mod tests {
             .collect();
         assert!(consts.contains(&42), "{f}");
         assert!(f.blocks[0].insts.len() <= 2, "{f}");
+    }
+
+    /// Regression keyed to the verifier's `phi-outside-join` and
+    /// `phi-pred-mismatch` rules: folding a constant branch removes a
+    /// CFG edge, so `constant_fold` must prune the join φ's stale arm
+    /// (and fold the now-trivial φ) instead of leaving it dangling for
+    /// the next pass to trip over.
+    #[test]
+    fn constant_fold_prunes_stale_phi_args_after_branch_folding() {
+        let mut f = MirFunction {
+            name: "g".into(),
+            params: 0,
+            returns_value: true,
+            exported: true,
+            blocks: vec![
+                Block {
+                    insts: vec![Inst::Const {
+                        dst: VReg(0),
+                        value: 1,
+                    }],
+                    term: Term::Br {
+                        cond: VReg(0),
+                        then_block: BlockId(1),
+                        else_block: BlockId(2),
+                    },
+                },
+                Block {
+                    insts: vec![Inst::Const {
+                        dst: VReg(1),
+                        value: 10,
+                    }],
+                    term: Term::Goto(BlockId(3)),
+                },
+                Block {
+                    insts: vec![Inst::Const {
+                        dst: VReg(2),
+                        value: 20,
+                    }],
+                    term: Term::Goto(BlockId(3)),
+                },
+                Block {
+                    insts: vec![Inst::Phi {
+                        dst: VReg(3),
+                        args: vec![(BlockId(1), VReg(1)), (BlockId(2), VReg(2))],
+                    }],
+                    term: Term::Ret(Some(VReg(3))),
+                },
+            ],
+            next_vreg: 4,
+        };
+        assert!(constant_fold(&mut f, &md()));
+        let vs = verify::verify_function(&f, verify::Tier::Ssa);
+        assert!(vs.is_empty(), "{}{f}", verify::report(&vs));
+        // The single-pred join must not keep a φ at all.
+        let phis = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::Phi { .. }))
+            .count();
+        assert_eq!(phis, 0, "{f}");
     }
 
     #[test]

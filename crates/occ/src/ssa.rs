@@ -86,6 +86,84 @@ pub fn construct(f: &mut MirFunction) {
     }
 
     rename(f, BlockId(0), &children, &mut stacks, &preds);
+
+    // Strictness repair. A variable first assigned inside a conditional
+    // or loop body has no definition on the path that skips the
+    // assignment; renaming then leaves the pre-rename register dangling
+    // in that path's φ-argument (the `top` fallback). Give every such
+    // register one synthetic zero definition at entry, making the SSA
+    // strict (every use dominated by a def, the `crate::verify`
+    // contract): the zero is only observable on paths where the source
+    // program never reads the variable anyway.
+    let mut defined: BTreeSet<VReg> = (0..f.params as u32).map(VReg).collect();
+    for b in f.block_ids() {
+        for inst in &f.block(b).insts {
+            if let Some(d) = inst.def() {
+                defined.insert(d);
+            }
+        }
+    }
+    let mut dangling: BTreeSet<VReg> = BTreeSet::new();
+    for b in f.block_ids() {
+        for inst in &f.block(b).insts {
+            dangling.extend(inst.uses().into_iter().filter(|u| !defined.contains(u)));
+        }
+        dangling.extend(
+            f.block(b)
+                .term
+                .uses()
+                .into_iter()
+                .filter(|u| !defined.contains(u)),
+        );
+    }
+    if !dangling.is_empty() {
+        let entry = f.block_mut(BlockId(0));
+        let mut prefix: Vec<Inst> = dangling
+            .into_iter()
+            .map(|dst| Inst::Const { dst, value: 0 })
+            .collect();
+        prefix.append(&mut entry.insts);
+        entry.insts = prefix;
+    }
+
+    // Post-construct boundary of the pipeline verifier: the output must
+    // satisfy the full SSA tier (debug builds only; see `crate::verify`).
+    if cfg!(debug_assertions) {
+        let vs = crate::verify::verify_function(f, crate::verify::Tier::Ssa);
+        assert!(
+            vs.is_empty(),
+            "ssa::construct produced invalid SSA for `{}`:{}",
+            f.name,
+            crate::verify::report(&vs)
+        );
+    }
+}
+
+/// Folds φs of single-predecessor (and predecessor-less) blocks into
+/// plain copies, preserving the verifier's φ-join discipline
+/// ([`crate::verify::Rule::PhiOutsideJoin`]): edge pruning — a folded
+/// branch, a dropped `Switch` arm, an unreachable predecessor — can
+/// leave a join block with one surviving predecessor, whose φs are just
+/// copies of their single remaining argument. Returns `true` if any φ
+/// was folded.
+pub fn fold_trivial_phis(f: &mut MirFunction) -> bool {
+    let preds = cfg::predecessors(f);
+    let mut changed = false;
+    for b in f.block_ids().collect::<Vec<_>>() {
+        let distinct: BTreeSet<BlockId> = preds[b.0 as usize].iter().copied().collect();
+        if distinct.len() >= 2 {
+            continue;
+        }
+        for inst in &mut f.block_mut(b).insts {
+            if let Inst::Phi { dst, args } = inst {
+                if let [(_, src)] = args[..] {
+                    *inst = Inst::Copy { dst: *dst, src };
+                    changed = true;
+                }
+            }
+        }
+    }
+    changed
 }
 
 fn top(stacks: &BTreeMap<VReg, Vec<VReg>>, v: VReg) -> VReg {
@@ -200,6 +278,20 @@ pub fn remove_unreachable_blocks(f: &mut MirFunction) {
 /// φ-free function ready for the backend.
 pub fn destruct(f: &mut MirFunction) {
     // Collect copies to insert per edge (pred -> block).
+    // Post-destruct boundary of the pipeline verifier: the output must
+    // be φ-free and structurally sound (debug builds only).
+    fn debug_verify_phi_free(f: &MirFunction) {
+        if cfg!(debug_assertions) {
+            let vs = crate::verify::verify_function(f, crate::verify::Tier::PhiFree);
+            assert!(
+                vs.is_empty(),
+                "ssa::destruct produced invalid MIR for `{}`:{}",
+                f.name,
+                crate::verify::report(&vs)
+            );
+        }
+    }
+
     let mut edge_copies: BTreeMap<(BlockId, BlockId), Vec<(VReg, VReg)>> = BTreeMap::new();
     for b in f.block_ids().collect::<Vec<_>>() {
         let mut kept = Vec::new();
@@ -215,6 +307,7 @@ pub fn destruct(f: &mut MirFunction) {
         f.block_mut(b).insts = kept;
     }
     if edge_copies.is_empty() {
+        debug_verify_phi_free(f);
         return;
     }
     for ((p, b), copies) in edge_copies {
@@ -247,6 +340,7 @@ pub fn destruct(f: &mut MirFunction) {
                 .map_succs(&mut |s| if s == b { e } else { s });
         }
     }
+    debug_verify_phi_free(f);
 }
 
 #[cfg(test)]
@@ -312,6 +406,48 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Regression keyed to the verifier's `undefined-use` rule: a local
+    /// first assigned inside a conditional reaches the join with no
+    /// definition at all along the fall-through path, and Cytron
+    /// renaming's stack fallback would leave the pre-rename register
+    /// dangling in the φ. `construct` must repair this to *strict* SSA
+    /// (a zero definition at entry) so every register has a def.
+    #[test]
+    fn construct_repairs_conditionally_assigned_locals_to_strict_ssa() {
+        // if c { x = 5 } ; return x — x has no def on the else path.
+        let mut f = MirFunction {
+            name: "t".into(),
+            params: 1, // v0 = c
+            returns_value: true,
+            exported: true,
+            blocks: vec![
+                Block {
+                    insts: vec![],
+                    term: Term::Br {
+                        cond: VReg(0),
+                        then_block: BlockId(1),
+                        else_block: BlockId(2),
+                    },
+                },
+                Block {
+                    insts: vec![Inst::Const {
+                        dst: VReg(1),
+                        value: 5,
+                    }],
+                    term: Term::Goto(BlockId(2)),
+                },
+                Block {
+                    insts: vec![],
+                    term: Term::Ret(Some(VReg(1))),
+                },
+            ],
+            next_vreg: 2,
+        };
+        construct(&mut f);
+        let vs = crate::verify::verify_function(&f, crate::verify::Tier::Ssa);
+        assert!(vs.is_empty(), "{}{f}", crate::verify::report(&vs));
     }
 
     #[test]

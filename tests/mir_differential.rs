@@ -19,13 +19,20 @@
 //! The property depth is CI-tunable: `MIR_DIFF_CASES=<n>` overrides the
 //! per-property case count (default 96), so the full `ci.sh` gate runs
 //! the net deeper than a local `--fast` iteration.
+//!
+//! In debug builds every property additionally runs the [`occ::verify`]
+//! static checker in verify-each mode (forced via
+//! [`opt::run_pipeline_with_verify`], independent of the `OCC_VERIFY`
+//! knob): a broken invariant panics with the offending pass and round,
+//! and proptest then prints the generated program that provoked it — a
+//! violation is attributed to a pass *and* to a reproducer case.
 
 use proptest::prelude::*;
 
 use occ::mem::MemoryModel;
 use occ::mir::{BinOp, Block, GlobalData, Inst, MirFunction, Program, Term, VReg, Word};
 use occ::vm::Vm;
-use occ::{opt, ssa, OptLevel};
+use occ::{opt, ssa, verify, OptLevel};
 use tlang::RecordingEnv;
 
 /// Per-property case count: `MIR_DIFF_CASES` when set (CI's full gate
@@ -420,7 +427,7 @@ fn build_program(
 /// on the EM32 VM and returns the extern-call trace.
 fn trace_at(program: &Program, level: OptLevel) -> Vec<(String, Vec<i32>)> {
     let mut p = program.clone();
-    opt::run_pipeline(&mut p, level);
+    opt::run_pipeline_with_verify(&mut p, level, opt::VerifyMode::Each);
     let asm = occ::backend::compile_program(&p, level).expect("compiles");
     let mut vm = Vm::new(&asm, RecordingEnv::new());
     vm.run("main", &[]).expect("runs");
@@ -435,8 +442,18 @@ fn trace_with_passes(program: &Program, passes: &[opt::SsaPass]) -> Vec<(String,
     for f in &mut p.functions {
         opt::simplify_cfg(f);
         ssa::construct(f);
-        for pass in passes {
+        for (i, pass) in passes.iter().enumerate() {
             pass(f, &model);
+            if cfg!(debug_assertions) {
+                let mut vs = verify::verify_function(f, verify::Tier::Ssa);
+                vs.extend(verify::verify_memory(f, &model));
+                assert!(
+                    vs.is_empty(),
+                    "pass #{i} broke an invariant in `{}`:{}",
+                    f.name,
+                    verify::report(&vs)
+                );
+            }
         }
         ssa::destruct(f);
         opt::simplify_cfg(f);
