@@ -2,13 +2,16 @@
 # CI gate for the mbot workspace. Run from the repository root:
 #
 #   ./ci.sh            # full gate: fmt, clippy, rustdoc, build, deep
-#                      # tests, bench smoke, bench-regression gate
+#                      # tests, bench smoke, throughput smoke,
+#                      # bench-regression gate
 #   ./ci.sh --fast     # quick gate: fmt, clippy, rustdoc, dev tests
 #
 # Mirrors the tier-1 verify command of ROADMAP.md plus style gates, the
-# bench-binary smoke loop and the size-regression gate against the
-# committed bench_baseline.json. Every stage's wall-clock time is
-# reported at the end so slow stages are visible in CI logs.
+# bench-binary smoke loop, the event-storm throughput smoke and the
+# regression gate (sizes, pass activity and per-cell dynamic instruction
+# counts) against the committed bench_baseline.json. Every stage's
+# wall-clock time is reported at the end so slow stages are visible in
+# CI logs.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -84,12 +87,21 @@ else
     run_stage "cargo test -p occ -p mbot (debug: verifiers active, OCC_VERIFY=$occ_verify_mode)" \
         env OCC_VERIFY=$occ_verify_mode cargo test -p occ -p mbot -q
     run_stage "bench smoke (6 binaries)" bench_smoke
-    # Size-regression gate: snapshot the current toolchain, then compare
+    # Event-storm throughput smoke: run the full machine×pattern×level
+    # storm matrix (BENCH_SMOKE=1 shortens the timed storms to the
+    # canonical length) so a fast-engine/oracle divergence or a storm
+    # fault fails CI. Its own timed stage — the storms dominate, and the
+    # timing line is how a dispatch-loop slowdown shows up in CI logs.
+    run_stage "bench throughput smoke (BENCH_SMOKE=1)" \
+        env BENCH_SMOKE=1 cargo run --release -q -p bench --bin throughput
+    # Regression gate: snapshot the current toolchain, then compare
     # against the committed baseline. Any machine×pattern×level cell
     # (total or text/rodata section) growing beyond the tolerance fails
-    # the gate, as does cell-set drift in either direction or a pass
-    # whose insts_removed drops to zero matrix-wide (silently inert);
-    # refresh the baseline deliberately with:
+    # the gate, as does a cell's canonical-storm dynamic instruction
+    # count (the deterministic "time" axis — an optimization that saves
+    # bytes by re-executing work fails here), cell-set drift in either
+    # direction, or a pass whose insts_removed drops to zero matrix-wide
+    # (silently inert); refresh the baseline deliberately with:
     #   cargo run --release -p bench --bin snapshot -- bench_baseline.json
     run_stage "bench snapshot (BENCH_PR3.json)" \
         cargo run --release -q -p bench --bin snapshot

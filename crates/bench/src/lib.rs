@@ -12,11 +12,14 @@
 //! | `deadcode` | §III.C: compiler DCE keeps the unreachable state  |
 //! | `twostep`  | §VI: two-step (model + compiler) optimization     |
 //!
-//! Two further binaries feed the CI size gate rather than a paper
+//! Three further binaries feed the CI gates rather than a paper
 //! artifact: `snapshot` writes the machine-readable `BENCH_PR3.json`
-//! (sizes + per-pass stats for every sample machine × pattern × level)
-//! and `regress` compares it against the committed `bench_baseline.json`
-//! (see [`snapshot`]).
+//! (sizes, per-pass stats and canonical-storm dynamic instruction counts
+//! for every sample machine × pattern × level), `regress` compares it
+//! against the committed `bench_baseline.json` (see [`snapshot`]), and
+//! `throughput` drives run-to-completion event storms through every cell
+//! from a worker pool, reporting events/sec and the fast-engine speedup
+//! over the reference oracle (see [`throughput`]).
 //!
 //! Absolute byte counts differ from the paper's (GCC/x86 vs our EM32
 //! backend); the *shape* — who wins, by roughly what factor, where the
@@ -26,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod snapshot;
+pub mod throughput;
 
 use std::fmt;
 

@@ -4,8 +4,10 @@
 //! pattern × optimization level cell and records the section sizes, the
 //! backend's register-allocation quality counters
 //! ([`occ::RegAllocStats`]: spill slots, saved callee-saved registers,
-//! spill-code bytes) and the per-pass [`occ::PassStats`] of the mid-end
-//! run. The `snapshot`
+//! spill-code bytes), the per-pass [`occ::PassStats`] of the mid-end
+//! run, and the deterministic executed-instruction count of the
+//! [canonical event storm](crate::throughput) on the fast engine — the
+//! cell's regression-gated "time". The `snapshot`
 //! binary serializes one to `BENCH_PR3.json`; the `regress` binary
 //! compares a fresh (or freshly written) snapshot against the committed
 //! `bench_baseline.json` and fails on any size regression beyond
@@ -23,7 +25,7 @@ use cgen::Pattern;
 use occ::OptLevel;
 use umlsm::{samples, StateMachine};
 
-use crate::{compile_artifact, BenchError};
+use crate::BenchError;
 
 /// Relative growth tolerated per cell before `regress` fails, in percent.
 pub const TOLERANCE_PCT: f64 = 1.0;
@@ -32,6 +34,14 @@ pub const TOLERANCE_PCT: f64 = 1.0;
 /// A cell passes if it is within *either* tolerance, so tiny cells are
 /// not failed over word-sized alignment noise.
 pub const TOLERANCE_BYTES: usize = 8;
+
+/// Absolute growth tolerated in a cell's canonical-storm dynamic
+/// instruction count before `regress` fails. Like the byte tolerance, a
+/// cell passes within *either* this or [`TOLERANCE_PCT`] — a storm
+/// executes hundreds of instructions per event, so 64 instructions is
+/// sub-one-event noise headroom (e.g. a legitimately re-ordered branch),
+/// while percent-scale growth on a large cell is a real slowdown.
+pub const TOLERANCE_DYN_INSTS: usize = 64;
 
 /// Per-pass effect counters of one snapshot cell (mirrors
 /// [`occ::PassStats`], but owned and serializable).
@@ -72,6 +82,13 @@ pub struct Cell {
     pub saved_regs: usize,
     /// Text bytes of inserted spill code (slot loads/stores).
     pub spill_bytes: usize,
+    /// Events in the canonical storm this cell was measured with
+    /// ([`crate::throughput::STORM_EVENTS`]); `0` in baselines written
+    /// before the throughput trajectory existed.
+    pub events: usize,
+    /// Deterministic executed-instruction count of the canonical storm
+    /// on the fast engine — the regression-gated "time" of this cell.
+    pub dyn_insts: usize,
     /// Mid-end per-pass effects for this cell.
     pub passes: Vec<PassCell>,
 }
@@ -101,17 +118,33 @@ pub fn sample_machines() -> Vec<(&'static str, StateMachine)> {
 }
 
 impl Snapshot {
-    /// Measures every machine × pattern × level cell.
+    /// Measures every machine × pattern × level cell: sizes, regalloc
+    /// counters, pass effects, and the canonical storm's deterministic
+    /// dynamic instruction count on the fast engine.
     ///
     /// # Errors
     ///
-    /// Returns the first [`BenchError`] naming a failing cell.
+    /// Returns the first [`BenchError`] naming a failing cell (a VM
+    /// fault during the storm is reported as a compile-cell error: the
+    /// program is unusable either way).
     pub fn measure() -> Result<Snapshot, BenchError> {
         let mut cells = Vec::new();
         for (name, machine) in sample_machines() {
             for pattern in Pattern::all() {
+                // One generation per machine × pattern: the code map that
+                // defines the storm's event codes is part of the
+                // measurement, and every level must see the same storm.
+                let generated = crate::generate(&machine, pattern)?;
                 for level in OptLevel::all() {
-                    let artifact = compile_artifact(&machine, pattern, level)?;
+                    let artifact =
+                        crate::compile_generated(machine.name(), pattern, level, &generated)?;
+                    let storm = crate::throughput::canonical_storm(&artifact, &generated.codes)
+                        .map_err(|e| BenchError::Compile {
+                            machine: machine.name().to_string(),
+                            pattern,
+                            level,
+                            message: format!("canonical storm faulted: {e}"),
+                        })?;
                     let sizes = artifact.sizes();
                     let regalloc = artifact.regalloc_stats();
                     let passes = artifact
@@ -137,6 +170,8 @@ impl Snapshot {
                         spill_slots: regalloc.spill_slots,
                         saved_regs: regalloc.saved_regs,
                         spill_bytes: regalloc.spill_bytes,
+                        events: storm.events,
+                        dyn_insts: storm.dyn_insts as usize,
                         passes,
                     });
                 }
@@ -158,7 +193,8 @@ impl Snapshot {
                 out,
                 "    {{\"machine\": {}, \"pattern\": {}, \"level\": {}, \
                  \"text\": {}, \"rodata\": {}, \"data\": {}, \"total\": {}, \
-                 \"spill_slots\": {}, \"saved_regs\": {}, \"spill_bytes\": {}, \"passes\": [",
+                 \"spill_slots\": {}, \"saved_regs\": {}, \"spill_bytes\": {}, \
+                 \"events\": {}, \"dyn_insts\": {}, \"passes\": [",
                 json_string(&c.machine),
                 json_string(&c.pattern),
                 json_string(&c.level),
@@ -168,7 +204,9 @@ impl Snapshot {
                 c.total,
                 c.spill_slots,
                 c.saved_regs,
-                c.spill_bytes
+                c.spill_bytes,
+                c.events,
+                c.dyn_insts
             );
             for (j, p) in c.passes.iter().enumerate() {
                 let _ = write!(
@@ -229,6 +267,10 @@ impl Snapshot {
                 spill_slots: item.usize_field("spill_slots")?,
                 saved_regs: item.usize_field("saved_regs")?,
                 spill_bytes: item.usize_field("spill_bytes")?,
+                // Lenient for baselines written before the throughput
+                // trajectory: absent fields parse as 0 and are not gated.
+                events: item.usize_field_or("events", 0)?,
+                dyn_insts: item.usize_field_or("dyn_insts", 0)?,
                 passes,
             });
         }
@@ -318,6 +360,29 @@ pub enum Verdict {
         /// Total instructions the pass removed across the baseline.
         baseline_removed: usize,
     },
+    /// The canonical storm's deterministic executed-instruction count
+    /// grew beyond tolerance — the cell got *slower* on the time-like
+    /// axis even if its bytes shrank.
+    DynInstsRegressed {
+        /// Cell key.
+        key: String,
+        /// Baseline dynamic instruction count.
+        baseline: usize,
+        /// Current dynamic instruction count.
+        current: usize,
+    },
+    /// The two snapshots measured different canonical storms (different
+    /// event counts), so their dynamic instruction counts are not
+    /// comparable — the baseline must be refreshed deliberately, not
+    /// silently skipped.
+    StormChanged {
+        /// Cell key.
+        key: String,
+        /// Baseline storm event count.
+        baseline_events: usize,
+        /// Current storm event count.
+        current_events: usize,
+    },
 }
 
 impl Verdict {
@@ -331,6 +396,8 @@ impl Verdict {
                 | Verdict::SectionRegressed { .. }
                 | Verdict::RegallocRegressed { .. }
                 | Verdict::PassInert { .. }
+                | Verdict::DynInstsRegressed { .. }
+                | Verdict::StormChanged { .. }
         )
     }
 
@@ -383,6 +450,22 @@ impl Verdict {
             } => format!(
                 "  INERT     pass `{name}` removed {baseline_removed} insts in the baseline, 0 now"
             ),
+            Verdict::DynInstsRegressed {
+                key,
+                baseline,
+                current,
+            } => format!(
+                "  REGRESSED {key:<40} dyn_insts {baseline:>7} -> {current:>7} (+{})",
+                current.saturating_sub(*baseline)
+            ),
+            Verdict::StormChanged {
+                key,
+                baseline_events,
+                current_events,
+            } => format!(
+                "  STORM     {key:<40} canonical storm changed \
+                 ({baseline_events} -> {current_events} events; refresh the baseline deliberately)"
+            ),
         }
     }
 }
@@ -396,15 +479,28 @@ fn allowed_growth(baseline: usize) -> usize {
     )
 }
 
+/// Growth a dynamic instruction count may show before it counts as a
+/// regression: within `max(TOLERANCE_PCT, TOLERANCE_DYN_INSTS)`.
+fn allowed_dyn_growth(baseline: usize) -> usize {
+    std::cmp::max(
+        (baseline as f64 * TOLERANCE_PCT / 100.0).floor() as usize,
+        TOLERANCE_DYN_INSTS,
+    )
+}
+
 /// Compares `current` against `baseline` cell by cell, gating on total
 /// image size *and* on the `text`/`rodata` sections individually (one
 /// section's growth hidden by another's shrink is still flagged). Growth
 /// within `max(TOLERANCE_PCT, TOLERANCE_BYTES)` is tolerated; anything
 /// larger is a regression, as is any cell-set drift — a baseline cell
 /// the current snapshot no longer measures, or a current cell the
-/// baseline does not know (refresh the baseline deliberately). Finally,
-/// any pass that removed instructions somewhere in the baseline but
-/// removes zero across every current cell is flagged as silently inert.
+/// baseline does not know (refresh the baseline deliberately). The
+/// canonical storm's dynamic instruction count is gated the same way
+/// (within `max(TOLERANCE_PCT, TOLERANCE_DYN_INSTS)`) wherever the
+/// baseline measured one, and a storm-shape change (different event
+/// counts) fails outright rather than skipping the cell. Finally, any
+/// pass that removed instructions somewhere in the baseline but removes
+/// zero across every current cell is flagged as silently inert.
 pub fn compare(baseline: &Snapshot, current: &Snapshot) -> Vec<Verdict> {
     let current_by_key: BTreeMap<String, &Cell> =
         current.cells.iter().map(|c| (c.key(), c)).collect();
@@ -472,6 +568,26 @@ pub fn compare(baseline: &Snapshot, current: &Snapshot) -> Vec<Verdict> {
                 baseline: base.spill_bytes,
                 current: cur.spill_bytes,
             });
+        }
+        // Time-like axis: the canonical storm's deterministic dynamic
+        // instruction count. Only gated when the baseline has one (old
+        // baselines carry 0 events) and both snapshots measured the same
+        // storm — a storm-shape change is its own failure, never a
+        // silent skip.
+        if base.events > 0 {
+            if base.events != cur.events {
+                verdicts.push(Verdict::StormChanged {
+                    key: key.clone(),
+                    baseline_events: base.events,
+                    current_events: cur.events,
+                });
+            } else if cur.dyn_insts > base.dyn_insts + allowed_dyn_growth(base.dyn_insts) {
+                verdicts.push(Verdict::DynInstsRegressed {
+                    key: key.clone(),
+                    baseline: base.dyn_insts,
+                    current: cur.dyn_insts,
+                });
+            }
         }
     }
     for cur in &current.cells {
@@ -570,6 +686,17 @@ impl Json {
         match self.field(name) {
             Some(Json::Number(n)) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as usize),
             _ => Err(format!("missing or non-integer field \"{name}\"")),
+        }
+    }
+
+    /// Like [`usize_field`](Json::usize_field), but an *absent* field
+    /// yields `default` (a present-but-malformed one is still an error) —
+    /// for fields added to the format after baselines existed.
+    fn usize_field_or(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.field(name) {
+            None => Ok(default),
+            Some(Json::Number(n)) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as usize),
+            Some(_) => Err(format!("non-integer field \"{name}\"")),
         }
     }
 }
@@ -767,6 +894,8 @@ mod tests {
                     spill_slots: 2,
                     saved_regs: 3,
                     spill_bytes: 24,
+                    events: 512,
+                    dyn_insts: 40_000,
                     passes: vec![PassCell {
                         name: "sccp".into(),
                         runs: 3,
@@ -785,6 +914,8 @@ mod tests {
                     spill_slots: 0,
                     saved_regs: 1,
                     spill_bytes: 0,
+                    events: 512,
+                    dyn_insts: 36_000,
                     passes: vec![],
                 },
             ],
@@ -961,6 +1092,84 @@ mod tests {
             if cell.level == "-O0" {
                 assert!(cell.passes.is_empty(), "{} ran passes at -O0", cell.key());
             }
+            // Every cell is storm-measured.
+            assert_eq!(
+                cell.events,
+                crate::throughput::STORM_EVENTS,
+                "{} missing its storm",
+                cell.key()
+            );
+            assert!(cell.dyn_insts > 0, "{} executed nothing", cell.key());
         }
+    }
+
+    #[test]
+    fn old_baselines_without_storm_fields_parse_and_are_not_gated() {
+        // A pre-throughput baseline (no events/dyn_insts in the JSON)
+        // must still parse — as zeros — and must not gate dyn_insts.
+        let text = "{\"cells\": [{\"machine\": \"m\", \"pattern\": \"p\",
+            \"level\": \"-O0\", \"text\": 1, \"rodata\": 2, \"data\": 3,
+            \"total\": 6, \"spill_slots\": 0, \"saved_regs\": 0,
+            \"spill_bytes\": 0, \"passes\": []}]}";
+        let base = Snapshot::from_json(text).expect("parses");
+        assert_eq!(base.cells[0].events, 0);
+        assert_eq!(base.cells[0].dyn_insts, 0);
+        let mut cur = base.clone();
+        cur.cells[0].events = 512;
+        cur.cells[0].dyn_insts = 1_000_000;
+        assert!(
+            !compare(&base, &cur).iter().any(Verdict::is_regression),
+            "an ungated baseline cell must accept any current storm"
+        );
+    }
+
+    #[test]
+    fn compare_gates_dynamic_instruction_counts() {
+        let base = sample_snapshot();
+        // Within tolerance (64 insts or 1%): not a regression.
+        let mut cur = sample_snapshot();
+        cur.cells[1].dyn_insts = base.cells[1].dyn_insts + TOLERANCE_DYN_INSTS;
+        assert!(!compare(&base, &cur).iter().any(Verdict::is_regression));
+        // Beyond 1%: a regression, even though every byte is unchanged.
+        cur.cells[1].dyn_insts = base.cells[1].dyn_insts * 102 / 100;
+        let verdicts = compare(&base, &cur);
+        let dyn_regs: Vec<_> = verdicts
+            .iter()
+            .filter(|v| matches!(v, Verdict::DynInstsRegressed { .. }))
+            .collect();
+        assert_eq!(dyn_regs.len(), 1, "{verdicts:?}");
+        assert!(dyn_regs[0].is_regression());
+        assert!(
+            dyn_regs[0].render().contains("dyn_insts"),
+            "{}",
+            dyn_regs[0].render()
+        );
+        // Getting *faster* is never flagged.
+        let mut faster = sample_snapshot();
+        faster.cells[0].dyn_insts = base.cells[0].dyn_insts / 2;
+        assert!(!compare(&base, &faster).iter().any(Verdict::is_regression));
+    }
+
+    #[test]
+    fn compare_flags_storm_shape_changes() {
+        let base = sample_snapshot();
+        let mut cur = sample_snapshot();
+        cur.cells[0].events = 1024;
+        // Counts from different storms are incomparable: fail loudly,
+        // even if the count happens to look smaller.
+        cur.cells[0].dyn_insts = 1;
+        let verdicts = compare(&base, &cur);
+        let storm: Vec<_> = verdicts
+            .iter()
+            .filter(|v| matches!(v, Verdict::StormChanged { .. }))
+            .collect();
+        assert_eq!(storm.len(), 1, "{verdicts:?}");
+        assert!(storm[0].is_regression());
+        assert!(
+            !verdicts
+                .iter()
+                .any(|v| matches!(v, Verdict::DynInstsRegressed { .. })),
+            "a changed storm must not also be judged on its count"
+        );
     }
 }

@@ -1,0 +1,183 @@
+//! Run-to-completion event storms: the time-like axis of the bench
+//! trajectory.
+//!
+//! A *storm* initializes a generated state machine (`sm_init`) and then
+//! delivers a deterministic cycling sequence of event codes through
+//! `sm_step`, run to completion each time — the "heavy traffic" dispatch
+//! load the ROADMAP north-star asks about. Two numbers come out of it:
+//!
+//! * **events/sec** — wall-clock throughput, informational only (it moves
+//!   with the host machine);
+//! * **executed instructions** — the deterministic dynamic instruction
+//!   count of the [canonical storm](STORM_EVENTS), identical on every
+//!   machine and every run by the two-engine fuel contract
+//!   ([`occ::vm`]), so it can be regression-gated like a size
+//!   ([`crate::snapshot`] records it per cell).
+//!
+//! The `throughput` binary fans the full machine × pattern × level matrix
+//! out over a hand-rolled `std::thread` worker pool and self-reports the
+//! fast-engine speedup over the reference oracle per cell.
+
+use cgen::CodeMap;
+use occ::vm::{Engine, VmError};
+use tlang::{Env, Value};
+
+/// Events in the canonical deterministic storm — the storm whose
+/// executed-instruction count joins the snapshot cells and the regression
+/// gate. Timed storms may be longer; the gated count always comes from
+/// this one.
+pub const STORM_EVENTS: usize = 512;
+
+/// An [`Env`] that counts extern calls and discards them — storm runs
+/// must not pay per-event trace allocation, and their observable output
+/// is already locked by the differential nets.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountingEnv {
+    /// Extern calls observed.
+    pub calls: u64,
+}
+
+impl Env for CountingEnv {
+    fn call_extern(&mut self, _name: &str, _args: &[Value]) -> Result<Value, String> {
+        self.calls += 1;
+        Ok(Value::Int(0))
+    }
+}
+
+/// What one storm did: how many events were delivered and what they cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StormResult {
+    /// Events delivered through `sm_step` (after the one `sm_init`).
+    pub events: usize,
+    /// Instructions the engine executed for the whole storm, `sm_init`
+    /// included — deterministic for a deterministic program.
+    pub dyn_insts: u64,
+}
+
+/// Drives one run-to-completion event storm through an engine: `sm_init`,
+/// then `events` calls of `sm_step` cycling through the machine's event
+/// codes in [`CodeMap`] order. Engine-generic, so the same storm times
+/// the fast engine and the oracle.
+///
+/// The engine's fuel is raised to `u64::MAX` first: storms are bounded by
+/// the event count, not by a budget.
+///
+/// # Errors
+///
+/// Returns the first [`VmError`] (a generated program faulting under
+/// storm load is a bug worth failing loudly on).
+pub fn run_storm<E: Engine>(
+    engine: &mut E,
+    codes: &CodeMap,
+    events: usize,
+) -> Result<StormResult, VmError> {
+    engine.set_fuel(u64::MAX);
+    let start = engine.executed();
+    engine.call("sm_init", &[])?;
+    let n = codes.event_count();
+    if n > 0 {
+        // Wrapping counter instead of `i % n`: an integer division per
+        // event would be measurement overhead on the same order as a
+        // handful of dispatched instructions.
+        let n = n as i64;
+        let mut code: i64 = 0;
+        for _ in 0..events {
+            engine.call("sm_step", &[code as i32])?;
+            code += 1;
+            if code == n {
+                code = 0;
+            }
+        }
+    }
+    Ok(StormResult {
+        events: if n > 0 { events } else { 0 },
+        dyn_insts: engine.executed() - start,
+    })
+}
+
+/// Runs the [canonical storm](STORM_EVENTS) on a freshly created fast
+/// engine — the snapshot's per-cell deterministic measurement.
+///
+/// # Errors
+///
+/// Returns the first [`VmError`].
+pub fn canonical_storm(artifact: &occ::Artifact, codes: &CodeMap) -> Result<StormResult, VmError> {
+    let mut vm = occ::vm::FastVm::new(artifact.decoded(), CountingEnv::default());
+    run_storm(&mut vm, codes, STORM_EVENTS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile_generated, generate};
+    use cgen::Pattern;
+    use occ::vm::{FastVm, Vm};
+    use occ::OptLevel;
+    use umlsm::samples;
+
+    #[test]
+    fn storm_is_deterministic_and_engine_agnostic() {
+        let machine = samples::hierarchical_never_active();
+        let generated = generate(&machine, Pattern::StateTable).expect("generates");
+        let artifact = compile_generated(
+            machine.name(),
+            Pattern::StateTable,
+            OptLevel::O2,
+            &generated,
+        )
+        .expect("compiles");
+        let a = canonical_storm(&artifact, &generated.codes).expect("storms");
+        let b = canonical_storm(&artifact, &generated.codes).expect("storms");
+        assert_eq!(a, b, "same program + storm must cost the same");
+        assert_eq!(a.events, STORM_EVENTS);
+        assert!(a.dyn_insts > 0);
+        // The oracle executes the exact same instruction count: this is
+        // the two-engine fuel contract under a real workload.
+        let mut oracle = Vm::new(artifact.assembly(), CountingEnv::default());
+        let o = run_storm(&mut oracle, &generated.codes, STORM_EVENTS).expect("storms");
+        assert_eq!(o, a, "oracle and fast engine storms must agree");
+    }
+
+    #[test]
+    fn storm_counts_accumulate_per_engine_instance() {
+        let machine = samples::flat_unreachable();
+        let generated = generate(&machine, Pattern::NestedSwitch).expect("generates");
+        let artifact = compile_generated(
+            machine.name(),
+            Pattern::NestedSwitch,
+            OptLevel::Os,
+            &generated,
+        )
+        .expect("compiles");
+        let mut vm = FastVm::new(artifact.decoded(), CountingEnv::default());
+        let first = run_storm(&mut vm, &generated.codes, 64).expect("storms");
+        let second = run_storm(&mut vm, &generated.codes, 64).expect("storms");
+        // Memory persists, but a re-initialized machine replays the same
+        // trajectory, so the marginal cost is identical.
+        assert_eq!(first.dyn_insts, second.dyn_insts);
+        assert!(vm.env().calls > 0, "storm should reach extern emissions");
+    }
+
+    #[test]
+    fn storm_cost_scales_with_events() {
+        let machine = samples::cruise_control();
+        let generated = generate(&machine, Pattern::StatePattern).expect("generates");
+        let artifact = compile_generated(
+            machine.name(),
+            Pattern::StatePattern,
+            OptLevel::O1,
+            &generated,
+        )
+        .expect("compiles");
+        let short = canonical_storm(&artifact, &generated.codes).expect("storms");
+        let mut vm = FastVm::new(artifact.decoded(), CountingEnv::default());
+        let long = run_storm(&mut vm, &generated.codes, STORM_EVENTS * 4).expect("storms");
+        assert!(
+            long.dyn_insts > short.dyn_insts * 3,
+            "4x the events should cost roughly 4x the instructions \
+             ({} vs {})",
+            long.dyn_insts,
+            short.dyn_insts
+        );
+    }
+}

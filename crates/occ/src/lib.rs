@@ -34,9 +34,14 @@
 //!   byte-accurate encoding ([`Assembly`] reports text/rodata/data sizes
 //!   — the paper's "assembly code size in bytes"; [`RegAllocStats`]
 //!   reports the allocator's spill/save footprint per artifact).
-//! * **VM**: an EM32 interpreter ([`vm`]) so compiled programs can be
-//!   *executed* and differentially tested against the `tlang` reference
-//!   interpreter — the correctness argument for every optimization above.
+//! * **VM**: two EM32 execution engines ([`vm`]) behind one contract — a
+//!   reference oracle walking the instruction stream, and a fast engine
+//!   dispatching over a one-time pre-decode ([`vm::DecodedProgram`],
+//!   carried on every [`Artifact`]) — so compiled programs can be
+//!   *executed*, differentially tested against the `tlang` reference
+//!   interpreter and against each other, and driven through event storms
+//!   at bench speed. The [`vm`] module doc is the canonical two-engine
+//!   contract.
 //! * **Verifier**: a tiered MIR/SSA static checker ([`verify`]) whose
 //!   module doc is the canonical invariant catalogue; debug builds
 //!   re-check every pipeline boundary, and `OCC_VERIFY=each` escalates
@@ -161,6 +166,7 @@ impl std::error::Error for CompileError {}
 #[derive(Debug, Clone)]
 pub struct Artifact {
     asm: Assembly,
+    decoded: vm::DecodedProgram,
     pass_stats: PipelineStats,
     surviving_functions: Vec<String>,
     level: OptLevel,
@@ -170,6 +176,13 @@ impl Artifact {
     /// The assembled program.
     pub fn assembly(&self) -> &Assembly {
         &self.asm
+    }
+
+    /// The pre-decoded dense form of the program, ready for
+    /// [`vm::FastVm`]. Decoded once at compile time, so executing an
+    /// artifact never pays a per-run decode.
+    pub fn decoded(&self) -> &vm::DecodedProgram {
+        &self.decoded
     }
 
     /// Size accounting (the paper's metric).
@@ -223,9 +236,12 @@ pub fn compile(module: &tlang::Module, level: OptLevel) -> Result<Artifact, Comp
     let mut program = lower::lower_module(module)?;
     let pass_stats = opt::run_pipeline(&mut program, level);
     let asm = backend::compile_program(&program, level)?;
+    let decoded = vm::DecodedProgram::decode(&asm)
+        .map_err(|e| CompileError::Internal(format!("decode: {e}")))?;
     let surviving_functions = program.functions.iter().map(|f| f.name.clone()).collect();
     Ok(Artifact {
         asm,
+        decoded,
         pass_stats,
         surviving_functions,
         level,

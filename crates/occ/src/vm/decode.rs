@@ -1,0 +1,1036 @@
+//! One-time pre-decode of an [`Assembly`] into the dense internal form
+//! the fast engine dispatches over (see the [module docs](super) for the
+//! decode invariants this establishes).
+
+use std::fmt;
+
+use crate::backend::{AsmInst, Assembly, DATA_BASE, TEXT_BASE};
+use crate::mir::BinOp;
+
+/// A decode-time rejection: malformed assembly is reported here, once,
+/// instead of surfacing as a dispatch-time fault on some execution path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// A branch or jump-table entry names a label the function does not
+    /// define.
+    UndefinedLabel {
+        /// Function the reference appears in.
+        func: String,
+        /// The unresolvable label id.
+        label: usize,
+    },
+    /// An `Ecall` names an extern index outside the extern table.
+    UnknownExtern {
+        /// Function the call appears in.
+        func: String,
+        /// The out-of-range extern index.
+        ext: usize,
+    },
+    /// A direct call targets a function index outside the program.
+    BadCallee {
+        /// Function the call appears in.
+        func: String,
+        /// The out-of-range callee index.
+        callee: usize,
+    },
+    /// An address formation names a global outside the data image.
+    BadGlobal {
+        /// Function the reference appears in.
+        func: String,
+        /// The out-of-range global index.
+        global: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UndefinedLabel { func, label } => {
+                write!(f, "`{func}`: branch to undefined label {label}")
+            }
+            DecodeError::UnknownExtern { func, ext } => {
+                write!(f, "`{func}`: ecall of unknown extern index {ext}")
+            }
+            DecodeError::BadCallee { func, callee } => {
+                write!(f, "`{func}`: call of out-of-range function index {callee}")
+            }
+            DecodeError::BadGlobal { func, global } => {
+                write!(f, "`{func}`: address of out-of-range global index {global}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// One pre-decoded micro-op. `Copy` by construction — variable-length
+/// payloads (jump tables) live in the side pool of [`DecodedProgram`] —
+/// so the dispatch loop fetches by value from one dense array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Op {
+    /// Fuel-charging no-op: the decoded form of any write whose
+    /// destination is the hardwired-zero `r0`. Rewriting those here lets
+    /// the dispatch loop write registers unconditionally — no op it
+    /// executes ever names `r0` as a destination, so `regs[0] == 0` is an
+    /// invariant, not a per-write check.
+    Nop,
+    /// `rd = imm` (`rd != 0`). Also the pre-split form of `La`/`LaFn`:
+    /// the absolute address is computed at decode time.
+    Li { rd: u8, imm: i32 },
+    /// `rd = rs`.
+    Mv { rd: u8, rs: u8 },
+    /// `rd = rs1 op rs2`.
+    Alu { op: BinOp, rd: u8, rs1: u8, rs2: u8 },
+    /// `rd = mem[base + off]`.
+    Lw { rd: u8, base: u8, off: i32 },
+    /// `mem[base + off] = src`.
+    Sw { src: u8, base: u8, off: i32 },
+    /// Branch to the absolute op index `target` if `rs1 == rs2`.
+    Beq { rs1: u8, rs2: u8, target: u32 },
+    /// Branch to the absolute op index `target` if `rs1 != rs2`.
+    Bne { rs1: u8, rs2: u8, target: u32 },
+    /// Unconditional jump to the absolute op index `target`.
+    Jmp { target: u32 },
+    /// Direct call: push the return op index, continue at `entry`.
+    Call { entry: u32 },
+    /// Indirect call through the code address in `rs` (resolved through
+    /// the dense [`DecodedProgram::code_map`] at dispatch time — the one
+    /// target resolution that is genuinely run-time).
+    CallInd { rs: u8 },
+    /// Host-environment call.
+    Ecall { ext: u16, nargs: u8, returns: bool },
+    /// Return to the popped op index, or finish the run.
+    Ret,
+    /// Bounds-checked jump table; the payload lives in the
+    /// [`TableMeta`] side pool so this (rare) op doesn't widen the whole
+    /// enum past its 8-byte fetch.
+    Table { meta: u32 },
+
+    // ---- fused pairs (superinstructions) -------------------------------
+    //
+    // A decode-time peephole replaces the hottest adjacent fall-through
+    // pairs with one op covering both, so the dispatch loop pays one
+    // fetch + indirect branch for two instructions. The second slot of a
+    // fused pair KEEPS its plain op (the fused op skips it with an extra
+    // `pc += 1`), so branches into the middle of a pair stay valid and
+    // every slot index is unchanged. Each fused arm re-checks and
+    // re-decrements fuel between its two halves, so `OutOfFuel` fires at
+    // exactly the same step as in the oracle. Register numbers are packed
+    // two per byte (`hi << 4 | lo`) — a nibble is already `< 16`, which
+    // also lets the register file be indexed without a bounds check.
+    /// `Li` then `Alu` (the ubiquitous load-immediate-operand form):
+    /// `rd(rds hi) = imm; rd(rds lo) = op(rs(rss hi), rs(rss lo))`.
+    /// Fused only when the immediate fits `i16`.
+    LiAlu {
+        op: BinOp,
+        rds: u8,
+        rss: u8,
+        imm: i16,
+    },
+    /// `Li` then `Alu` whose *right* operand is the value just loaded
+    /// (`rs2 == rd_li`): the dispatch arm feeds `imm` straight into the
+    /// ALU instead of reloading it through the register file (cuts a
+    /// store-to-load dependency). `rds` = `rd_li|rd`, `rs1` plain.
+    LiAluI {
+        op: BinOp,
+        rds: u8,
+        rs1: u8,
+        imm: i16,
+    },
+    /// Mirror of [`Op::LiAluI`] for `rs1 == rd_li` (immediate is the
+    /// left operand).
+    LiAluIL {
+        op: BinOp,
+        rds: u8,
+        rs2: u8,
+        imm: i16,
+    },
+    /// `Li` then `Li`: `rd(rds hi) = imm1; rd(rds lo) = imm2` (both
+    /// immediates fit `i16`).
+    LiLi { rds: u8, imm1: i16, imm2: i16 },
+    /// `Alu` then `Alu`, all four operand registers and both opcodes
+    /// nibble-packed: `ops` holds the two [`BinOp`] nibbles, `a` =
+    /// `rd1|rs11`, `b` = `rs12|rd2`, `c` = `rs21|rs22`.
+    AluAlu { ops: u8, a: u8, b: u8, c: u8 },
+    /// `Alu` then `Beq`/`Bne` (compare-and-branch): `ops` = [`BinOp`]
+    /// nibble `<< 4 | is_eq`, `a` = `rd|rs1`, `b` = `rs2|brs1`, `c` =
+    /// `brs2 << 4`. Fused only when the branch target fits `u16`.
+    AluBr {
+        ops: u8,
+        a: u8,
+        b: u8,
+        c: u8,
+        target: u16,
+    },
+    /// `Lw` then `Lw` (struct/context copies): `rds` = `rd1|rd2`,
+    /// `bases` = `base1|base2`, offsets fit `i16`.
+    LwLw {
+        rds: u8,
+        bases: u8,
+        off1: i16,
+        off2: i16,
+    },
+    /// `Sw` then `Sw`: `srcs` = `src1|src2`, `bases` = `base1|base2`,
+    /// offsets fit `i16`.
+    SwSw {
+        srcs: u8,
+        bases: u8,
+        off1: i16,
+        off2: i16,
+    },
+}
+
+/// Reverse of `BinOp as u8` for the nibble-packed fused ops, padded to 16
+/// entries so a masked nibble indexes it without a bounds check.
+pub(crate) const BINOP_FROM_NIBBLE: [BinOp; 16] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Div,
+    BinOp::Rem,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::Eq,
+    BinOp::Ne,
+    BinOp::Lt,
+    BinOp::Le,
+    BinOp::Gt,
+    BinOp::Ge,
+    BinOp::Add,
+    BinOp::Add,
+];
+
+/// Packs two register numbers (each `< 16`) into one byte.
+fn pack(hi: u8, lo: u8) -> u8 {
+    debug_assert!(hi < 16 && lo < 16);
+    (hi << 4) | lo
+}
+
+/// The decode-time peephole: greedily fuses adjacent fall-through pairs
+/// within one function's slot range (left to right, first match wins).
+/// The first slot gets the fused op; the second keeps its plain op as a
+/// branch-target landing pad.
+fn fuse_pairs(ops: &mut [Op]) {
+    let mut i = 0;
+    while i + 1 < ops.len() {
+        if let Some(fused) = try_fuse(ops[i], ops[i + 1]) {
+            ops[i] = fused;
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+fn try_fuse(first: Op, second: Op) -> Option<Op> {
+    match (first, second) {
+        (Op::Li { rd: rd1, imm }, Op::Alu { op, rd, rs1, rs2 }) => {
+            let imm = i16::try_from(imm).ok()?;
+            if rs2 == rd1 {
+                Some(Op::LiAluI {
+                    op,
+                    rds: pack(rd1, rd),
+                    rs1,
+                    imm,
+                })
+            } else if rs1 == rd1 {
+                Some(Op::LiAluIL {
+                    op,
+                    rds: pack(rd1, rd),
+                    rs2,
+                    imm,
+                })
+            } else {
+                Some(Op::LiAlu {
+                    op,
+                    rds: pack(rd1, rd),
+                    rss: pack(rs1, rs2),
+                    imm,
+                })
+            }
+        }
+        (Op::Li { rd: rd1, imm: i1 }, Op::Li { rd: rd2, imm: i2 }) => {
+            let imm1 = i16::try_from(i1).ok()?;
+            let imm2 = i16::try_from(i2).ok()?;
+            Some(Op::LiLi {
+                rds: pack(rd1, rd2),
+                imm1,
+                imm2,
+            })
+        }
+        (
+            Op::Alu {
+                op: op1,
+                rd: rd1,
+                rs1: rs11,
+                rs2: rs12,
+            },
+            Op::Alu {
+                op: op2,
+                rd: rd2,
+                rs1: rs21,
+                rs2: rs22,
+            },
+        ) => Some(Op::AluAlu {
+            ops: pack(op1 as u8, op2 as u8),
+            a: pack(rd1, rs11),
+            b: pack(rs12, rd2),
+            c: pack(rs21, rs22),
+        }),
+        (
+            Op::Alu { op, rd, rs1, rs2 },
+            Op::Beq {
+                rs1: b1,
+                rs2: b2,
+                target,
+            },
+        )
+        | (
+            Op::Alu { op, rd, rs1, rs2 },
+            Op::Bne {
+                rs1: b1,
+                rs2: b2,
+                target,
+            },
+        ) => {
+            let target = u16::try_from(target).ok()?;
+            let is_eq = matches!(second, Op::Beq { .. });
+            Some(Op::AluBr {
+                ops: pack(op as u8, u8::from(is_eq)),
+                a: pack(rd, rs1),
+                b: pack(rs2, b1),
+                c: pack(b2, 0),
+                target,
+            })
+        }
+        (
+            Op::Lw {
+                rd: rd1,
+                base: base1,
+                off: o1,
+            },
+            Op::Lw {
+                rd: rd2,
+                base: base2,
+                off: o2,
+            },
+        ) => {
+            let off1 = i16::try_from(o1).ok()?;
+            let off2 = i16::try_from(o2).ok()?;
+            Some(Op::LwLw {
+                rds: pack(rd1, rd2),
+                bases: pack(base1, base2),
+                off1,
+                off2,
+            })
+        }
+        (
+            Op::Sw {
+                src: s1,
+                base: base1,
+                off: o1,
+            },
+            Op::Sw {
+                src: s2,
+                base: base2,
+                off: o2,
+            },
+        ) => {
+            let off1 = i16::try_from(o1).ok()?;
+            let off2 = i16::try_from(o2).ok()?;
+            Some(Op::SwSw {
+                srcs: pack(s1, s2),
+                bases: pack(base1, base2),
+                off1,
+                off2,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Payload of one [`Op::Table`]: the bounds check and the slice of the
+/// flat target pool it dispatches over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct TableMeta {
+    pub rs: u8,
+    pub lo: i32,
+    /// First target in [`DecodedProgram::tables`].
+    pub start: u32,
+    pub len: u32,
+    /// Absolute op index for out-of-range scrutinees.
+    pub default: u32,
+}
+
+/// One function's decoded metadata.
+#[derive(Debug, Clone)]
+pub(crate) struct FnInfo {
+    /// Symbol name (entry lookup only — never consulted mid-dispatch).
+    pub name: String,
+    /// Callable from the host.
+    pub exported: bool,
+    /// Absolute index of the function's first op.
+    pub entry: u32,
+}
+
+/// The dense, pre-decoded form of an [`Assembly`]: one flat op array for
+/// all functions, pre-resolved branch/call targets, a flat jump-table
+/// pool, the extern name table and the initial memory image. Produced
+/// once per program by [`DecodedProgram::decode`] (and carried on every
+/// [`Artifact`](crate::Artifact)); executed by
+/// [`FastVm`](super::FastVm).
+#[derive(Debug, Clone)]
+pub struct DecodedProgram {
+    pub(crate) ops: Vec<Op>,
+    /// Flat pool of jump-table targets (absolute op indices).
+    pub(crate) tables: Vec<u32>,
+    /// One entry per `Op::Table`, indexed by its `meta` field.
+    pub(crate) table_meta: Vec<TableMeta>,
+    pub(crate) funcs: Vec<FnInfo>,
+    pub(crate) externs: Vec<String>,
+    /// Initial memory image: data segment + zeroed stack (see
+    /// [`initial_memory`](super::initial_memory)).
+    pub(crate) mem: Vec<u8>,
+    /// Dense indirect-call resolution: `code_map[(addr - TEXT_BASE) / 2]`
+    /// is the entry op index of the function laid out at code address
+    /// `addr`, or `u32::MAX` between entries (EM32 code addresses are
+    /// 2-aligned — compressed instructions are 2 bytes). One load per
+    /// `Jalr` instead of a binary search.
+    pub(crate) code_map: Vec<u32>,
+}
+
+impl DecodedProgram {
+    /// Pre-decodes an assembly, validating every statically resolvable
+    /// target (see the [module docs](super) for the invariant list).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`DecodeError`]; compiler-produced assemblies
+    /// never fail (the backend only emits in-range references), so a
+    /// failure here indicates a malformed hand-built program or a
+    /// backend bug.
+    pub fn decode(asm: &Assembly) -> Result<DecodedProgram, DecodeError> {
+        // Pass A: per-function entries and label -> local-op-index maps.
+        // Every non-label instruction emits exactly one op; every
+        // function gets one appended `Ret`, so a label at the very end
+        // of the stream resolves to that implicit return.
+        let mut entries: Vec<u32> = Vec::with_capacity(asm.functions.len());
+        let mut label_maps: Vec<std::collections::BTreeMap<usize, u32>> =
+            Vec::with_capacity(asm.functions.len());
+        let mut cursor: u32 = 0;
+        for f in &asm.functions {
+            entries.push(cursor);
+            let mut map = std::collections::BTreeMap::new();
+            let mut local: u32 = 0;
+            for inst in &f.insts {
+                match inst {
+                    AsmInst::Label(l) => {
+                        map.insert(*l, local);
+                    }
+                    _ => local += 1,
+                }
+            }
+            label_maps.push(map);
+            cursor += local + 1; // + the appended Ret
+        }
+
+        // Pass B: emit ops with every target resolved to an absolute
+        // op index.
+        let mut ops: Vec<Op> = Vec::with_capacity(cursor as usize);
+        let mut tables: Vec<u32> = Vec::new();
+        let mut table_meta: Vec<TableMeta> = Vec::new();
+        for (fi, f) in asm.functions.iter().enumerate() {
+            let entry = entries[fi];
+            let resolve = |label: usize| -> Result<u32, DecodeError> {
+                label_maps[fi]
+                    .get(&label)
+                    .map(|local| entry + local)
+                    .ok_or_else(|| DecodeError::UndefinedLabel {
+                        func: f.name.clone(),
+                        label,
+                    })
+            };
+            for inst in &f.insts {
+                let op = match inst {
+                    AsmInst::Label(_) => continue,
+                    // Pure ops writing `r0` decay to fuel-charging no-ops
+                    // (reads have no side effects); `Lw` keeps its fault
+                    // check, so it is not rewritten.
+                    AsmInst::Li { rd: 0, .. } | AsmInst::Mv { rd: 0, .. } => Op::Nop,
+                    AsmInst::Alu { rd: 0, .. } => Op::Nop,
+                    AsmInst::Li { rd, imm } => Op::Li { rd: *rd, imm: *imm },
+                    AsmInst::Mv { rd, rs } => Op::Mv { rd: *rd, rs: *rs },
+                    AsmInst::Alu { op, rd, rs1, rs2 } => Op::Alu {
+                        op: *op,
+                        rd: *rd,
+                        rs1: *rs1,
+                        rs2: *rs2,
+                    },
+                    AsmInst::Lw { rd, base, off } => Op::Lw {
+                        rd: *rd,
+                        base: *base,
+                        off: *off,
+                    },
+                    AsmInst::Sw { src, base, off } => Op::Sw {
+                        src: *src,
+                        base: *base,
+                        off: *off,
+                    },
+                    AsmInst::Beq { rs1, rs2, label } => Op::Beq {
+                        rs1: *rs1,
+                        rs2: *rs2,
+                        target: resolve(*label)?,
+                    },
+                    AsmInst::Bne { rs1, rs2, label } => Op::Bne {
+                        rs1: *rs1,
+                        rs2: *rs2,
+                        target: resolve(*label)?,
+                    },
+                    AsmInst::J { label } => Op::Jmp {
+                        target: resolve(*label)?,
+                    },
+                    AsmInst::Jal { func } => {
+                        if *func >= asm.functions.len() {
+                            return Err(DecodeError::BadCallee {
+                                func: f.name.clone(),
+                                callee: *func,
+                            });
+                        }
+                        Op::Call {
+                            entry: entries[*func],
+                        }
+                    }
+                    AsmInst::Jalr { rs } => Op::CallInd { rs: *rs },
+                    AsmInst::Ecall {
+                        ext,
+                        nargs,
+                        returns,
+                    } => {
+                        if *ext >= asm.externs.len() {
+                            return Err(DecodeError::UnknownExtern {
+                                func: f.name.clone(),
+                                ext: *ext,
+                            });
+                        }
+                        Op::Ecall {
+                            ext: *ext as u16,
+                            nargs: *nargs as u8,
+                            returns: *returns,
+                        }
+                    }
+                    AsmInst::Ret => Op::Ret,
+                    AsmInst::La { rd, global, off } => {
+                        let g = asm
+                            .globals
+                            .get(*global)
+                            .ok_or_else(|| DecodeError::BadGlobal {
+                                func: f.name.clone(),
+                                global: *global,
+                            })?;
+                        if *rd == 0 {
+                            Op::Nop
+                        } else {
+                            Op::Li {
+                                rd: *rd,
+                                imm: DATA_BASE as i32 + g.offset as i32 + off,
+                            }
+                        }
+                    }
+                    AsmInst::LaFn { rd, func } => {
+                        let addr =
+                            asm.fn_addrs
+                                .get(*func)
+                                .ok_or_else(|| DecodeError::BadCallee {
+                                    func: f.name.clone(),
+                                    callee: *func,
+                                })?;
+                        if *rd == 0 {
+                            Op::Nop
+                        } else {
+                            Op::Li {
+                                rd: *rd,
+                                imm: *addr as i32,
+                            }
+                        }
+                    }
+                    AsmInst::JumpTable {
+                        rs,
+                        lo,
+                        labels,
+                        default,
+                    } => {
+                        let start = tables.len() as u32;
+                        for l in labels {
+                            let t = resolve(*l)?;
+                            tables.push(t);
+                        }
+                        table_meta.push(TableMeta {
+                            rs: *rs,
+                            lo: *lo,
+                            start,
+                            len: labels.len() as u32,
+                            default: resolve(*default)?,
+                        });
+                        Op::Table {
+                            meta: table_meta.len() as u32 - 1,
+                        }
+                    }
+                };
+                ops.push(op);
+            }
+            // The implicit return of a void tail becomes an explicit op,
+            // so "falling off the end" is ordinary dispatch.
+            ops.push(Op::Ret);
+            debug_assert_eq!(
+                ops.len() as u32,
+                entries.get(fi + 1).copied().unwrap_or(cursor)
+            );
+            // Superinstruction peephole over the finished function (slot
+            // indices are final — the label maps above already resolved
+            // against them, and fusing never moves a slot).
+            fuse_pairs(&mut ops[entry as usize..]);
+        }
+
+        // Dense code map: text layout is a few KB at most, so a
+        // half-word-granular table (u32 per 2 code bytes) costs little
+        // and makes every `Jalr` a single load.
+        let mut code_map: Vec<u32> = Vec::new();
+        for (a, e) in asm.fn_addrs.iter().zip(&entries) {
+            let idx = ((*a - TEXT_BASE) / 2) as usize;
+            if code_map.len() <= idx {
+                code_map.resize(idx + 1, u32::MAX);
+            }
+            code_map[idx] = *e;
+        }
+
+        Ok(DecodedProgram {
+            ops,
+            tables,
+            table_meta,
+            funcs: asm
+                .functions
+                .iter()
+                .zip(&entries)
+                .map(|(f, e)| FnInfo {
+                    name: f.name.clone(),
+                    exported: f.exported,
+                    entry: *e,
+                })
+                .collect(),
+            externs: asm.externs.clone(),
+            mem: super::initial_memory(&asm.globals),
+            code_map,
+        })
+    }
+
+    /// The absolute entry op index of an exported function.
+    pub(crate) fn entry_of(&self, name: &str) -> Option<u32> {
+        self.funcs
+            .iter()
+            .find(|f| f.exported && f.name == name)
+            .map(|f| f.entry)
+    }
+
+    /// Number of decoded micro-ops (labels erased, implicit returns
+    /// materialized) — the dense program's size.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{AsmFunction, AsmGlobal, RegAllocStats};
+
+    fn func(name: &str, insts: Vec<AsmInst>) -> AsmFunction {
+        AsmFunction {
+            name: name.into(),
+            exported: true,
+            insts,
+            stats: RegAllocStats::default(),
+        }
+    }
+
+    fn asm(functions: Vec<AsmFunction>) -> Assembly {
+        let fn_addrs = (0..functions.len())
+            .map(|i| 0x100_0000 + 16 * i as u32)
+            .collect();
+        Assembly {
+            functions,
+            globals: vec![],
+            externs: vec!["emit".into()],
+            fn_addrs,
+        }
+    }
+
+    #[test]
+    fn labels_erased_and_implicit_ret_appended() {
+        let a = asm(vec![func(
+            "f",
+            vec![
+                AsmInst::Label(0),
+                AsmInst::Li { rd: 1, imm: 7 },
+                AsmInst::Label(1),
+                AsmInst::Label(2),
+            ],
+        )]);
+        let d = DecodedProgram::decode(&a).expect("decodes");
+        // One real instruction + the appended Ret; three labels erased.
+        assert_eq!(d.op_count(), 2);
+        assert_eq!(d.ops[0], Op::Li { rd: 1, imm: 7 });
+        assert_eq!(d.ops[1], Op::Ret);
+    }
+
+    #[test]
+    fn end_label_resolves_to_implicit_ret() {
+        // A branch to a label sitting after the last real instruction
+        // must land on the materialized Ret, mirroring the oracle's
+        // fall-off-the-end behaviour.
+        let a = asm(vec![func(
+            "f",
+            vec![
+                AsmInst::Beq {
+                    rs1: 0,
+                    rs2: 0,
+                    label: 9,
+                },
+                AsmInst::Li { rd: 1, imm: 1 },
+                AsmInst::Label(9),
+            ],
+        )]);
+        let d = DecodedProgram::decode(&a).expect("decodes");
+        assert_eq!(
+            d.ops[0],
+            Op::Beq {
+                rs1: 0,
+                rs2: 0,
+                target: 2
+            }
+        );
+        assert_eq!(d.ops[2], Op::Ret);
+    }
+
+    #[test]
+    fn undefined_branch_target_caught_at_decode_time() {
+        let a = asm(vec![func("f", vec![AsmInst::J { label: 42 }])]);
+        assert_eq!(
+            DecodedProgram::decode(&a).unwrap_err(),
+            DecodeError::UndefinedLabel {
+                func: "f".into(),
+                label: 42
+            }
+        );
+    }
+
+    #[test]
+    fn undefined_jump_table_entry_caught_at_decode_time() {
+        let a = asm(vec![func(
+            "f",
+            vec![
+                AsmInst::Label(0),
+                AsmInst::JumpTable {
+                    rs: 1,
+                    lo: 0,
+                    labels: vec![0, 7],
+                    default: 0,
+                },
+            ],
+        )]);
+        assert_eq!(
+            DecodedProgram::decode(&a).unwrap_err(),
+            DecodeError::UndefinedLabel {
+                func: "f".into(),
+                label: 7
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_extern_caught_at_decode_time() {
+        let a = asm(vec![func(
+            "f",
+            vec![AsmInst::Ecall {
+                ext: 3,
+                nargs: 0,
+                returns: false,
+            }],
+        )]);
+        assert_eq!(
+            DecodedProgram::decode(&a).unwrap_err(),
+            DecodeError::UnknownExtern {
+                func: "f".into(),
+                ext: 3
+            }
+        );
+    }
+
+    #[test]
+    fn out_of_range_callee_caught_at_decode_time() {
+        let a = asm(vec![func("f", vec![AsmInst::Jal { func: 5 }])]);
+        assert_eq!(
+            DecodedProgram::decode(&a).unwrap_err(),
+            DecodeError::BadCallee {
+                func: "f".into(),
+                callee: 5
+            }
+        );
+        let a = asm(vec![func("g", vec![AsmInst::LaFn { rd: 1, func: 9 }])]);
+        assert_eq!(
+            DecodedProgram::decode(&a).unwrap_err(),
+            DecodeError::BadCallee {
+                func: "g".into(),
+                callee: 9
+            }
+        );
+    }
+
+    #[test]
+    fn out_of_range_global_caught_at_decode_time() {
+        let a = asm(vec![func(
+            "f",
+            vec![AsmInst::La {
+                rd: 1,
+                global: 2,
+                off: 0,
+            }],
+        )]);
+        assert_eq!(
+            DecodedProgram::decode(&a).unwrap_err(),
+            DecodeError::BadGlobal {
+                func: "f".into(),
+                global: 2
+            }
+        );
+    }
+
+    #[test]
+    fn address_formation_pre_split_to_immediates() {
+        let a = Assembly {
+            functions: vec![func(
+                "f",
+                vec![
+                    AsmInst::La {
+                        rd: 2,
+                        global: 0,
+                        off: 4,
+                    },
+                    AsmInst::LaFn { rd: 3, func: 0 },
+                ],
+            )],
+            globals: vec![AsmGlobal {
+                name: "g".into(),
+                words: vec![1, 2],
+                mutable: true,
+                offset: 8,
+            }],
+            externs: vec![],
+            fn_addrs: vec![0x100_0000],
+        };
+        let d = DecodedProgram::decode(&a).expect("decodes");
+        assert_eq!(
+            d.ops[0],
+            Op::Li {
+                rd: 2,
+                imm: DATA_BASE as i32 + 8 + 4
+            }
+        );
+        assert_eq!(
+            d.ops[1],
+            Op::Li {
+                rd: 3,
+                imm: 0x100_0000
+            }
+        );
+    }
+
+    #[test]
+    fn cross_function_targets_and_table_pool() {
+        let a = asm(vec![
+            func(
+                "main",
+                vec![
+                    AsmInst::Jal { func: 1 },
+                    AsmInst::Label(0),
+                    AsmInst::JumpTable {
+                        rs: 1,
+                        lo: 0,
+                        labels: vec![0],
+                        default: 0,
+                    },
+                ],
+            ),
+            func("leaf", vec![AsmInst::Ret]),
+        ]);
+        let d = DecodedProgram::decode(&a).expect("decodes");
+        // main: [Call, Table, Ret]; leaf entry = 3.
+        assert_eq!(d.ops[0], Op::Call { entry: 3 });
+        assert_eq!(d.ops[1], Op::Table { meta: 0 });
+        assert_eq!(d.tables, vec![1]);
+        assert_eq!(
+            d.table_meta,
+            vec![TableMeta {
+                rs: 1,
+                lo: 0,
+                start: 0,
+                len: 1,
+                default: 1
+            }]
+        );
+        assert_eq!(d.funcs[1].entry, 3);
+        // fn 0 at TEXT_BASE (map index 0, entry 0), fn 1 16 bytes later
+        // (map index 8, entry 3); the gap is poisoned.
+        assert_eq!(d.code_map.len(), 9);
+        assert_eq!(d.code_map[0], 0);
+        assert_eq!(d.code_map[8], 3);
+        assert!(d.code_map[1..8].iter().all(|&e| e == u32::MAX));
+    }
+
+    #[test]
+    fn ops_stay_one_word_wide() {
+        // The dispatch loop fetches ops by value; keeping every variant
+        // within 8 bytes (jump-table payloads live in the side pool) is
+        // load-bearing for its speed.
+        assert!(
+            std::mem::size_of::<Op>() <= 8,
+            "{}",
+            std::mem::size_of::<Op>()
+        );
+    }
+
+    #[test]
+    fn binop_nibbles_round_trip() {
+        use crate::mir::BinOp;
+        for op in [
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::Div,
+            BinOp::Rem,
+            BinOp::And,
+            BinOp::Or,
+            BinOp::Xor,
+            BinOp::Eq,
+            BinOp::Ne,
+            BinOp::Lt,
+            BinOp::Le,
+            BinOp::Gt,
+            BinOp::Ge,
+        ] {
+            assert_eq!(BINOP_FROM_NIBBLE[op as u8 as usize], op);
+        }
+    }
+
+    #[test]
+    fn r0_writes_decay_to_nops() {
+        let a = asm(vec![func(
+            "f",
+            vec![
+                AsmInst::Li { rd: 0, imm: 7 },
+                AsmInst::Mv { rd: 0, rs: 3 },
+                AsmInst::Alu {
+                    op: BinOp::Add,
+                    rd: 0,
+                    rs1: 1,
+                    rs2: 2,
+                },
+                AsmInst::Ret,
+            ],
+        )]);
+        let d = DecodedProgram::decode(&a).expect("decodes");
+        // Nop/Nop fuses into nothing (no rule), so all three survive as
+        // plain Nops followed by the Rets.
+        assert_eq!(d.ops[..3], [Op::Nop, Op::Nop, Op::Nop]);
+    }
+
+    #[test]
+    fn hot_pairs_fuse_and_keep_the_second_slot() {
+        let a = asm(vec![func(
+            "f",
+            vec![
+                // Li feeds the Alu's right operand -> LiAluI.
+                AsmInst::Li { rd: 3, imm: 40 },
+                AsmInst::Alu {
+                    op: BinOp::Add,
+                    rd: 1,
+                    rs1: 1,
+                    rs2: 3,
+                },
+                // Store pair.
+                AsmInst::Sw {
+                    src: 1,
+                    base: 14,
+                    off: 0,
+                },
+                AsmInst::Sw {
+                    src: 3,
+                    base: 14,
+                    off: 4,
+                },
+                AsmInst::Ret,
+            ],
+        )]);
+        let d = DecodedProgram::decode(&a).expect("decodes");
+        assert_eq!(
+            d.ops[0],
+            Op::LiAluI {
+                op: BinOp::Add,
+                rds: 0x31,
+                rs1: 1,
+                imm: 40,
+            }
+        );
+        // The pair's second slot keeps its plain op as a branch-target
+        // landing pad.
+        assert_eq!(
+            d.ops[1],
+            Op::Alu {
+                op: BinOp::Add,
+                rd: 1,
+                rs1: 1,
+                rs2: 3,
+            }
+        );
+        assert_eq!(
+            d.ops[2],
+            Op::SwSw {
+                srcs: 0x13,
+                bases: 0xee,
+                off1: 0,
+                off2: 4,
+            }
+        );
+        assert_eq!(
+            d.ops[3],
+            Op::Sw {
+                src: 3,
+                base: 14,
+                off: 4,
+            }
+        );
+    }
+
+    #[test]
+    fn oversized_immediates_are_not_fused() {
+        let a = asm(vec![func(
+            "f",
+            vec![
+                AsmInst::Li {
+                    rd: 3,
+                    imm: 0x10_000,
+                },
+                AsmInst::Li { rd: 4, imm: 1 },
+                AsmInst::Ret,
+            ],
+        )]);
+        let d = DecodedProgram::decode(&a).expect("decodes");
+        assert_eq!(
+            d.ops[0],
+            Op::Li {
+                rd: 3,
+                imm: 0x10_000,
+            }
+        );
+    }
+}

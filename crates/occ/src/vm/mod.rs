@@ -1,0 +1,222 @@
+//! The EM32 virtual machines: a pre-decoded fast engine and a reference
+//! oracle, kept trace-equal by contract and by the differential net.
+//!
+//! This module is the canonical two-engine execution contract. Two
+//! engines execute the same [`Assembly`](crate::backend::Assembly):
+//!
+//! * **The oracle** ([`Vm`]) walks the [`AsmInst`](crate::backend::AsmInst)
+//!   stream exactly as the emitter produced it (and as the pretty-printer
+//!   prints it): label markers are skipped in place, branch targets are
+//!   looked up in per-function label maps, calls are resolved by function
+//!   index, indirect calls by a linear scan of the address table. Nothing
+//!   is precomputed beyond the label maps, so the oracle is a direct
+//!   transcription of the EM32 semantics — slow, but obviously faithful.
+//!   It exists to *validate*: a compiled program must reproduce the
+//!   extern-call trace of the `tlang` reference interpreter, and the fast
+//!   engine must reproduce the oracle's.
+//! * **The fast engine** ([`FastVm`]) executes a [`DecodedProgram`] — a
+//!   one-time pre-decode of the assembly into one flat, dense array of
+//!   `Copy` micro-ops shared by all functions — in a tight threaded-style
+//!   dispatch loop: fetch `ops[pc]`, advance, one `match`, no per-step
+//!   allocation, cloning, or name/label lookup of any kind.
+//!
+//! # Decode invariants
+//!
+//! [`DecodedProgram::decode`] establishes, or fails with a
+//! [`DecodeError`] — at decode time, never at dispatch time:
+//!
+//! * every branch and jump-table target resolves to a valid op index of
+//!   the same function (undefined labels are a decode error, so the
+//!   oracle's [`VmError::BadLabel`] has no fast-engine counterpart);
+//! * every direct-call target is a valid function entry, every extern
+//!   index names a declared extern, every global index an existing
+//!   global;
+//! * label markers are erased entirely — they occupy no slot;
+//! * address formation (`La`/`LaFn`) is pre-split into plain immediate
+//!   loads of the absolute address;
+//! * every function's op range ends in an explicit `Ret`: decode appends
+//!   one, so "falling off the end" (a void tail) is ordinary dispatch;
+//! * jump-table targets live in one flat side pool, keeping every op
+//!   `Copy` and the instruction array dense;
+//! * writes to the hardwired-zero register decay to `Nop` at decode time
+//!   (`rd == 0` on `Li`/`Mv`/`Alu`/`La`/`LaFn`), so dispatch writes
+//!   destination registers unconditionally and `regs[0] == 0` is an
+//!   invariant, never a per-step check;
+//! * indirect-call resolution is a dense table: `code_map[(addr -
+//!   TEXT_BASE) / 2]` maps every 2-aligned code address to its function's
+//!   entry op index, or a poison value for addresses inside a function
+//!   body — no search at dispatch time.
+//!
+//! # Superinstruction fusion
+//!
+//! After per-function decode, a peephole pass fuses hot adjacent
+//! fall-through pairs (`Li`+`Alu`, `Li`+`Li`, `Alu`+`Alu`, `Alu`+branch,
+//! `Lw`+`Lw`, `Sw`+`Sw`, immediates permitting) into single fused ops
+//! with nibble-packed register fields. Fusion preserves the slot
+//! numbering: the second instruction of a fused pair *keeps* its plain op
+//! in place, and the fused op skips it with an extra `pc` bump — so
+//! branches into the middle of a pair stay valid and no target needs
+//! rewriting. Each fused op re-checks fuel between its two halves, so
+//! `OutOfFuel` faults land at exactly the same instruction boundary as on
+//! the oracle, trace and count included.
+//!
+//! Only genuinely run-time faults remain at dispatch time: memory faults,
+//! indirect calls to non-entry addresses, host rejections, and fuel
+//! exhaustion.
+//!
+//! # Dispatch loop shape
+//!
+//! The fast engine's whole interpreter loop is: check fuel, fetch
+//! `ops[pc]` (a `Copy` of a few bytes), pre-increment `pc`, and execute
+//! one `match` arm; taken branches overwrite `pc` with a pre-resolved
+//! absolute index. Calls push the return op index on an internal stack.
+//! Register file and memory image are flat arrays owned by the engine.
+//!
+//! # What the oracle guarantees (the shared fuel/trace contract)
+//!
+//! Both engines implement [`Engine`] and must agree, for the same
+//! program, entry point, arguments and fuel budget, on:
+//!
+//! * the returned value or the failure kind ([`VmError`] variants compare
+//!   by kind and payload; `BadLabel` cannot occur on the fast path);
+//! * the extern-call trace as observed by the host environment, even on
+//!   a failed run (the trace up to the fault is identical);
+//! * the executed-instruction count ([`Engine::executed`]): every
+//!   instruction costs exactly one fuel unit, labels are free (they are
+//!   zero-size markers, not instructions), and a void tail's implicit
+//!   return costs one like the explicit `Ret` the decoder materializes.
+//!
+//! That deterministic count is the time-like axis of the bench
+//! trajectory: `bench --bin throughput` reports it per machine × pattern
+//! × level cell and the regression gate locks it, so an "optimization"
+//! that shrinks bytes but inflates dynamic instructions fails CI. The
+//! MIR differential net (`tests/mir_differential.rs`) holds the two
+//! engines to this contract over the generated corpus at every level,
+//! including fuel-exhaustion points.
+//!
+//! # Example
+//!
+//! ```
+//! use occ::vm::{DecodedProgram, Engine, FastVm, Vm};
+//! use occ::{compile, OptLevel};
+//! use tlang::{Expr, Function, Module, Stmt, Type, RecordingEnv};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut module = Module::new("demo");
+//! module.push_function(Function {
+//!     name: "answer".into(),
+//!     params: vec![],
+//!     ret: Type::I32,
+//!     body: vec![Stmt::Return(Some(Expr::Int(40).add(Expr::Int(2))))],
+//!     exported: true,
+//! });
+//! let artifact = compile(&module, OptLevel::Os)?;
+//!
+//! // The artifact carries the pre-decoded program; the fast engine and
+//! // the oracle agree on result and executed-instruction count.
+//! let mut fast = FastVm::new(artifact.decoded(), RecordingEnv::new());
+//! let mut oracle = Vm::new(artifact.assembly(), RecordingEnv::new());
+//! assert_eq!(fast.run("answer", &[])?, 42);
+//! assert_eq!(oracle.run("answer", &[])?, 42);
+//! assert_eq!(fast.executed(), oracle.executed());
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt;
+
+mod decode;
+mod dispatch;
+mod oracle;
+
+pub use decode::{DecodeError, DecodedProgram};
+pub use dispatch::FastVm;
+pub use oracle::Vm;
+
+/// Bytes reserved for the stack above the data image.
+pub(crate) const STACK_SIZE: usize = 64 * 1024;
+/// Register index of the stack pointer.
+pub(crate) const SP: usize = 14;
+/// Default instruction budget of a fresh engine.
+pub(crate) const DEFAULT_FUEL: u64 = 50_000_000;
+
+/// An execution failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// Call of an unknown exported function.
+    UnknownFunction(String),
+    /// Memory access outside the address space.
+    MemoryFault {
+        /// Offending byte address.
+        addr: i64,
+    },
+    /// Indirect call to an address that is not a function entry.
+    BadCodeAddress(i32),
+    /// Branch to a label the function does not define (assembler bug;
+    /// oracle only — the fast engine rejects these at decode time).
+    BadLabel(usize),
+    /// The instruction budget was exhausted.
+    OutOfFuel,
+    /// The host environment rejected an extern call.
+    Host(String),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::UnknownFunction(n) => write!(f, "unknown exported function `{n}`"),
+            VmError::MemoryFault { addr } => write!(f, "memory fault at 0x{addr:x}"),
+            VmError::BadCodeAddress(a) => write!(f, "indirect call to bad address 0x{a:x}"),
+            VmError::BadLabel(l) => write!(f, "branch to undefined label {l}"),
+            VmError::OutOfFuel => write!(f, "instruction budget exhausted"),
+            VmError::Host(msg) => write!(f, "host rejected extern call: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// The shared engine interface: what both EM32 execution engines expose,
+/// so harnesses (the MIR differential net, the throughput bench) can
+/// drive either one generically and diff them.
+///
+/// Implementations must honour the fuel/trace contract in the
+/// [module docs](self): one fuel unit per executed instruction, identical
+/// traces, faults and [`executed`](Engine::executed) counts for the same
+/// program and inputs.
+pub trait Engine {
+    /// Calls an exported function with up to four arguments; returns the
+    /// value left in `r1`. Memory persists across calls, matching how the
+    /// compiled program would behave on a device.
+    ///
+    /// # Errors
+    ///
+    /// See [`VmError`].
+    fn call(&mut self, name: &str, args: &[i32]) -> Result<i32, VmError>;
+
+    /// Instructions executed so far, accumulated across
+    /// [`call`](Engine::call)s. Labels are free; a void tail's implicit
+    /// return counts as one. Deterministic for a deterministic program +
+    /// input sequence — the regression-gated "time" metric.
+    fn executed(&self) -> u64;
+
+    /// Replaces the remaining instruction budget.
+    fn set_fuel(&mut self, fuel: u64);
+}
+
+/// Builds the initial memory image for an assembly's globals: the data
+/// segment at [`DATA_BASE`](crate::backend::DATA_BASE) followed by
+/// [`STACK_SIZE`] zeroed stack bytes. Shared by both engines so their
+/// address spaces are bit-identical.
+pub(crate) fn initial_memory(globals: &[crate::backend::AsmGlobal]) -> Vec<u8> {
+    let data_len: usize = globals.iter().map(|g| g.words.len() * 4).sum();
+    let mem_len = crate::backend::DATA_BASE as usize + data_len + STACK_SIZE;
+    let mut mem = vec![0u8; mem_len];
+    for g in globals {
+        let base = crate::backend::DATA_BASE as usize + g.offset as usize;
+        for (i, w) in g.words.iter().enumerate() {
+            mem[base + i * 4..base + i * 4 + 4].copy_from_slice(&w.to_le_bytes());
+        }
+    }
+    mem
+}

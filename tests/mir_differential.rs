@@ -16,6 +16,12 @@
 //! contract (offsets stay inside their global; the one run-time index is
 //! masked in-bounds), exactly as front-end-lowered code does.
 //!
+//! The same corpus also holds the two EM32 execution engines to the
+//! [`occ::vm`] contract: fast engine and reference oracle must agree on
+//! result, extern trace and executed-instruction count at every level,
+//! including runs truncated by the fuel budget (identical `OutOfFuel`
+//! faults and trace prefixes).
+//!
 //! The property depth is CI-tunable: `MIR_DIFF_CASES=<n>` overrides the
 //! per-property case count (default 96), so the full `ci.sh` gate runs
 //! the net deeper than a local `--fast` iteration.
@@ -31,7 +37,7 @@ use proptest::prelude::*;
 
 use occ::mem::MemoryModel;
 use occ::mir::{BinOp, Block, GlobalData, Inst, MirFunction, Program, Term, VReg, Word};
-use occ::vm::Vm;
+use occ::vm::{DecodedProgram, FastVm, Vm};
 use occ::{opt, ssa, verify, OptLevel};
 use tlang::RecordingEnv;
 
@@ -713,6 +719,82 @@ proptest! {
             ],
         );
         prop_assert_eq!(&got, &oracle, "memory pass family diverges");
+    }
+
+    /// The two EM32 execution engines agree on every generated program at
+    /// every level — the [`occ::vm`] two-engine contract under the same
+    /// corpus that exercises the mid-end. The fast engine's pre-decode
+    /// (branch pre-resolution, superinstruction fusion, `r0`-write
+    /// erasure) must be invisible: same return value, same extern-call
+    /// trace, same executed-instruction count. And it must stay invisible
+    /// when the fuel budget truncates the run mid-way: both engines fault
+    /// with `OutOfFuel` at the same instruction boundary — probe points
+    /// land inside fused pairs, where the fast engine re-checks fuel
+    /// between the two halves — with identical trace prefixes.
+    #[test]
+    fn engines_agree_on_generated_mir(
+        consts in prop::collection::vec(-8i32..8, 2..5),
+        ops in prop::collection::vec((0u8..14, any::<u8>(), any::<u8>()), 1..4),
+        blocks in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 1..6),
+    ) {
+        let program = build_program(&consts, &ops, &blocks, 0);
+        for level in OptLevel::all() {
+            let mut p = program.clone();
+            opt::run_pipeline_with_verify(&mut p, level, opt::VerifyMode::Each);
+            let asm = occ::backend::compile_program(&p, level).expect("compiles");
+            let decoded = DecodedProgram::decode(&asm).expect("decodes");
+
+            let mut oracle = Vm::new(&asm, RecordingEnv::new());
+            let want = oracle.run("main", &[]);
+            prop_assert!(want.is_ok(), "{} oracle faults: {:?}", level, want);
+            let total = oracle.executed();
+            let mut fast = FastVm::new(&decoded, RecordingEnv::new());
+            let got = fast.run("main", &[]);
+            prop_assert_eq!(&got, &want, "{} engines disagree on result", level);
+            prop_assert_eq!(
+                fast.executed(),
+                total,
+                "{} executed-instruction counts diverge",
+                level
+            );
+            prop_assert_eq!(
+                fast.into_env().calls,
+                oracle.into_env().calls,
+                "{} extern traces diverge",
+                level
+            );
+
+            // Truncated budgets: both engines must exhaust the budget at
+            // the same instruction, with identical trace prefixes.
+            for budget in [0, 1, total / 3, total / 2, total - 1] {
+                let mut oracle = Vm::new(&asm, RecordingEnv::new()).with_fuel(budget);
+                let want = oracle.run("main", &[]);
+                prop_assert_eq!(
+                    &want,
+                    &Err(occ::vm::VmError::OutOfFuel),
+                    "{} oracle should run out at budget {}",
+                    level,
+                    budget
+                );
+                let mut fast = FastVm::new(&decoded, RecordingEnv::new()).with_fuel(budget);
+                let got = fast.run("main", &[]);
+                prop_assert_eq!(&got, &want, "{} fault kinds diverge at budget {}", level, budget);
+                prop_assert_eq!(
+                    fast.executed(),
+                    oracle.executed(),
+                    "{} truncated counts diverge at budget {}",
+                    level,
+                    budget
+                );
+                prop_assert_eq!(
+                    fast.into_env().calls,
+                    oracle.into_env().calls,
+                    "{} truncated traces diverge at budget {}",
+                    level,
+                    budget
+                );
+            }
+        }
     }
 }
 
