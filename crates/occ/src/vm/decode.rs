@@ -40,6 +40,22 @@ pub enum DecodeError {
         /// The out-of-range global index.
         global: usize,
     },
+    /// An `Ecall` passes more arguments than the four argument registers
+    /// of the EM32 calling convention.
+    BadEcallArity {
+        /// Function the call appears in.
+        func: String,
+        /// The oversized argument count.
+        nargs: usize,
+    },
+    /// A function's code address is below `TEXT_BASE` or not 2-aligned,
+    /// so it cannot index the dense indirect-call map.
+    BadFnAddr {
+        /// The function laid out at the bad address.
+        func: String,
+        /// The offending code address.
+        addr: u32,
+    },
 }
 
 impl fmt::Display for DecodeError {
@@ -56,6 +72,12 @@ impl fmt::Display for DecodeError {
             }
             DecodeError::BadGlobal { func, global } => {
                 write!(f, "`{func}`: address of out-of-range global index {global}")
+            }
+            DecodeError::BadEcallArity { func, nargs } => {
+                write!(f, "`{func}`: ecall passing {nargs} arguments (max 4)")
+            }
+            DecodeError::BadFnAddr { func, addr } => {
+                write!(f, "`{func}`: unmappable code address {addr:#x}")
             }
         }
     }
@@ -316,6 +338,13 @@ fn try_fuse(first: Op, second: Op) -> Option<Op> {
                 off: o2,
             },
         ) => {
+            // Unlike `Li`/`Mv`/`Alu`, an `Lw` to `r0` survives decode
+            // un-rewritten (it keeps its fault check), so an `r0`
+            // destination can reach this point — and the fused arm
+            // writes both destinations unconditionally. Don't fuse.
+            if rd1 == 0 || rd2 == 0 {
+                return None;
+            }
             let off1 = i16::try_from(o1).ok()?;
             let off2 = i16::try_from(o2).ok()?;
             Some(Op::LwLw {
@@ -513,6 +542,16 @@ impl DecodedProgram {
                                 ext: *ext,
                             });
                         }
+                        // The calling convention has four argument
+                        // registers; the compiler enforces this at the
+                        // frontend (`TooManyArgs`), so an oversized
+                        // arity is a malformed hand-built program.
+                        if *nargs > 4 {
+                            return Err(DecodeError::BadEcallArity {
+                                func: f.name.clone(),
+                                nargs: *nargs,
+                            });
+                        }
                         Op::Ecall {
                             ext: *ext as u16,
                             nargs: *nargs as u8,
@@ -596,7 +635,16 @@ impl DecodedProgram {
         // half-word-granular table (u32 per 2 code bytes) costs little
         // and makes every `Jalr` a single load.
         let mut code_map: Vec<u32> = Vec::new();
-        for (a, e) in asm.fn_addrs.iter().zip(&entries) {
+        for (fi, (a, e)) in asm.fn_addrs.iter().zip(&entries).enumerate() {
+            // An address below `TEXT_BASE` would underflow the index and
+            // an odd one would truncate into the wrong slot — both are
+            // malformed hand-built layouts, caught here once.
+            if *a < TEXT_BASE || *a % 2 != 0 {
+                return Err(DecodeError::BadFnAddr {
+                    func: asm.functions[fi].name.clone(),
+                    addr: *a,
+                });
+            }
             let idx = ((*a - TEXT_BASE) / 2) as usize;
             if code_map.len() <= idx {
                 code_map.resize(idx + 1, u32::MAX);
@@ -1007,6 +1055,85 @@ mod tests {
                 src: 3,
                 base: 14,
                 off: 4,
+            }
+        );
+    }
+
+    #[test]
+    fn lw_to_r0_never_fuses() {
+        // `Lw` with `rd == 0` keeps its fault check (it is not rewritten
+        // to `Nop`), but the fused `LwLw` arm writes both destinations
+        // unconditionally — fusing such a pair would clobber the
+        // hardwired zero. Both orders must stay plain.
+        for (rd1, rd2) in [(0, 1), (1, 0), (0, 0)] {
+            let a = asm(vec![func(
+                "f",
+                vec![
+                    AsmInst::Lw {
+                        rd: rd1,
+                        base: 14,
+                        off: 0,
+                    },
+                    AsmInst::Lw {
+                        rd: rd2,
+                        base: 14,
+                        off: 4,
+                    },
+                ],
+            )]);
+            let d = DecodedProgram::decode(&a).expect("decodes");
+            assert_eq!(
+                d.ops[0],
+                Op::Lw {
+                    rd: rd1,
+                    base: 14,
+                    off: 0,
+                },
+                "rd pair ({rd1},{rd2}) must not fuse"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_ecall_arity_caught_at_decode_time() {
+        // FastVm passes at most the four argument registers; the oracle
+        // would index past them. Neither gets the chance: decode rejects.
+        let a = asm(vec![func(
+            "f",
+            vec![AsmInst::Ecall {
+                ext: 0,
+                nargs: 5,
+                returns: false,
+            }],
+        )]);
+        assert_eq!(
+            DecodedProgram::decode(&a).unwrap_err(),
+            DecodeError::BadEcallArity {
+                func: "f".into(),
+                nargs: 5
+            }
+        );
+    }
+
+    #[test]
+    fn bad_fn_addr_caught_at_decode_time() {
+        // Below TEXT_BASE (would underflow the code-map index)...
+        let mut a = asm(vec![func("f", vec![AsmInst::Ret])]);
+        a.fn_addrs = vec![TEXT_BASE - 2];
+        assert_eq!(
+            DecodedProgram::decode(&a).unwrap_err(),
+            DecodeError::BadFnAddr {
+                func: "f".into(),
+                addr: TEXT_BASE - 2
+            }
+        );
+        // ...and odd (would truncate into the wrong slot).
+        a.fn_addrs = vec![TEXT_BASE + 1];
+        assert_eq!(
+            DecodedProgram::decode(&a).unwrap_err(),
+            DecodeError::BadFnAddr {
+                func: "f".into(),
+                addr: TEXT_BASE + 1
             }
         );
     }

@@ -317,6 +317,9 @@ impl<'a, E: Env> FastVm<'a, E> {
                         pc += 1;
                     }
                 }
+                // `try_fuse` refuses `Lw` pairs with an `r0` destination
+                // (a plain `Lw` to `r0` keeps its fault check but must
+                // not write), so both stores are unconditional here.
                 Op::LwLw {
                     rds,
                     bases,
@@ -657,6 +660,41 @@ mod tests {
         let mut oracle = Vm::new(artifact.assembly(), RecordingEnv::new()).with_fuel(cost);
         assert_eq!(fast.run("main", &[]).expect("exact budget"), 3);
         assert_eq!(oracle.run("main", &[]).expect("exact budget"), 3);
+    }
+
+    #[test]
+    fn adjacent_loads_to_r0_keep_hardwired_zero() {
+        // Two adjacent `Lw`s into `r0` must not fuse into `LwLw` (whose
+        // arm writes both destinations unconditionally): after executing
+        // them over a nonzero word, `r0` must still read as zero on both
+        // engines.
+        let asm = raw(vec![
+            AsmInst::Li { rd: 5, imm: 0 },
+            AsmInst::Li { rd: 6, imm: 99 },
+            AsmInst::Sw {
+                src: 6,
+                base: 5,
+                off: 0,
+            },
+            AsmInst::Lw {
+                rd: 0,
+                base: 5,
+                off: 0,
+            },
+            AsmInst::Lw {
+                rd: 0,
+                base: 5,
+                off: 0,
+            },
+            AsmInst::Mv { rd: 1, rs: 0 },
+            AsmInst::Ret,
+        ]);
+        let prog = DecodedProgram::decode(&asm).expect("decodes");
+        let mut fast = FastVm::new(&prog, RecordingEnv::new());
+        let mut oracle = Vm::new(&asm, RecordingEnv::new());
+        assert_eq!(fast.run("f", &[]), Ok(0), "r0 clobbered on fast engine");
+        assert_eq!(oracle.run("f", &[]), Ok(0));
+        assert_eq!(fast.executed(), oracle.executed());
     }
 
     #[test]

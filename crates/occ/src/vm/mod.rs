@@ -29,8 +29,9 @@
 //!   the same function (undefined labels are a decode error, so the
 //!   oracle's [`VmError::BadLabel`] has no fast-engine counterpart);
 //! * every direct-call target is a valid function entry, every extern
-//!   index names a declared extern, every global index an existing
-//!   global;
+//!   index names a declared extern (passing at most the four argument
+//!   registers of the calling convention), every global index an
+//!   existing global;
 //! * label markers are erased entirely — they occupy no slot;
 //! * address formation (`La`/`LaFn`) is pre-split into plain immediate
 //!   loads of the absolute address;
@@ -41,11 +42,14 @@
 //! * writes to the hardwired-zero register decay to `Nop` at decode time
 //!   (`rd == 0` on `Li`/`Mv`/`Alu`/`La`/`LaFn`), so dispatch writes
 //!   destination registers unconditionally and `regs[0] == 0` is an
-//!   invariant, never a per-step check;
+//!   invariant, never a per-step check (`Lw` to `r0` is the one
+//!   exception: it keeps its fault check, guards its write in dispatch,
+//!   and is excluded from fusion);
 //! * indirect-call resolution is a dense table: `code_map[(addr -
 //!   TEXT_BASE) / 2]` maps every 2-aligned code address to its function's
 //!   entry op index, or a poison value for addresses inside a function
-//!   body — no search at dispatch time.
+//!   body — no search at dispatch time. Function addresses below
+//!   `TEXT_BASE` or not 2-aligned are a decode error.
 //!
 //! # Superinstruction fusion
 //!
