@@ -3,7 +3,7 @@
 #
 #   ./ci.sh            # full gate: fmt, clippy, rustdoc, build, deep
 #                      # tests, bench smoke, throughput smoke,
-#                      # bench-regression gate
+#                      # batch-compile smoke, bench-regression gate
 #   ./ci.sh --fast     # quick gate: fmt, clippy, rustdoc, dev tests
 #
 # Mirrors the tier-1 verify command of ROADMAP.md plus style gates, the
@@ -94,6 +94,14 @@ else
     # timing line is how a dispatch-loop slowdown shows up in CI logs.
     run_stage "bench throughput smoke (BENCH_SMOKE=1)" \
         env BENCH_SMOKE=1 cargo run --release -q -p bench --bin throughput
+    # Batch-compile smoke: cold pass then warm passes (memory + disk
+    # artifact-cache tiers) over the full 48-cell matrix. The bin itself
+    # asserts 100% warm hit rates and a machines/sec improvement over
+    # cold, and prints both; a caching or hashing regression fails here.
+    # Its timed stage line is the toolchain-throughput trajectory in CI
+    # logs (cache dir: .occ-cache/ci-batch, gitignored).
+    run_stage "bench batch-compile smoke (cold+warm, 48 cells)" \
+        cargo run --release -q -p bench --bin batch
     # Regression gate: snapshot the current toolchain, then compare
     # against the committed baseline. Any machine×pattern×level cell
     # (total or text/rodata section) growing beyond the tolerance fails

@@ -1,0 +1,122 @@
+//! CI batch-compile smoke: cold and warm artifact-cache passes over the
+//! full 48-cell benchmark matrix.
+//!
+//! Three timed [`occ::driver::Driver::compile_batch`] passes over
+//! [`bench::matrix::batch_jobs`]:
+//!
+//! 1. **cold** — a fresh driver with an empty disk cache: every cell is
+//!    a real compile;
+//! 2. **warm (memory)** — the same driver again: every cell must be an
+//!    in-memory hit;
+//! 3. **warm (disk)** — a new driver over the populated cache
+//!    directory: every cell must load, checksum-verify and re-decode
+//!    from disk.
+//!
+//! The stage fails (nonzero exit) unless both warm passes report a 100%
+//! hit rate and beat the cold pass's machines/sec — the caching either
+//! works wholesale or the gate trips. The cache lives under
+//! `.occ-cache/ci-batch` (gitignored) and is wiped at the start of every
+//! run so the cold pass is honestly cold.
+//!
+//! Run with `cargo run --release -p bench --bin batch`.
+
+use occ::driver::{BatchReport, Driver, DEFAULT_CACHE_DIR};
+
+fn check(label: &str, ok: bool, failures: &mut usize) {
+    println!("  [{}] {label}", if ok { "ok" } else { "FAIL" });
+    if !ok {
+        *failures += 1;
+    }
+}
+
+fn report_pass(label: &str, report: &BatchReport, cells: usize, failures: &mut usize) {
+    println!(
+        "{label}: {}/{} cells in {:.1}ms ({:.0} machines/sec)",
+        report.ok_count(),
+        cells,
+        report.wall.as_secs_f64() * 1e3,
+        report.machines_per_sec()
+    );
+    check("every cell compiled", report.ok_count() == cells, failures);
+}
+
+fn main() {
+    let jobs = match bench::matrix::batch_jobs() {
+        Ok(jobs) => jobs,
+        Err(e) => {
+            eprintln!("matrix generation failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let cells = jobs.len();
+    println!("=== batch-compile smoke: {cells}-cell matrix, cold vs warm ===");
+    let mut failures = 0usize;
+    check("matrix is the full 48 cells", cells == 48, &mut failures);
+
+    let cache_dir = std::path::Path::new(DEFAULT_CACHE_DIR).join("ci-batch");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    let driver = Driver::with_disk_cache(&cache_dir);
+    let cold = driver.compile_batch(&jobs, 0);
+    report_pass("cold pass", &cold, cells, &mut failures);
+    let cold_stats = driver.stats();
+    // Concurrent workers may race a duplicate compile of the same key
+    // (benign, byte-identical), so misses can exceed the distinct-job
+    // count but hits must stay zero on a cold cache.
+    check(
+        "cold pass hit nothing",
+        cold_stats.hits() == 0,
+        &mut failures,
+    );
+
+    let warm_mem = driver.compile_batch(&jobs, 0);
+    report_pass("warm pass (memory tier)", &warm_mem, cells, &mut failures);
+    let mem_stats = driver.stats();
+    let mem_hits = mem_stats.mem_hits - cold_stats.mem_hits;
+    println!(
+        "  {} of {} cells served from memory ({:.0}% hit rate)",
+        mem_hits,
+        cells,
+        100.0 * mem_hits as f64 / cells as f64
+    );
+    check(
+        "memory-tier hit rate is 100%",
+        mem_hits == cells,
+        &mut failures,
+    );
+    check(
+        "warm (memory) beats cold machines/sec",
+        warm_mem.machines_per_sec() > cold.machines_per_sec(),
+        &mut failures,
+    );
+
+    let fresh = Driver::with_disk_cache(&cache_dir);
+    let warm_disk = fresh.compile_batch(&jobs, 0);
+    report_pass("warm pass (disk tier)", &warm_disk, cells, &mut failures);
+    let disk_stats = fresh.stats();
+    println!(
+        "  {} of {} cells served from disk ({:.0}% hit rate, {} rejected)",
+        disk_stats.disk_hits,
+        cells,
+        100.0 * disk_stats.disk_hits as f64 / cells as f64,
+        disk_stats.rejected
+    );
+    check(
+        "disk-tier hit rate is 100%",
+        disk_stats.disk_hits == cells,
+        &mut failures,
+    );
+    check(
+        "warm (disk) beats cold machines/sec",
+        warm_disk.machines_per_sec() > cold.machines_per_sec(),
+        &mut failures,
+    );
+
+    println!("cold session:  {}", cold_stats.render());
+    println!("disk session:  {}", disk_stats.render());
+    if failures > 0 {
+        eprintln!("batch-compile smoke FAILED ({failures} check(s))");
+        std::process::exit(1);
+    }
+    println!("batch-compile smoke passed.");
+}

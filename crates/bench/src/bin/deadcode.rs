@@ -10,7 +10,7 @@
 //! address-taken handlers is the paper's §III.C point, at every level.
 //! Run with `cargo run -p bench --bin deadcode`.
 
-use bench::{compile_artifact, compile_generated, generate, optimize_model, pass_effect_lines};
+use bench::{compile_artifact, matrix, optimize_model, pass_effect_lines};
 use cgen::Pattern;
 use occ::OptLevel;
 use umlsm::samples;
@@ -21,9 +21,10 @@ fn main() {
     let s2_functions = ["enter_S2", "exit_S2"];
     let mut failures = 0usize;
 
-    for pattern in Pattern::all() {
+    for arm in matrix::arms_for("flat", &machine) {
+        let pattern = arm.pattern;
         println!("pattern {}:", pattern.label());
-        let generated = match generate(&machine, pattern) {
+        let generated = match arm.generate() {
             Ok(g) => g,
             Err(e) => {
                 eprintln!("  ERROR: {e}");
@@ -32,7 +33,7 @@ fn main() {
             }
         };
         for level in OptLevel::all() {
-            let artifact = match compile_generated(machine.name(), pattern, level, &generated) {
+            let artifact = match arm.compile(level, &generated) {
                 Ok(a) => a,
                 Err(e) => {
                     eprintln!("  {:>4}: ERROR: {e}", level.flag());
@@ -104,6 +105,7 @@ fn main() {
             failures += 1;
         }
     }
+    println!("{}", bench::driver_summary());
     if failures > 0 {
         eprintln!("\n{failures} cell(s) failed — report incomplete");
         std::process::exit(1);

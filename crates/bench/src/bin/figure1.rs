@@ -57,10 +57,13 @@ fn run() -> Result<(), BenchError> {
     );
 
     println!("\nper-pass effects (flat machine, NestedSwitch at -Os):");
+    // This cell was already compiled inside `GainRow::measure` above, so
+    // the shared session serves it from cache — visible in the summary.
     let artifact = compile_artifact(&flat, Pattern::NestedSwitch, OptLevel::Os)?;
     for line in pass_effect_lines(&artifact) {
         println!("  {line}");
     }
+    println!("{}", bench::driver_summary());
     Ok(())
 }
 

@@ -80,6 +80,7 @@ fn main() {
         "{} checks: {ok} ok, {shown} tolerated, {regressions} regressed",
         verdicts.len()
     );
+    println!("{}", bench::driver_summary());
     if regressions > 0 {
         eprintln!("bench regression gate FAILED ({regressions} cell(s))");
         eprintln!("(if the growth is intended, refresh the baseline:");

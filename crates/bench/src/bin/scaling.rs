@@ -8,7 +8,7 @@
 //! `cargo run -p bench --bin scaling`; set `BENCH_SMOKE=1` for the short
 //! CI sweep.
 
-use bench::GainRow;
+use bench::{matrix, GainRow};
 use cgen::Pattern;
 use umlsm::samples;
 
@@ -30,15 +30,11 @@ fn main() {
     for &k in ks {
         let machine = samples::flat_with_unreachable(k);
         let mut cells = Vec::new();
-        for pattern in [
-            Pattern::StateTable,
-            Pattern::NestedSwitch,
-            Pattern::StatePattern,
-        ] {
-            match GainRow::measure(&machine, pattern) {
+        for arm in matrix::arms_for(&format!("flat+{k}"), &machine) {
+            match GainRow::measure(&arm.machine, arm.pattern) {
                 Ok(row) => {
                     cells.push(format!("{:>11.1}%", row.gain()));
-                    if pattern == Pattern::NestedSwitch {
+                    if arm.pattern == Pattern::NestedSwitch {
                         ns_gains.push(row.gain());
                     }
                 }
@@ -99,4 +95,5 @@ fn main() {
             "MISS"
         }
     );
+    println!("{}", bench::driver_summary());
 }

@@ -32,4 +32,5 @@ fn main() {
             println!("  {:<40} {:>7} bytes", cell.key(), cell.total);
         }
     }
+    println!("{}", bench::driver_summary());
 }

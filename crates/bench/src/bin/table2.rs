@@ -9,7 +9,7 @@
 //!
 //! Run with `cargo run -p bench --bin table2`.
 
-use bench::{compile_generated, generate, GainRow};
+use bench::{generate, matrix, GainRow};
 use cgen::Pattern;
 use mbo::alternatives::{Alternative, Classification, Criterion};
 use occ::OptLevel;
@@ -31,17 +31,17 @@ fn main() {
     // generators.
     let machine = samples::hierarchical_never_active();
     println!("  * model-level optimization is pattern-independent:");
-    for pattern in Pattern::all() {
-        match GainRow::measure(&machine, pattern) {
+    for arm in matrix::arms_for("hierarchical", &machine) {
+        match GainRow::measure(&arm.machine, arm.pattern) {
             Ok(row) => println!(
                 "      {:<14} {:>6} -> {:>6} bytes ({:.1}%)",
-                pattern.label(),
+                arm.pattern.label(),
                 row.before,
                 row.after,
                 row.gain()
             ),
             Err(e) => {
-                eprintln!("      {:<14} ERROR: {e}", pattern.label());
+                eprintln!("      {:<14} ERROR: {e}", arm.pattern.label());
                 failures += 1;
             }
         }
@@ -52,12 +52,16 @@ fn main() {
     // dead-function elimination at every level.
     let flat = samples::flat_unreachable();
     println!("  * compiler-level DCE keeps the unreachable state's code:");
+    let arm = matrix::arms_for("flat", &flat)
+        .into_iter()
+        .find(|a| a.pattern == Pattern::NestedSwitch)
+        .expect("NestedSwitch arm");
     let flat_generated = generate(&flat, Pattern::NestedSwitch);
     for level in OptLevel::all() {
         match flat_generated
             .as_ref()
             .map_err(|e| e.clone())
-            .and_then(|g| compile_generated(flat.name(), Pattern::NestedSwitch, level, g))
+            .and_then(|g| arm.compile(level, g))
         {
             Ok(artifact) => {
                 let kept = artifact
@@ -113,6 +117,7 @@ fn main() {
             );
         }
     }
+    println!("{}", bench::driver_summary());
     if failures > 0 {
         eprintln!("\n{failures} cell(s) failed — evidence incomplete");
         std::process::exit(1);

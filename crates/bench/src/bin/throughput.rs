@@ -1,5 +1,6 @@
 //! Event-storm throughput for every machine × pattern × level cell, from
-//! a hand-rolled `std::thread` worker pool.
+//! the shared [`occ::driver::parallel_map`] worker pool (this binary's
+//! original hand-rolled pool, promoted into the driver in PR 9).
 //!
 //! Each cell gets two timed run-to-completion storms — one on the fast
 //! engine, one on the reference oracle — plus the canonical deterministic
@@ -17,16 +18,14 @@
 //!   (CI smoke stage);
 //! * `BENCH_EVENTS=<n>` — explicit timed-storm length.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
 use std::time::Instant;
 
+use bench::matrix::{self, Arm};
 use bench::throughput::{run_storm, CountingEnv, STORM_EVENTS};
 use bench::{compile_generated, generate};
 use cgen::Pattern;
 use occ::vm::{FastVm, Vm};
 use occ::OptLevel;
-use umlsm::StateMachine;
 
 /// Timed-storm length when nothing overrides it: long enough to make the
 /// per-storm setup noise irrelevant, short enough for a dev-loop run.
@@ -49,20 +48,14 @@ fn timed_events() -> usize {
     DEFAULT_TIMED_EVENTS
 }
 
-/// Measures all four levels of one machine × pattern job (one generation
+/// Measures all four levels of one machine × pattern arm (one generation
 /// shared across levels, like the snapshot).
-fn measure_job(
-    name: &str,
-    machine: &StateMachine,
-    pattern: Pattern,
-    events: usize,
-) -> Result<Vec<Row>, String> {
-    let generated = generate(machine, pattern).map_err(|e| e.to_string())?;
+fn measure_job(arm: &Arm, events: usize) -> Result<Vec<Row>, String> {
+    let generated = arm.generate().map_err(|e| e.to_string())?;
     let mut rows = Vec::new();
     for level in OptLevel::all() {
-        let artifact = compile_generated(machine.name(), pattern, level, &generated)
-            .map_err(|e| e.to_string())?;
-        let key = format!("{name}/{}/{}", pattern.label(), level.flag());
+        let artifact = arm.compile(level, &generated).map_err(|e| e.to_string())?;
+        let key = format!("{}/{}", arm.key(), level.flag());
 
         let mut fast = FastVm::new(artifact.decoded(), CountingEnv::default());
         let started = Instant::now();
@@ -91,46 +84,15 @@ fn measure_job(
 
 fn main() {
     let events = timed_events();
-    let jobs: Vec<(String, StateMachine, Pattern)> = bench::snapshot::sample_machines()
-        .into_iter()
-        .flat_map(|(name, machine)| {
-            Pattern::all()
-                .into_iter()
-                .map(move |p| (name.to_string(), machine.clone(), p))
-        })
-        .collect();
+    let jobs = matrix::arms();
 
-    // Hand-rolled worker pool: a shared atomic job cursor, one thread per
-    // core (capped by the job count), results funneled through a channel.
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(jobs.len())
-        .max(1);
-    let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<Result<Vec<Row>, String>>();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let tx = tx.clone();
-            let next = &next;
-            let jobs = &jobs;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some((name, machine, pattern)) = jobs.get(i) else {
-                    break;
-                };
-                let result = measure_job(name, machine, *pattern, events);
-                if tx.send(result).is_err() {
-                    break;
-                }
-            });
-        }
-    });
-    drop(tx);
+    // The shared worker pool (atomic job cursor + mpsc funnel) lives in
+    // `occ::driver` now; `threads == 0` sizes it to the host.
+    let results = occ::driver::parallel_map(&jobs, 0, |arm| measure_job(arm, events));
 
     let mut rows = Vec::new();
     let mut failed = false;
-    for result in rx {
+    for result in results {
         match result {
             Ok(mut r) => rows.append(&mut r),
             Err(e) => {
@@ -142,7 +104,7 @@ fn main() {
     rows.sort_by(|a, b| a.key.cmp(&b.key));
 
     println!(
-        "event-storm throughput ({events} timed events/cell, {workers} workers; \
+        "event-storm throughput ({events} timed events/cell; \
          dyn insts from the canonical {STORM_EVENTS}-event storm)"
     );
     println!(
@@ -184,6 +146,7 @@ fn main() {
             failed = true;
         }
     }
+    println!("{}", bench::driver_summary());
     if failed {
         std::process::exit(1);
     }
@@ -192,7 +155,7 @@ fn main() {
 /// Serial re-measurement of the acceptance cell (hierarchical STT -O2):
 /// fast engine vs the reconstructed pre-PR interpreter, events/sec each.
 fn self_check(events: usize) -> Result<(f64, f64), String> {
-    let machine = bench::snapshot::sample_machines()
+    let machine = matrix::sample_machines()
         .into_iter()
         .find(|(name, _)| *name == "hierarchical")
         .map(|(_, m)| m)

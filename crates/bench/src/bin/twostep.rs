@@ -9,8 +9,7 @@
 //!
 //! Run with `cargo run -p bench --bin twostep`.
 
-use bench::assembly_size;
-use cgen::Pattern;
+use bench::{assembly_size, matrix};
 use mbo::pipeline::{run_pipeline, PipelineMode};
 use mbo::Optimizer;
 use occ::OptLevel;
@@ -26,7 +25,8 @@ fn main() {
     let machine = samples::hierarchical_never_active();
     let optimizer = Optimizer::with_all();
     let mut failures = 0usize;
-    for pattern in Pattern::all() {
+    for arm in matrix::arms_for("hierarchical", &machine) {
+        let pattern = arm.pattern;
         let mut cells = Vec::new();
         for mode in PipelineMode::all() {
             match run_pipeline(&machine, mode, &optimizer, |model, optimize| {
@@ -64,4 +64,5 @@ fn main() {
     println!("\nshape check: two-step <= min(compiler-only, model-only) for every pattern: ok");
     println!("(the paper's point: the two levels compose — model optimization reuses the");
     println!(" compiler's optimizations as they are, and each removes waste the other cannot)");
+    println!("{}", bench::driver_summary());
 }

@@ -28,15 +28,35 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod matrix;
 pub mod snapshot;
 pub mod throughput;
 
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 use cgen::Pattern;
 use mbo::Optimizer;
 use occ::{Artifact, OptLevel, SizeReport};
 use umlsm::StateMachine;
+
+/// The process-wide shared compilation session. Every bench compile goes
+/// through this one [`occ::driver::Driver`], so cells repeated within a
+/// run — the same machine × pattern × level reached from two different
+/// tables, or a snapshot measured twice — are in-memory cache hits
+/// instead of recompiles. Binaries report the session's hit count via
+/// [`driver_summary`] on exit.
+pub fn driver() -> &'static occ::driver::Driver {
+    static DRIVER: OnceLock<occ::driver::Driver> = OnceLock::new();
+    DRIVER.get_or_init(occ::driver::Driver::new)
+}
+
+/// One human-readable line summarizing the shared session's cache
+/// traffic ([`occ::driver::DriverStats::render`]), for bench binaries to
+/// print at the end of a run.
+pub fn driver_summary() -> String {
+    format!("driver session: {}", driver().stats().render())
+}
 
 /// A failure in one experiment cell. Carries the machine / pattern /
 /// level so a bench binary can report the exact failing cell and keep
@@ -109,7 +129,7 @@ pub fn compile_artifact(
     machine: &StateMachine,
     pattern: Pattern,
     level: OptLevel,
-) -> Result<Artifact, BenchError> {
+) -> Result<Arc<Artifact>, BenchError> {
     let generated = generate(machine, pattern)?;
     compile_generated(machine.name(), pattern, level, &generated)
 }
@@ -129,8 +149,9 @@ pub fn generate(machine: &StateMachine, pattern: Pattern) -> Result<cgen::Genera
     })
 }
 
-/// Compiles already-generated code at `level`, wrapping failures with
-/// cell context.
+/// Compiles already-generated code at `level` through the shared
+/// [`driver`] session (repeat cells within a process are cache hits),
+/// wrapping failures with cell context.
 ///
 /// # Errors
 ///
@@ -140,13 +161,15 @@ pub fn compile_generated(
     pattern: Pattern,
     level: OptLevel,
     generated: &cgen::Generated,
-) -> Result<Artifact, BenchError> {
-    occ::compile(&generated.module, level).map_err(|e| BenchError::Compile {
-        machine: machine.to_string(),
-        pattern,
-        level,
-        message: e.to_string(),
-    })
+) -> Result<Arc<Artifact>, BenchError> {
+    driver()
+        .compile(&generated.module, level)
+        .map_err(|e| BenchError::Compile {
+            machine: machine.to_string(),
+            pattern,
+            level,
+            message: e.to_string(),
+        })
 }
 
 /// Generates code for `machine` with `pattern`, compiles it at `level`,

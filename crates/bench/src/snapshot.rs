@@ -1,13 +1,14 @@
 //! Machine-readable size/pass-effect snapshots and the CI regression gate.
 //!
-//! [`Snapshot::measure`] compiles every sample machine × implementation
-//! pattern × optimization level cell and records the section sizes, the
-//! backend's register-allocation quality counters
+//! [`Snapshot::measure`] compiles every [`crate::matrix`] cell through
+//! the shared [`crate::driver`] session and records the section sizes,
+//! the backend's register-allocation quality counters
 //! ([`occ::RegAllocStats`]: spill slots, saved callee-saved registers,
 //! spill-code bytes), the per-pass [`occ::PassStats`] of the mid-end
-//! run, and the deterministic executed-instruction count of the
+//! run, the deterministic executed-instruction count of the
 //! [canonical event storm](crate::throughput) on the fast engine — the
-//! cell's regression-gated "time". The `snapshot`
+//! cell's regression-gated "time" — and the driver's cold/warm compile
+//! times plus the warm cache-hit flag. The `snapshot`
 //! binary serializes one to `BENCH_PR3.json`; the `regress` binary
 //! compares a fresh (or freshly written) snapshot against the committed
 //! `bench_baseline.json` and fails on any size regression beyond
@@ -20,12 +21,13 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::time::Instant;
 
-use cgen::Pattern;
 use occ::OptLevel;
-use umlsm::{samples, StateMachine};
 
 use crate::BenchError;
+
+pub use crate::matrix::sample_machines;
 
 /// Relative growth tolerated per cell before `regress` fails, in percent.
 pub const TOLERANCE_PCT: f64 = 1.0;
@@ -89,6 +91,19 @@ pub struct Cell {
     /// Deterministic executed-instruction count of the canonical storm
     /// on the fast engine — the regression-gated "time" of this cell.
     pub dyn_insts: usize,
+    /// Wall-clock nanoseconds of this cell's first (cold) compile
+    /// through the shared driver session. Host-dependent, so recorded
+    /// but never gated; `0` in baselines written before the driver
+    /// existed.
+    pub compile_ns: usize,
+    /// Wall-clock nanoseconds of an immediate recompile of the same
+    /// cell — the cache-hit service time. Host-dependent, never gated.
+    pub warm_compile_ns: usize,
+    /// `1` if the immediate recompile was served from the driver's
+    /// cache, `0` otherwise. Gated for presence by `regress`: a cell
+    /// whose baseline hit stops hitting means the driver's caching
+    /// silently broke. `0` in pre-driver baselines (ungated).
+    pub warm_hit: usize,
     /// Mid-end per-pass effects for this cell.
     pub passes: Vec<PassCell>,
 }
@@ -107,20 +122,11 @@ pub struct Snapshot {
     pub cells: Vec<Cell>,
 }
 
-/// The sample machines the snapshot measures, with stable short names.
-pub fn sample_machines() -> Vec<(&'static str, StateMachine)> {
-    vec![
-        ("flat", samples::flat_unreachable()),
-        ("hierarchical", samples::hierarchical_never_active()),
-        ("cruise", samples::cruise_control()),
-        ("protocol", samples::protocol_handler()),
-    ]
-}
-
 impl Snapshot {
-    /// Measures every machine × pattern × level cell: sizes, regalloc
-    /// counters, pass effects, and the canonical storm's deterministic
-    /// dynamic instruction count on the fast engine.
+    /// Measures every [`crate::matrix`] cell: sizes, regalloc counters,
+    /// pass effects, the canonical storm's deterministic dynamic
+    /// instruction count on the fast engine, and the shared driver
+    /// session's cold/warm compile times and warm hit flag.
     ///
     /// # Errors
     ///
@@ -129,52 +135,62 @@ impl Snapshot {
     /// program is unusable either way).
     pub fn measure() -> Result<Snapshot, BenchError> {
         let mut cells = Vec::new();
-        for (name, machine) in sample_machines() {
-            for pattern in Pattern::all() {
-                // One generation per machine × pattern: the code map that
-                // defines the storm's event codes is part of the
-                // measurement, and every level must see the same storm.
-                let generated = crate::generate(&machine, pattern)?;
-                for level in OptLevel::all() {
-                    let artifact =
-                        crate::compile_generated(machine.name(), pattern, level, &generated)?;
-                    let storm = crate::throughput::canonical_storm(&artifact, &generated.codes)
-                        .map_err(|e| BenchError::Compile {
-                            machine: machine.name().to_string(),
-                            pattern,
-                            level,
-                            message: format!("canonical storm faulted: {e}"),
-                        })?;
-                    let sizes = artifact.sizes();
-                    let regalloc = artifact.regalloc_stats();
-                    let passes = artifact
-                        .pass_stats()
-                        .passes()
-                        .iter()
-                        .filter(|p| p.runs > 0)
-                        .map(|p| PassCell {
-                            name: p.name.to_string(),
-                            runs: p.runs,
-                            changes: p.changes,
-                            insts_removed: p.insts_removed,
-                        })
-                        .collect();
-                    cells.push(Cell {
-                        machine: name.to_string(),
-                        pattern: pattern.label().to_string(),
-                        level: level.flag().to_string(),
-                        text: sizes.text,
-                        rodata: sizes.rodata,
-                        data: sizes.data,
-                        total: sizes.total(),
-                        spill_slots: regalloc.spill_slots,
-                        saved_regs: regalloc.saved_regs,
-                        spill_bytes: regalloc.spill_bytes,
-                        events: storm.events,
-                        dyn_insts: storm.dyn_insts as usize,
-                        passes,
-                    });
-                }
+        for arm in crate::matrix::arms() {
+            // One generation per machine × pattern arm: the code map
+            // that defines the storm's event codes is part of the
+            // measurement, and every level must see the same storm.
+            let generated = arm.generate()?;
+            for level in OptLevel::all() {
+                let started = Instant::now();
+                let artifact = arm.compile(level, &generated)?;
+                let compile_ns = started.elapsed().as_nanos() as usize;
+                // An immediate recompile of the same cell must be a
+                // session-cache hit; its service time is the cell's warm
+                // compile time, and the hit itself is gated by regress.
+                let hits_before = crate::driver().stats().hits();
+                let started = Instant::now();
+                let _ = arm.compile(level, &generated)?;
+                let warm_compile_ns = started.elapsed().as_nanos() as usize;
+                let warm_hit = usize::from(crate::driver().stats().hits() > hits_before);
+                let storm = crate::throughput::canonical_storm(&artifact, &generated.codes)
+                    .map_err(|e| BenchError::Compile {
+                        machine: arm.machine.name().to_string(),
+                        pattern: arm.pattern,
+                        level,
+                        message: format!("canonical storm faulted: {e}"),
+                    })?;
+                let sizes = artifact.sizes();
+                let regalloc = artifact.regalloc_stats();
+                let passes = artifact
+                    .pass_stats()
+                    .passes()
+                    .iter()
+                    .filter(|p| p.runs > 0)
+                    .map(|p| PassCell {
+                        name: p.name.to_string(),
+                        runs: p.runs,
+                        changes: p.changes,
+                        insts_removed: p.insts_removed,
+                    })
+                    .collect();
+                cells.push(Cell {
+                    machine: arm.name.clone(),
+                    pattern: arm.pattern.label().to_string(),
+                    level: level.flag().to_string(),
+                    text: sizes.text,
+                    rodata: sizes.rodata,
+                    data: sizes.data,
+                    total: sizes.total(),
+                    spill_slots: regalloc.spill_slots,
+                    saved_regs: regalloc.saved_regs,
+                    spill_bytes: regalloc.spill_bytes,
+                    events: storm.events,
+                    dyn_insts: storm.dyn_insts as usize,
+                    compile_ns,
+                    warm_compile_ns,
+                    warm_hit,
+                    passes,
+                });
             }
         }
         Ok(Snapshot { cells })
@@ -194,7 +210,8 @@ impl Snapshot {
                 "    {{\"machine\": {}, \"pattern\": {}, \"level\": {}, \
                  \"text\": {}, \"rodata\": {}, \"data\": {}, \"total\": {}, \
                  \"spill_slots\": {}, \"saved_regs\": {}, \"spill_bytes\": {}, \
-                 \"events\": {}, \"dyn_insts\": {}, \"passes\": [",
+                 \"events\": {}, \"dyn_insts\": {}, \"compile_ns\": {}, \
+                 \"warm_compile_ns\": {}, \"warm_hit\": {}, \"passes\": [",
                 json_string(&c.machine),
                 json_string(&c.pattern),
                 json_string(&c.level),
@@ -206,7 +223,10 @@ impl Snapshot {
                 c.saved_regs,
                 c.spill_bytes,
                 c.events,
-                c.dyn_insts
+                c.dyn_insts,
+                c.compile_ns,
+                c.warm_compile_ns,
+                c.warm_hit
             );
             for (j, p) in c.passes.iter().enumerate() {
                 let _ = write!(
@@ -271,6 +291,12 @@ impl Snapshot {
                 // trajectory: absent fields parse as 0 and are not gated.
                 events: item.usize_field_or("events", 0)?,
                 dyn_insts: item.usize_field_or("dyn_insts", 0)?,
+                // Same leniency for the driver-session fields (PR 9):
+                // pre-driver baselines carry no compile times or hit
+                // flags, and parse as ungated zeros.
+                compile_ns: item.usize_field_or("compile_ns", 0)?,
+                warm_compile_ns: item.usize_field_or("warm_compile_ns", 0)?,
+                warm_hit: item.usize_field_or("warm_hit", 0)?,
                 passes,
             });
         }
@@ -383,6 +409,14 @@ pub enum Verdict {
         /// Current storm event count.
         current_events: usize,
     },
+    /// The baseline recorded this cell's immediate recompile as a
+    /// driver-session cache hit, and the current snapshot did not — the
+    /// artifact cache silently stopped caching (a hashing, lookup or
+    /// publication bug), which no size or timing number would catch.
+    CacheRegressed {
+        /// Cell key.
+        key: String,
+    },
 }
 
 impl Verdict {
@@ -398,6 +432,7 @@ impl Verdict {
                 | Verdict::PassInert { .. }
                 | Verdict::DynInstsRegressed { .. }
                 | Verdict::StormChanged { .. }
+                | Verdict::CacheRegressed { .. }
         )
     }
 
@@ -466,6 +501,9 @@ impl Verdict {
                 "  STORM     {key:<40} canonical storm changed \
                  ({baseline_events} -> {current_events} events; refresh the baseline deliberately)"
             ),
+            Verdict::CacheRegressed { key } => {
+                format!("  REGRESSED {key:<40} warm recompile no longer hits the driver cache")
+            }
         }
     }
 }
@@ -498,9 +536,11 @@ fn allowed_dyn_growth(baseline: usize) -> usize {
 /// canonical storm's dynamic instruction count is gated the same way
 /// (within `max(TOLERANCE_PCT, TOLERANCE_DYN_INSTS)`) wherever the
 /// baseline measured one, and a storm-shape change (different event
-/// counts) fails outright rather than skipping the cell. Finally, any
-/// pass that removed instructions somewhere in the baseline but removes
-/// zero across every current cell is flagged as silently inert.
+/// counts) fails outright rather than skipping the cell. A cell whose
+/// baseline recorded a warm driver-cache hit must still hit (the
+/// host-dependent compile *times* are carried but never gated). Finally,
+/// any pass that removed instructions somewhere in the baseline but
+/// removes zero across every current cell is flagged as silently inert.
 pub fn compare(baseline: &Snapshot, current: &Snapshot) -> Vec<Verdict> {
     let current_by_key: BTreeMap<String, &Cell> =
         current.cells.iter().map(|c| (c.key(), c)).collect();
@@ -588,6 +628,13 @@ pub fn compare(baseline: &Snapshot, current: &Snapshot) -> Vec<Verdict> {
                     current: cur.dyn_insts,
                 });
             }
+        }
+        // Driver-session cache presence: gated only where the baseline
+        // observed a hit (pre-driver baselines carry 0 and are ungated);
+        // the timing fields themselves are host-dependent and never
+        // gated.
+        if base.warm_hit == 1 && cur.warm_hit == 0 {
+            verdicts.push(Verdict::CacheRegressed { key: key.clone() });
         }
     }
     for cur in &current.cells {
@@ -896,6 +943,9 @@ mod tests {
                     spill_bytes: 24,
                     events: 512,
                     dyn_insts: 40_000,
+                    compile_ns: 2_000_000,
+                    warm_compile_ns: 900,
+                    warm_hit: 1,
                     passes: vec![PassCell {
                         name: "sccp".into(),
                         runs: 3,
@@ -916,6 +966,9 @@ mod tests {
                     spill_bytes: 0,
                     events: 512,
                     dyn_insts: 36_000,
+                    compile_ns: 1_500_000,
+                    warm_compile_ns: 800,
+                    warm_hit: 1,
                     passes: vec![],
                 },
             ],
@@ -1100,6 +1153,10 @@ mod tests {
                 cell.key()
             );
             assert!(cell.dyn_insts > 0, "{} executed nothing", cell.key());
+            // Every cell is compile-timed, and its immediate recompile
+            // hit the shared driver session.
+            assert!(cell.compile_ns > 0, "{} has no compile time", cell.key());
+            assert_eq!(cell.warm_hit, 1, "{} warm recompile missed", cell.key());
         }
     }
 
@@ -1120,6 +1177,62 @@ mod tests {
         assert!(
             !compare(&base, &cur).iter().any(Verdict::is_regression),
             "an ungated baseline cell must accept any current storm"
+        );
+    }
+
+    #[test]
+    fn compare_gates_cache_hits_for_presence_only() {
+        let base = sample_snapshot();
+        // A lost warm hit is a regression, even with every other number
+        // unchanged.
+        let mut cur = sample_snapshot();
+        cur.cells[0].warm_hit = 0;
+        let verdicts = compare(&base, &cur);
+        let cache: Vec<_> = verdicts
+            .iter()
+            .filter(|v| matches!(v, Verdict::CacheRegressed { .. }))
+            .collect();
+        assert_eq!(cache.len(), 1, "{verdicts:?}");
+        assert!(cache[0].is_regression());
+        assert!(cache[0].render().contains("driver cache"), "{:?}", cache[0]);
+        // Host-dependent compile times are carried but never gated.
+        let mut slower = sample_snapshot();
+        slower.cells[0].compile_ns *= 100;
+        slower.cells[0].warm_compile_ns *= 100;
+        assert!(!compare(&base, &slower).iter().any(Verdict::is_regression));
+        // A pre-driver baseline (warm_hit 0) does not gate the cache.
+        let mut old = sample_snapshot();
+        for c in &mut old.cells {
+            c.compile_ns = 0;
+            c.warm_compile_ns = 0;
+            c.warm_hit = 0;
+        }
+        let mut cur = sample_snapshot();
+        cur.cells[0].warm_hit = 0;
+        assert!(!compare(&old, &cur).iter().any(Verdict::is_regression));
+    }
+
+    #[test]
+    fn old_baselines_without_driver_fields_parse_as_ungated_zeros() {
+        // The PR 8 events/dyn_insts precedent: a pre-driver baseline has
+        // no compile_ns/warm_compile_ns/warm_hit fields and must parse —
+        // as zeros — without gating the cache.
+        let text = "{\"cells\": [{\"machine\": \"m\", \"pattern\": \"p\",
+            \"level\": \"-O0\", \"text\": 1, \"rodata\": 2, \"data\": 3,
+            \"total\": 6, \"spill_slots\": 0, \"saved_regs\": 0,
+            \"spill_bytes\": 0, \"events\": 512, \"dyn_insts\": 100,
+            \"passes\": []}]}";
+        let base = Snapshot::from_json(text).expect("parses");
+        assert_eq!(base.cells[0].compile_ns, 0);
+        assert_eq!(base.cells[0].warm_compile_ns, 0);
+        assert_eq!(base.cells[0].warm_hit, 0);
+        let mut cur = base.clone();
+        cur.cells[0].compile_ns = 5_000_000;
+        cur.cells[0].warm_compile_ns = 700;
+        cur.cells[0].warm_hit = 1;
+        assert!(
+            !compare(&base, &cur).iter().any(Verdict::is_regression),
+            "driver fields new in the current snapshot must not gate"
         );
     }
 

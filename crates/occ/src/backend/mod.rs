@@ -295,7 +295,7 @@ impl RegAllocStats {
 }
 
 /// One assembled function.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AsmFunction {
     /// Symbol name.
     pub name: String,
@@ -320,7 +320,7 @@ impl AsmFunction {
 }
 
 /// An assembled global datum (function addresses resolved).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AsmGlobal {
     /// Symbol name.
     pub name: String,
@@ -333,7 +333,7 @@ pub struct AsmGlobal {
 }
 
 /// A fully assembled program.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Assembly {
     /// Functions in layout order.
     pub functions: Vec<AsmFunction>,

@@ -46,6 +46,13 @@
 //!   module doc is the canonical invariant catalogue; debug builds
 //!   re-check every pipeline boundary, and `OCC_VERIFY=each` escalates
 //!   to per-pass verification with pass blame.
+//! * **Driver**: the batch-compilation session layer ([`driver`]) —
+//!   content-addressed artifact caching (an in-memory tier behind a
+//!   lookup-only lock plus an optional on-disk tier) and parallel batch
+//!   compilation over a shared worker pool, with per-session
+//!   [`driver::DriverStats`] observability (cache hits/misses, compile
+//!   throughput, per-stage wall-clock). The [`driver`] module doc is the
+//!   canonical caching/hashing/parallelism contract.
 //!
 //! The central property the dead-code experiment (paper §III.C) relies on
 //! falls out of soundness, not special-casing: generated state-machine code
@@ -80,6 +87,7 @@
 
 pub mod backend;
 pub mod cfg;
+pub mod driver;
 pub mod lower;
 pub mod mem;
 pub mod mir;
@@ -223,6 +231,27 @@ impl Artifact {
     }
 }
 
+/// Wall-clock cost of one [`compile`] call, split by pipeline stage —
+/// the per-compile granularity behind [`driver::DriverStats`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimes {
+    /// Type check + MIR lowering.
+    pub lower: std::time::Duration,
+    /// Mid-end pass pipeline.
+    pub opt: std::time::Duration,
+    /// Backend (lowering, regalloc, emission).
+    pub backend: std::time::Duration,
+    /// Pre-decode for the fast engine.
+    pub decode: std::time::Duration,
+}
+
+impl StageTimes {
+    /// Total time across all four stages.
+    pub fn total(&self) -> std::time::Duration {
+        self.lower + self.opt + self.backend + self.decode
+    }
+}
+
 /// Compiles a module at the given optimization level.
 ///
 /// # Errors
@@ -230,22 +259,53 @@ impl Artifact {
 /// Fails if the module does not type-check or exceeds backend limits (see
 /// [`CompileError`]).
 pub fn compile(module: &tlang::Module, level: OptLevel) -> Result<Artifact, CompileError> {
+    compile_timed(module, level).map(|(artifact, _)| artifact)
+}
+
+/// [`compile`], additionally reporting per-stage wall-clock times. The
+/// [`driver`] aggregates these into its observability counters; plain
+/// callers use [`compile`].
+///
+/// # Errors
+///
+/// Fails if the module does not type-check or exceeds backend limits (see
+/// [`CompileError`]).
+pub fn compile_timed(
+    module: &tlang::Module,
+    level: OptLevel,
+) -> Result<(Artifact, StageTimes), CompileError> {
+    let mut times = StageTimes::default();
+    let t = std::time::Instant::now();
     module
         .check()
         .map_err(|e| CompileError::Check(e.to_string()))?;
     let mut program = lower::lower_module(module)?;
+    times.lower = t.elapsed();
+
+    let t = std::time::Instant::now();
     let pass_stats = opt::run_pipeline(&mut program, level);
+    times.opt = t.elapsed();
+
+    let t = std::time::Instant::now();
     let asm = backend::compile_program(&program, level)?;
+    times.backend = t.elapsed();
+
+    let t = std::time::Instant::now();
     let decoded = vm::DecodedProgram::decode(&asm)
         .map_err(|e| CompileError::Internal(format!("decode: {e}")))?;
+    times.decode = t.elapsed();
+
     let surviving_functions = program.functions.iter().map(|f| f.name.clone()).collect();
-    Ok(Artifact {
-        asm,
-        decoded,
-        pass_stats,
-        surviving_functions,
-        level,
-    })
+    Ok((
+        Artifact {
+            asm,
+            decoded,
+            pass_stats,
+            surviving_functions,
+            level,
+        },
+        times,
+    ))
 }
 
 #[cfg(test)]

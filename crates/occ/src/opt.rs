@@ -200,6 +200,34 @@ pub mod pass {
     pub const INLINE: &str = "inline";
     /// Call-graph dead-function elimination.
     pub const DEAD_FN_ELIM: &str = "dead-fn-elim";
+
+    /// Resolves a pass name carried in serialized form (a cached
+    /// artifact, a snapshot cell) back to its canonical `&'static str`.
+    /// Returns `None` for a name this toolchain does not know — a cache
+    /// entry written by a different pass roster must be treated as
+    /// stale, not adopted.
+    pub fn canonical(name: &str) -> Option<&'static str> {
+        [
+            CONST_FOLD,
+            COPY_PROP,
+            SCCP,
+            LICM,
+            COPY_COALESCE,
+            TAIL_MERGE,
+            GVN_CSE,
+            STORE_LOAD_FWD,
+            CROSS_LOAD_FWD,
+            LOAD_PRE,
+            DSE,
+            TERM_FOLD,
+            DCE,
+            SIMPLIFY_CFG,
+            INLINE,
+            DEAD_FN_ELIM,
+        ]
+        .into_iter()
+        .find(|c| *c == name)
+    }
 }
 
 /// Per-pass statistics for one whole [`run_pipeline`] invocation, in
@@ -213,6 +241,12 @@ impl PipelineStats {
     /// All recorded passes in first-execution order.
     pub fn passes(&self) -> &[PassStats] {
         &self.passes
+    }
+
+    /// Rebuilds stats from deserialized parts (the driver's on-disk
+    /// artifact cache round-trips them; names are already canonical).
+    pub(crate) fn from_passes(passes: Vec<PassStats>) -> PipelineStats {
+        PipelineStats { passes }
     }
 
     /// Looks up one pass by canonical name.
@@ -497,6 +531,24 @@ impl PassManager {
             "after the mid-end pipeline",
         );
         any
+    }
+
+    /// A deterministic textual signature of this manager's registration
+    /// data: outer rounds plus the SSA and φ-free pass rosters in
+    /// registration order. [`crate::driver`] hashes the signatures of
+    /// every level into its toolchain fingerprint, so any roster change
+    /// (a pass added, removed or reordered) invalidates every cached
+    /// artifact.
+    pub fn roster_signature(&self) -> String {
+        let names = |ps: &[(&'static str, SsaPass)]| {
+            ps.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(",")
+        };
+        format!(
+            "rounds={};ssa={};post={}",
+            self.outer_rounds,
+            names(&self.ssa_passes),
+            names(&self.post_passes)
+        )
     }
 
     /// The collected statistics so far.

@@ -1,0 +1,166 @@
+//! Driver-layer integration tests: content-hash determinism,
+//! byte-identical artifacts across repeat runs and thread counts, cache
+//! tier equivalence (memory and disk) including statistics, and clean
+//! recovery from corrupted disk entries.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use cgen::Pattern;
+use occ::driver::{job_hash, parallel_map, serialize_artifact, Driver, DEFAULT_CACHE_DIR};
+use occ::{Artifact, OptLevel};
+
+/// A realistic job: the flat sample machine generated with the Nested
+/// Switch pattern.
+fn sample_module() -> tlang::Module {
+    cgen::generate(&umlsm::samples::flat_unreachable(), Pattern::NestedSwitch)
+        .expect("generates")
+        .module
+}
+
+/// A scratch cache directory unique to this test, outside the repo's
+/// conventional [`DEFAULT_CACHE_DIR`].
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("occ-driver-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn assert_artifacts_equal(a: &Artifact, b: &Artifact) {
+    assert_eq!(a.assembly(), b.assembly(), "assembly must be identical");
+    assert_eq!(a.pass_stats(), b.pass_stats(), "PassStats must be equal");
+    assert_eq!(
+        a.regalloc_stats(),
+        b.regalloc_stats(),
+        "RegAllocStats must be equal"
+    );
+    assert_eq!(a.surviving_functions(), b.surviving_functions());
+    assert_eq!(a.level(), b.level());
+    assert_eq!(
+        serialize_artifact(a),
+        serialize_artifact(b),
+        "serialized artifacts must be byte-identical"
+    );
+}
+
+#[test]
+fn same_job_hashes_and_compiles_identically_across_repeat_runs() {
+    let module = sample_module();
+    assert_eq!(
+        job_hash(&module, OptLevel::O2),
+        job_hash(&sample_module(), OptLevel::O2),
+        "independent generations of the same machine must hash equal"
+    );
+    // Two fresh compiles (no cache involved) are byte-identical.
+    let a = occ::compile(&module, OptLevel::O2).expect("compiles");
+    let b = occ::compile(&module, OptLevel::O2).expect("compiles");
+    assert_artifacts_equal(&a, &b);
+}
+
+#[test]
+fn batch_artifacts_are_byte_identical_across_thread_counts() {
+    let module = sample_module();
+    let jobs: Vec<(tlang::Module, OptLevel)> = OptLevel::all()
+        .into_iter()
+        .map(|level| (module.clone(), level))
+        .collect();
+    // One driver per thread count: each batch compiles cold, so the
+    // comparison is compile-vs-compile, not compile-vs-cache.
+    let serial = Driver::new().compile_batch(&jobs, 1);
+    let parallel = Driver::new().compile_batch(&jobs, 4);
+    assert_eq!(serial.results.len(), parallel.results.len());
+    for (i, (s, p)) in serial.results.iter().zip(&parallel.results).enumerate() {
+        let (s, p) = (s.as_ref().expect("ok"), p.as_ref().expect("ok"));
+        assert_artifacts_equal(s, p);
+        assert_eq!(p.level(), jobs[i].1, "results must come back in job order");
+    }
+}
+
+#[test]
+fn cached_artifacts_equal_fresh_compiles_on_both_tiers() {
+    let module = sample_module();
+    let fresh = occ::compile(&module, OptLevel::Os).expect("compiles");
+
+    // Memory tier.
+    let driver = Driver::new();
+    let cold = driver.compile(&module, OptLevel::Os).expect("compiles");
+    let warm = driver.compile(&module, OptLevel::Os).expect("hits");
+    assert!(Arc::ptr_eq(&cold, &warm), "memory tier must share the Arc");
+    assert_artifacts_equal(&fresh, &warm);
+    let stats = driver.stats();
+    assert_eq!((stats.mem_hits, stats.misses), (1, 1));
+
+    // Disk tier: a second session over the first session's cache dir.
+    let dir = scratch_dir("tiers");
+    let writer = Driver::with_disk_cache(&dir);
+    writer.compile(&module, OptLevel::Os).expect("compiles");
+    let reader = Driver::with_disk_cache(&dir);
+    let loaded = reader.compile(&module, OptLevel::Os).expect("loads");
+    let stats = reader.stats();
+    assert_eq!(
+        (stats.disk_hits, stats.misses),
+        (1, 0),
+        "second session must load from disk: {stats:?}"
+    );
+    assert_artifacts_equal(&fresh, &loaded);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_and_truncated_disk_entries_recompile_cleanly() {
+    let module = sample_module();
+    let dir = scratch_dir("corrupt");
+    let writer = Driver::with_disk_cache(&dir);
+    let original = writer.compile(&module, OptLevel::O1).expect("compiles");
+
+    let entry = std::fs::read_dir(&dir)
+        .expect("cache dir exists")
+        .filter_map(Result::ok)
+        .find(|e| e.path().extension().is_some_and(|x| x == "occart"))
+        .expect("one cache entry")
+        .path();
+    let bytes = std::fs::read(&entry).expect("reads entry");
+
+    for (label, mangled) in [
+        ("truncated", bytes[..bytes.len() / 2].to_vec()),
+        ("bit-flipped", {
+            let mut b = bytes.clone();
+            let mid = b.len() / 2;
+            b[mid] ^= 0x40;
+            b
+        }),
+        ("emptied", Vec::new()),
+    ] {
+        std::fs::write(&entry, &mangled).expect("writes mangled entry");
+        let session = Driver::with_disk_cache(&dir);
+        let healed = session.compile(&module, OptLevel::O1).expect("recompiles");
+        let stats = session.stats();
+        assert_eq!(
+            (stats.disk_hits, stats.misses),
+            (0, 1),
+            "{label}: must recompile, not adopt the bad entry: {stats:?}"
+        );
+        assert_eq!(stats.rejected, 1, "{label}: must count the rejection");
+        assert_artifacts_equal(&original, &healed);
+        // The recompile rewrote the entry; restore the corruption for
+        // the next round from the known-good bytes.
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn parallel_map_is_order_preserving_and_complete() {
+    let items: Vec<u32> = (0..257).collect();
+    for threads in [1, 3, 8, 0] {
+        let doubled = parallel_map(&items, threads, |x| x * 2);
+        assert_eq!(doubled.len(), items.len());
+        assert!(doubled.iter().enumerate().all(|(i, v)| *v == 2 * i as u32));
+    }
+}
+
+#[test]
+fn default_cache_dir_is_the_gitignored_name() {
+    // The conventional directory CI uses must stay in sync with
+    // `.gitignore`; a rename breaks the hygiene silently otherwise.
+    assert_eq!(DEFAULT_CACHE_DIR, ".occ-cache");
+}
