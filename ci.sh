@@ -3,7 +3,8 @@
 #
 #   ./ci.sh            # full gate: fmt, clippy, rustdoc, build, deep
 #                      # tests, bench smoke, throughput smoke,
-#                      # batch-compile smoke, bench-regression gate
+#                      # batch-compile smoke, differential fuzz smoke,
+#                      # bench-regression gate
 #   ./ci.sh --fast     # quick gate: fmt, clippy, rustdoc, dev tests
 #
 # Mirrors the tier-1 verify command of ROADMAP.md plus style gates, the
@@ -102,6 +103,17 @@ else
     # logs (cache dir: .occ-cache/ci-batch, gitignored).
     run_stage "bench batch-compile smoke (cold+warm, 48 cells)" \
         cargo run --release -q -p bench --bin batch
+    # Differential fuzz smoke: a deterministic-seed corpus of generated
+    # machines (umlsm::gen) runs the whole chain differentially — model
+    # interpreter oracle vs tlang reference vs compiled EM32 on both
+    # engines, 3 patterns × 4 levels per case, with coverage-guided
+    # event sequences — plus the coverage duel (guided evolution must
+    # reach ops pure random never does at the same budget). Exit is
+    # nonzero on any divergence; deepen ad hoc with e.g.
+    # FUZZ_CASES=5000 FUZZ_SECS=600. Its own timed stage line tracks
+    # corpus throughput in CI logs.
+    run_stage "bench differential fuzz smoke (FUZZ_CASES=${FUZZ_CASES:-500})" \
+        env FUZZ_CASES="${FUZZ_CASES:-500}" cargo run --release -q -p bench --bin fuzz
     # Regression gate: snapshot the current toolchain, then compare
     # against the committed baseline. Any machine×pattern×level cell
     # (total or text/rodata section) growing beyond the tolerance fails

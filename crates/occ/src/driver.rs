@@ -1285,6 +1285,22 @@ impl Driver {
         }
     }
 
+    /// Drops every entry of the in-memory tier, returning how many were
+    /// evicted. Cumulative counters and the disk tier are untouched, and
+    /// outstanding `Arc<Artifact>` handles stay valid.
+    ///
+    /// Corpus-scale callers (the fuzz harness compiles thousands of
+    /// *distinct* machines through one session, so the cache buys nothing
+    /// across cases) call this between batches to bound the session's
+    /// footprint while still getting within-case hits — every shrink
+    /// candidate and every event sequence of a case re-hits its cells.
+    pub fn evict_memory(&self) -> usize {
+        let mut mem = self.lock_mem();
+        let n = mem.len();
+        mem.clear();
+        n
+    }
+
     fn lock_mem(&self) -> std::sync::MutexGuard<'_, HashMap<u128, Arc<Artifact>>> {
         self.mem.lock().expect("driver cache lock poisoned")
     }

@@ -5,7 +5,7 @@
 use tlang::{Env, Value};
 
 use super::decode::{DecodedProgram, Op, BINOP_FROM_NIBBLE};
-use super::{Engine, VmError, DEFAULT_FUEL, SP};
+use super::{CoverageSink, Engine, NoCoverage, VmError, DEFAULT_FUEL, SP};
 
 /// The fast EM32 machine instance. Executes pre-decoded micro-ops; like
 /// the oracle, memory persists across [`run`](FastVm::run) calls.
@@ -67,6 +67,24 @@ impl<'a, E: Env> FastVm<'a, E> {
     /// See [`VmError`] (everything but `BadLabel`, which the decoder has
     /// already ruled out).
     pub fn run(&mut self, name: &str, args: &[i32]) -> Result<i32, VmError> {
+        // `NoCoverage::record` inlines to nothing, so this
+        // monomorphization *is* the uninstrumented hot loop.
+        self.run_with_coverage(name, args, &mut NoCoverage)
+    }
+
+    /// [`run`](FastVm::run), reporting every fetched decoded-op index to
+    /// `cov` (fused pairs report the pair's first slot; see the
+    /// [module docs](super) on coverage).
+    ///
+    /// # Errors
+    ///
+    /// See [`VmError`].
+    pub fn run_with_coverage<C: CoverageSink>(
+        &mut self,
+        name: &str,
+        args: &[i32],
+        cov: &mut C,
+    ) -> Result<i32, VmError> {
         let prog = self.prog;
         let entry = match &self.last_entry {
             // Event storms call the same exported function millions of
@@ -110,6 +128,7 @@ impl<'a, E: Env> FastVm<'a, E> {
                 break Err(VmError::OutOfFuel);
             }
             fuel -= 1;
+            cov.record(pc as u32);
             let op = ops[pc];
             pc += 1;
             match op {
@@ -695,6 +714,93 @@ mod tests {
         assert_eq!(fast.run("f", &[]), Ok(0), "r0 clobbered on fast engine");
         assert_eq!(oracle.run("f", &[]), Ok(0));
         assert_eq!(fast.executed(), oracle.executed());
+    }
+
+    /// A module whose dispatch takes visibly different paths per input:
+    /// coverage over `sel(k)` must grow with new `k` and nothing else.
+    fn coverage_module() -> Module {
+        let mut m = Module::new("m");
+        m.push_function(Function {
+            name: "sel".into(),
+            params: vec![("k".into(), Type::I32)],
+            ret: Type::I32,
+            body: vec![Stmt::Switch {
+                scrutinee: Expr::var("k"),
+                cases: (0..6)
+                    .map(|i| {
+                        (
+                            i,
+                            vec![Stmt::Return(Some(
+                                Expr::Int(10 * i).add(Expr::var("k").add(Expr::Int(i))),
+                            ))],
+                        )
+                    })
+                    .collect(),
+                default: vec![Stmt::Return(Some(Expr::Int(-1)))],
+            }],
+            exported: true,
+        });
+        m.check().expect("typed");
+        m
+    }
+
+    fn coverage_of(prog: &DecodedProgram, inputs: &[i32]) -> super::super::OpCoverage {
+        let mut cov = super::super::OpCoverage::for_program(prog);
+        let mut vm = FastVm::new(prog, RecordingEnv::new());
+        for k in inputs {
+            vm.run_with_coverage("sel", &[*k], &mut cov).expect("runs");
+        }
+        cov
+    }
+
+    #[test]
+    fn op_coverage_is_deterministic_across_runs() {
+        let m = coverage_module();
+        for level in OptLevel::all() {
+            let artifact = compile(&m, level).expect("compiles");
+            let prog = artifact.decoded();
+            let a = coverage_of(prog, &[0, 3, 9]);
+            let b = coverage_of(prog, &[0, 3, 9]);
+            // Bit-identical sets for the same program + input sequence —
+            // the property corpus selection depends on.
+            assert_eq!(a, b, "{level}: coverage not deterministic");
+            assert!(a.count() > 0, "{level}: nothing recorded");
+            assert!(a.count() <= prog.op_count());
+        }
+    }
+
+    #[test]
+    fn op_coverage_grows_with_new_paths_only() {
+        let m = coverage_module();
+        let artifact = compile(&m, OptLevel::O2).expect("compiles");
+        let prog = artifact.decoded();
+        let mut total = coverage_of(prog, &[1]);
+        // A genuinely new dispatch path lights new ops...
+        let fresh = total.merge(&coverage_of(prog, &[4]));
+        assert!(fresh > 0, "new case arm should light new ops");
+        // ...while replaying an already-covered input lights none.
+        assert_eq!(total.merge(&coverage_of(prog, &[1])), 0);
+        assert_eq!(total.merge(&coverage_of(prog, &[4])), 0);
+    }
+
+    #[test]
+    fn run_and_run_with_coverage_agree_on_the_contract() {
+        // The instrumented entry point must not perturb semantics:
+        // result, trace and executed count match the plain loop.
+        let m = coverage_module();
+        let artifact = compile(&m, OptLevel::Os).expect("compiles");
+        let prog = artifact.decoded();
+        let mut plain = FastVm::new(prog, RecordingEnv::new());
+        let mut inst = FastVm::new(prog, RecordingEnv::new());
+        let mut cov = super::super::OpCoverage::for_program(prog);
+        for k in [-1, 0, 2, 5, 7] {
+            assert_eq!(
+                plain.run("sel", &[k]),
+                inst.run_with_coverage("sel", &[k], &mut cov)
+            );
+        }
+        assert_eq!(plain.executed(), inst.executed());
+        assert_eq!(plain.into_env().calls, inst.into_env().calls);
     }
 
     #[test]

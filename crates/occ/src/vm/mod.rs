@@ -68,6 +68,24 @@
 //! indirect calls to non-entry addresses, host rejections, and fuel
 //! exhaustion.
 //!
+//! # Op coverage
+//!
+//! The fast engine exports a cheap coverage hook for fuzzing harnesses:
+//! [`FastVm::run_with_coverage`] takes any [`CoverageSink`] and reports
+//! the decoded-op index of every fetch to it. [`OpCoverage`] is the
+//! standard sink — a fixed-size bitset over the program's op array
+//! (one bit per [`DecodedProgram::op_count`] slot) with popcount and
+//! merge — and [`NoCoverage`] is the zero-cost default that
+//! [`FastVm::run`] monomorphizes away, so the plain dispatch loop stays
+//! byte-for-byte the hot path the throughput gate locks.
+//!
+//! Coverage is recorded per *fetch*: a fused superinstruction lights the
+//! bit of the pair's first slot only (its still-populated second slot is
+//! lit only when a branch enters the pair mid-way). That makes the set
+//! deterministic for a deterministic program + input sequence — the
+//! property the fuzzer's corpus selection (keep inputs that light new
+//! ops) depends on, and the one `occ::vm` unit tests pin.
+//!
 //! # Dispatch loop shape
 //!
 //! The fast engine's whole interpreter loop is: check fuel, fetch
@@ -206,6 +224,94 @@ pub trait Engine {
 
     /// Replaces the remaining instruction budget.
     fn set_fuel(&mut self, fuel: u64);
+}
+
+/// A consumer of per-fetch op-coverage events from the fast engine.
+///
+/// [`FastVm::run_with_coverage`] calls [`record`](CoverageSink::record)
+/// with the decoded-op index of every fetch (fused pairs report their
+/// first slot; see the [module docs](self)). Implementations must be
+/// cheap — the hook sits inside the dispatch loop.
+pub trait CoverageSink {
+    /// Observes one fetched decoded-op index.
+    fn record(&mut self, op_index: u32);
+}
+
+/// The zero-cost [`CoverageSink`]: every record call inlines to nothing,
+/// so [`FastVm::run`] keeps the exact uninstrumented dispatch loop.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoCoverage;
+
+impl CoverageSink for NoCoverage {
+    #[inline(always)]
+    fn record(&mut self, _op_index: u32) {}
+}
+
+/// A bitset of executed decoded-op indices — the standard
+/// [`CoverageSink`] for coverage-guided fuzzing (`bench::fuzz` keeps a
+/// corpus entry whenever its run lights bits no earlier run did).
+///
+/// Out-of-range indices are ignored rather than growing the set, so a
+/// sink sized with [`OpCoverage::for_program`] can never allocate inside
+/// the dispatch loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpCoverage {
+    bits: Vec<u64>,
+    ops: usize,
+}
+
+impl OpCoverage {
+    /// An empty set over `op_count` decoded-op slots.
+    pub fn new(op_count: usize) -> OpCoverage {
+        OpCoverage {
+            bits: vec![0; op_count.div_ceil(64)],
+            ops: op_count,
+        }
+    }
+
+    /// An empty set sized for `prog`'s op array.
+    pub fn for_program(prog: &DecodedProgram) -> OpCoverage {
+        OpCoverage::new(prog.op_count())
+    }
+
+    /// Number of op slots the set ranges over.
+    pub fn op_count(&self) -> usize {
+        self.ops
+    }
+
+    /// Number of distinct op indices recorded so far.
+    pub fn count(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether op index `i` has been recorded.
+    pub fn covers(&self, i: usize) -> bool {
+        self.bits
+            .get(i / 64)
+            .is_some_and(|w| w & (1u64 << (i % 64)) != 0)
+    }
+
+    /// Unions `other` into `self`; returns how many bits were *newly*
+    /// set — the fuzzer's "did this input reach anything new" signal.
+    pub fn merge(&mut self, other: &OpCoverage) -> usize {
+        let mut fresh = 0;
+        for (w, o) in self.bits.iter_mut().zip(&other.bits) {
+            let new = o & !*w;
+            fresh += new.count_ones() as usize;
+            *w |= new;
+        }
+        fresh
+    }
+}
+
+impl CoverageSink for OpCoverage {
+    #[inline]
+    fn record(&mut self, op_index: u32) {
+        let i = op_index as usize;
+        if let Some(w) = self.bits.get_mut(i / 64) {
+            *w |= 1u64 << (i % 64);
+        }
+    }
 }
 
 /// Builds the initial memory image for an assembly's globals: the data

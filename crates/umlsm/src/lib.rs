@@ -44,6 +44,7 @@ mod action;
 mod builder;
 mod dot;
 mod expr;
+pub mod gen;
 mod ids;
 mod interp;
 mod machine;

@@ -10,7 +10,7 @@ use std::fmt;
 use crate::action::Action;
 use crate::expr::Expr;
 use crate::ids::{RegionId, StateId, TransitionId};
-use crate::machine::{StateMachine, Trigger};
+use crate::machine::{StateKind, StateMachine, Trigger};
 
 /// A model well-formedness violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,6 +39,16 @@ pub enum ValidateError {
     InitialIsFinal {
         /// The offending region.
         region: RegionId,
+    },
+    /// A non-root region is not the nested region of any live composite
+    /// state: its owner is absent, removed, or no longer points back at
+    /// it. States inside such a region could never be entered, and the
+    /// code generators' region walk would never visit them.
+    OrphanRegion {
+        /// The offending region.
+        region: RegionId,
+        /// The region's name.
+        name: String,
     },
     /// A transition connects states of different regions.
     CrossRegionTransition {
@@ -98,6 +108,9 @@ impl fmt::Display for ValidateError {
             }
             ValidateError::InitialIsFinal { region } => {
                 write!(f, "initial state of region {region} is a final state")
+            }
+            ValidateError::OrphanRegion { region, name } => {
+                write!(f, "region {region} `{name}` has no owning composite state")
             }
             ValidateError::CrossRegionTransition { transition } => {
                 write!(f, "transition {transition} connects different regions")
@@ -160,6 +173,20 @@ impl StateMachine {
 
     fn validate_regions(&self) -> Result<(), ValidateError> {
         for (rid, region) in self.regions() {
+            // Every non-root region must be reachable from the state tree:
+            // some live composite state must own it and point back at it.
+            if rid != self.root() {
+                let owned = region
+                    .owner
+                    .and_then(|o| self.try_state(o))
+                    .is_some_and(|s| matches!(s.kind, StateKind::Composite(r) if r == rid));
+                if !owned {
+                    return Err(ValidateError::OrphanRegion {
+                        region: rid,
+                        name: region.name.clone(),
+                    });
+                }
+            }
             let non_final_states = self
                 .states_in(rid)
                 .into_iter()
@@ -392,6 +419,79 @@ mod tests {
         assert!(matches!(
             b.finish_unchecked().validate(),
             Err(ValidateError::TransitionFromFinal { .. })
+        ));
+    }
+
+    #[test]
+    fn orphan_region_with_cleared_owner_rejected() {
+        // Hollowing out the back-pointer leaves the nested region
+        // unreachable from the state tree.
+        let mut b = MachineBuilder::new("m");
+        let a = b.state("A");
+        let (_, inner) = b.composite("C");
+        let i = b.state_in(inner, "I");
+        b.initial(a);
+        b.initial_in(inner, i);
+        let mut m = b.finish_unchecked();
+        m.region_mut(inner).owner = None;
+        assert!(matches!(
+            m.validate(),
+            Err(ValidateError::OrphanRegion { .. })
+        ));
+    }
+
+    #[test]
+    fn orphan_region_with_dead_owner_rejected() {
+        // A region whose recorded owner never existed (or was removed
+        // without cascading) is equally unreachable — even when it is
+        // otherwise empty and so needs no initial state.
+        let mut b = MachineBuilder::new("m");
+        let a = b.state("A");
+        b.initial(a);
+        let mut m = b.finish_unchecked();
+        m.alloc_region(crate::Region {
+            name: "ghost".into(),
+            owner: Some(crate::StateId::from_index(99)),
+            initial: None,
+            initial_effect: Vec::new(),
+        });
+        assert!(matches!(
+            m.validate(),
+            Err(ValidateError::OrphanRegion { .. })
+        ));
+    }
+
+    #[test]
+    fn orphan_region_owned_by_simple_state_rejected() {
+        // The owner must actually be a composite whose kind points back
+        // at the region; a simple state cannot anchor a region.
+        let mut b = MachineBuilder::new("m");
+        let a = b.state("A");
+        let (_, inner) = b.composite("C");
+        let i = b.state_in(inner, "I");
+        b.initial(a);
+        b.initial_in(inner, i);
+        let mut m = b.finish_unchecked();
+        m.region_mut(inner).owner = Some(a);
+        assert!(matches!(
+            m.validate(),
+            Err(ValidateError::OrphanRegion { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_event_names_rejected() {
+        // `add_event` dedups by name, so forge the duplicate through the
+        // raw arena — exactly the shape a broken deserializer could build.
+        let mut b = MachineBuilder::new("m");
+        let a = b.state("A");
+        b.initial(a);
+        b.event("go");
+        let mut m = b.finish_unchecked();
+        m.alloc_event(crate::machine::Event { name: "go".into() });
+        assert!(matches!(
+            m.validate(),
+            Err(ValidateError::DuplicateEventName(_))
         ));
     }
 

@@ -1,0 +1,70 @@
+//! Replays the committed regression corpus through the full
+//! differential toolchain.
+//!
+//! Every `tests/regressions/*.sm` file is a machine in
+//! [`umlsm::gen`] text form plus a trailing `events ...` line. Each is
+//! validated, then driven through [`bench::fuzz::check_full_chain`]:
+//! the model interpreter oracle vs the `tlang` reference interpreter vs
+//! compiled EM32 on both engines, every implementation pattern × every
+//! optimization level. A machine lands here either as one of the five
+//! re-serialized samples (the seed population, written by
+//! `cargo run -p bench --bin fuzz -- emit-samples`) or as a shrunk
+//! fuzz divergence promoted via `FUZZ_PROMOTE=1` — after the bug it
+//! exposed was fixed. Replaying forever keeps it fixed.
+
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/regressions")
+}
+
+#[test]
+fn regression_corpus_replays_clean() {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("tests/regressions exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "sm"))
+        .collect();
+    files.sort();
+    assert!(
+        files.len() >= 5,
+        "regression corpus unexpectedly small: {files:?}"
+    );
+
+    let mut cells = 0;
+    for path in &files {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(path).expect("readable corpus file");
+        let (machine, events) =
+            bench::fuzz::parse_regression(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        machine
+            .validate()
+            .unwrap_or_else(|e| panic!("{name}: no longer validates: {e}"));
+        cells += bench::fuzz::check_full_chain(&machine, &events)
+            .unwrap_or_else(|e| panic!("{name}: regression came back: {e}"));
+    }
+    // 3 patterns × 4 levels per machine.
+    assert_eq!(cells, files.len() * 12);
+}
+
+#[test]
+fn corpus_files_are_shrink_stable_text() {
+    // Re-serializing a parsed corpus machine must reproduce the exact
+    // committed body — the corpus stays canonical under round-trips, so
+    // a promoted finding never drifts when regenerated.
+    for entry in std::fs::read_dir(corpus_dir()).expect("tests/regressions exists") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_none_or(|x| x != "sm") {
+            continue;
+        }
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(&path).expect("readable corpus file");
+        let (machine, _) =
+            bench::fuzz::parse_regression(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let body = umlsm::gen::to_text(&machine).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            text.contains(&body),
+            "{name}: committed text is not the canonical serialization"
+        );
+    }
+}
